@@ -1,0 +1,436 @@
+package mosquitonet_test
+
+// One benchmark per experiment row in DESIGN.md's index, plus substrate
+// micro-benchmarks. The experiment benchmarks drive the same harnesses as
+// cmd/experiments; custom metrics report the *virtual-time* quantities the
+// paper measures (milliseconds of disruption, packets lost per handoff),
+// while ns/op measures the simulator's wall-clock cost.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	mosquitonet "mosquitonet"
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/mip"
+	"mosquitonet/internal/testbed"
+)
+
+// --- E1: same-subnet address switch --------------------------------------
+
+func BenchmarkE1AddressSwitch(b *testing.B) {
+	tb := testbed.New(1)
+	tb.MoveEthTo(tb.DeptNet)
+	tb.MustConnectForeign(tb.Eth)
+	addrs := [2]mosquitonet.Addr{
+		mosquitonet.MustParseAddr("36.8.0.200"),
+		mosquitonet.MustParseAddr("36.8.0.201"),
+	}
+	var totalWindow time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Tracer.Reset()
+		done := false
+		tb.MH.SwitchAddress(addrs[i%2], func(err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			done = true
+		})
+		tb.Run(5 * time.Second)
+		if !done {
+			b.Fatal("switch never completed")
+		}
+		start, _ := tb.Tracer.Last("addrswitch.configure.done")
+		end, _ := tb.Tracer.Last("binding.installed")
+		totalWindow += end.At.Sub(start.At)
+	}
+	b.ReportMetric(float64(totalWindow.Microseconds())/float64(b.N)/1000, "virt-window-ms/op")
+}
+
+// --- F6: device switching -------------------------------------------------
+
+func benchDeviceSwitch(b *testing.B, toRadio, hot bool) {
+	tb := testbed.New(1)
+	tb.MoveEthTo(tb.DeptNet)
+	from, to := tb.Eth, tb.Strip
+	if !toRadio {
+		from, to = tb.Strip, tb.Eth
+	}
+	tb.MustConnectForeign(from)
+	var blackout time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := tb.Loop.Now()
+		done := false
+		finish := func(err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			done = true
+		}
+		if hot {
+			to.Iface().Device().BringUp(func() {
+				tb.MH.Prepare(to, func(err error) {
+					if err != nil {
+						b.Fatal(err)
+					}
+					tb.MH.HotSwitch(to, finish)
+				})
+			})
+		} else {
+			tb.MH.ColdSwitch(to, finish)
+		}
+		for !done {
+			tb.Run(20 * time.Millisecond)
+		}
+		blackout += tb.Loop.Now().Sub(start)
+
+		b.StopTimer() // restore outside the measured region
+		restored := false
+		if hot {
+			from.Iface().Device().BringUp(func() {
+				tb.MH.Prepare(from, func(error) {
+					tb.MH.HotSwitch(from, func(error) { restored = true })
+				})
+			})
+		} else {
+			tb.MH.ColdSwitch(from, func(error) { restored = true })
+		}
+		for !restored {
+			tb.Run(20 * time.Millisecond)
+		}
+		if hot {
+			tb.MH.Disconnect(to)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(blackout.Milliseconds())/float64(b.N), "virt-switch-ms/op")
+}
+
+func BenchmarkF6ColdSwitchWiredToWireless(b *testing.B) { benchDeviceSwitch(b, true, false) }
+func BenchmarkF6ColdSwitchWirelessToWired(b *testing.B) { benchDeviceSwitch(b, false, false) }
+func BenchmarkF6HotSwitchWiredToWireless(b *testing.B)  { benchDeviceSwitch(b, true, true) }
+func BenchmarkF6HotSwitchWirelessToWired(b *testing.B)  { benchDeviceSwitch(b, false, true) }
+
+// --- F7: registration time-line -------------------------------------------
+
+func BenchmarkF7Registration(b *testing.B) {
+	tb := testbed.New(1)
+	tb.MoveEthTo(tb.DeptNet)
+	tb.MustConnectForeign(tb.Eth)
+	addrs := [2]mosquitonet.Addr{
+		mosquitonet.MustParseAddr("36.8.0.200"),
+		mosquitonet.MustParseAddr("36.8.0.201"),
+	}
+	var total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Tracer.Reset()
+		done := false
+		tb.MH.SwitchAddress(addrs[i%2], func(error) { done = true })
+		tb.Run(5 * time.Second)
+		if !done {
+			b.Fatal("registration never completed")
+		}
+		start, _ := tb.Tracer.Last("addrswitch.start")
+		end, _ := tb.Tracer.Last("reg.reply.received")
+		total += end.At.Sub(start.At)
+	}
+	// The paper's Figure 7 total is 7.39 ms.
+	b.ReportMetric(float64(total.Microseconds())/float64(b.N)/1000, "virt-reg-ms/op")
+}
+
+// --- T-RTT: radio round-trip ----------------------------------------------
+
+func BenchmarkRadioRTT(b *testing.B) {
+	tb := testbed.New(1)
+	tb.MustConnectForeign(tb.Strip)
+	var total time.Duration
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.MH.Host().ICMP().Ping(testbed.RouterRadioAddr, testbed.MHRadioAddr, 40, 3*time.Second,
+			func(r mosquitonet.PingResult) {
+				if !r.TimedOut && !r.Unreachable {
+					total += r.RTT
+					n++
+				}
+			})
+		tb.Run(3 * time.Second)
+	}
+	if n > 0 {
+		// The paper reports 200-250 ms.
+		b.ReportMetric(float64(total.Milliseconds())/float64(n), "virt-rtt-ms/op")
+	}
+}
+
+// --- A1: policy comparison -------------------------------------------------
+
+func benchPolicyRTT(b *testing.B, policy mosquitonet.Policy) {
+	tb := testbed.New(1)
+	tb.MoveEthTo(tb.DeptNet)
+	tb.MustConnectForeign(tb.Eth)
+	var srv *mosquitonet.UDPSocket
+	srv, err := tb.CampusCH.UDP(mosquitonet.Unspecified, 7, func(d mosquitonet.Datagram) {
+		srv.SendTo(d.From, d.FromPort, d.Payload)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.MH.Policy().SetHost(testbed.CampusCHAddr, policy)
+	var total time.Duration
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := false
+		var start mosquitonet.Time
+		sock, err := tb.MHTS.UDP(mosquitonet.Unspecified, 0, func(mosquitonet.Datagram) {
+			total += tb.Loop.Now().Sub(start)
+			got = true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start = tb.Loop.Now()
+		sock.SendTo(testbed.CampusCHAddr, 7, []byte("rtt"))
+		tb.Run(2 * time.Second)
+		sock.Close()
+		if got {
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(float64(total.Microseconds())/float64(n)/1000, "virt-rtt-ms/op")
+	}
+}
+
+func BenchmarkA1TunnelPolicy(b *testing.B)   { benchPolicyRTT(b, mosquitonet.PolicyTunnel) }
+func BenchmarkA1TrianglePolicy(b *testing.B) { benchPolicyRTT(b, mosquitonet.PolicyTriangle) }
+
+// BenchmarkA1EncapDirectPolicy needs a smart correspondent, so it builds
+// its own environment rather than using benchPolicyRTT.
+func BenchmarkA1EncapDirectPolicy(b *testing.B) {
+	tb := testbed.New(1)
+	mosquitonet.MakeSmartCorrespondent(tb.CampusCH.Host())
+	tb.MoveEthTo(tb.DeptNet)
+	tb.MustConnectForeign(tb.Eth)
+	var srv *mosquitonet.UDPSocket
+	srv, err := tb.CampusCH.UDP(mosquitonet.Unspecified, 7, func(d mosquitonet.Datagram) {
+		srv.SendTo(d.From, d.FromPort, d.Payload)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.MH.Policy().SetHost(testbed.CampusCHAddr, mosquitonet.PolicyEncapDirect)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sock, err := tb.MHTS.UDP(mosquitonet.Unspecified, 0, func(mosquitonet.Datagram) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sock.SendTo(testbed.CampusCHAddr, 7, []byte("rtt"))
+		tb.Run(2 * time.Second)
+		sock.Close()
+	}
+}
+
+// --- A2: handoff loss with and without a foreign agent ---------------------
+
+func BenchmarkA2HandoffNoFA(b *testing.B) {
+	lost := 0
+	for i := 0; i < b.N; i++ {
+		r, err := testbed.RunA2(int64(i)+1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lost += r.WithoutFA.TotalLost()
+	}
+	b.ReportMetric(float64(lost)/float64(b.N), "pkts-lost/op")
+}
+
+func BenchmarkA2HandoffWithFA(b *testing.B) {
+	lost := 0
+	for i := 0; i < b.N; i++ {
+		r, err := testbed.RunA2(int64(i)+1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lost += r.WithFA.TotalLost()
+	}
+	b.ReportMetric(float64(lost)/float64(b.N), "pkts-lost/op")
+}
+
+// --- A3: home-agent scalability --------------------------------------------
+
+func benchHAFleet(b *testing.B, n int) {
+	for i := 0; i < b.N; i++ {
+		res, err := testbed.RunA3(int64(i)+1, []int{n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := res.Rows[0]
+		if row.Registered != n {
+			b.Fatalf("only %d/%d registered", row.Registered, n)
+		}
+		b.ReportMetric(float64(row.Latency.Mean().Microseconds())/1000, "virt-reg-ms/host")
+	}
+}
+
+func BenchmarkA3HAScale(b *testing.B) {
+	for _, n := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("hosts=%d", n), func(b *testing.B) { benchHAFleet(b, n) })
+	}
+}
+
+// BenchmarkHARegistrationProcessing hammers one home agent with
+// registrations from a single mobile host, measuring sustained
+// registration turnaround.
+func BenchmarkHARegistrationProcessing(b *testing.B) {
+	tb := testbed.New(1)
+	tb.MoveEthTo(tb.DeptNet)
+	tb.MustConnectForeign(tb.Eth)
+	addrs := [2]mosquitonet.Addr{
+		mosquitonet.MustParseAddr("36.8.0.200"),
+		mosquitonet.MustParseAddr("36.8.0.201"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		tb.MH.SwitchAddress(addrs[i%2], func(error) { done = true })
+		tb.Run(time.Second)
+		if !done {
+			b.Fatal("registration stalled")
+		}
+	}
+	if got := tb.HA.Stats().Accepted; got < uint64(b.N) {
+		b.Fatalf("HA accepted %d of %d", got, b.N)
+	}
+}
+
+// --- Substrate micro-benchmarks --------------------------------------------
+
+func BenchmarkPacketMarshal(b *testing.B) {
+	p := &ip.Packet{
+		Header: ip.Header{
+			TTL: 64, Protocol: ip.ProtoUDP,
+			Src: ip.MustParseAddr("36.135.0.7"), Dst: ip.MustParseAddr("36.8.0.99"),
+		},
+		Payload: make([]byte, 512),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketUnmarshal(b *testing.B) {
+	p := &ip.Packet{
+		Header: ip.Header{
+			TTL: 64, Protocol: ip.ProtoUDP,
+			Src: ip.MustParseAddr("36.135.0.7"), Dst: ip.MustParseAddr("36.8.0.99"),
+		},
+		Payload: make([]byte, 512),
+	}
+	raw, _ := p.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncapsulateDecapsulate(b *testing.B) {
+	inner := &ip.Packet{
+		Header: ip.Header{
+			TTL: 64, Protocol: ip.ProtoUDP,
+			Src: ip.MustParseAddr("36.135.0.7"), Dst: ip.MustParseAddr("36.8.0.99"),
+		},
+		Payload: make([]byte, 512),
+	}
+	src := ip.MustParseAddr("36.8.0.100")
+	dst := ip.MustParseAddr("36.135.0.1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		outer, err := ip.Encapsulate(src, dst, 64, uint16(i), inner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ip.Decapsulate(outer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	buf := make([]byte, 1500)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		ip.Checksum(buf)
+	}
+}
+
+func BenchmarkPolicyTableLookup(b *testing.B) {
+	pt := mip.NewPolicyTable(mip.PolicyTunnel)
+	for i := 0; i < 64; i++ {
+		pt.Set(ip.Prefix{Addr: ip.Addr{10, byte(i), 0, 0}, Bits: 16}, mip.PolicyTriangle)
+	}
+	dst := ip.MustParseAddr("10.40.1.2")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pt.Lookup(dst)
+	}
+}
+
+func BenchmarkSimulatedSecondOfStreaming(b *testing.B) {
+	// Wall-clock cost of simulating one virtual second of a 10 ms echo
+	// stream through the full tunnel path — the simulator's bulk
+	// throughput metric.
+	tb := testbed.New(1)
+	tb.MoveEthTo(tb.DeptNet)
+	tb.MustConnectForeign(tb.Eth)
+	probe, err := testbed.NewEchoProbe(tb.Loop, tb.CH, tb.MHTS, testbed.MHHomeAddr, 7, 10*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Run(time.Second)
+	}
+	b.StopTimer()
+	if probe.Received() == 0 {
+		b.Fatal("stream dead")
+	}
+}
+
+// --- A4: handoff strategies --------------------------------------------------
+
+func benchA4Strategy(b *testing.B, pick func(*testbed.A4Result) int) {
+	lost := 0
+	for i := 0; i < b.N; i++ {
+		r, err := testbed.RunA4(int64(i)+1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lost += pick(r)
+	}
+	b.ReportMetric(float64(lost)/float64(b.N), "pkts-lost/op")
+}
+
+func BenchmarkA4ColdStrategy(b *testing.B) {
+	benchA4Strategy(b, func(r *testbed.A4Result) int { return r.Cold.TotalLost() })
+}
+func BenchmarkA4HotStrategy(b *testing.B) {
+	benchA4Strategy(b, func(r *testbed.A4Result) int { return r.Hot.TotalLost() })
+}
+func BenchmarkA4SimultaneousStrategy(b *testing.B) {
+	benchA4Strategy(b, func(r *testbed.A4Result) int { return r.Simultaneous.TotalLost() })
+}

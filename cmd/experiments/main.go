@@ -1,0 +1,104 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation, plus the ablations indexed in DESIGN.md, and prints them in
+// the paper's own presentation (loss histograms per Figure 6, mean (std
+// dev) rows per Figure 7).
+//
+// Usage:
+//
+//	experiments [-seed N] [-exp all|e1|f6|f7|rtt|a1|a2|a3] [-samples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	mosquitonet "mosquitonet"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1996, "simulation seed (results are deterministic per seed)")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, f6, f7, rtt, tput, a1, a2, a3, a4")
+	samples := flag.Int("samples", 20, "samples for RTT/A1 measurements")
+	a2iters := flag.Int("a2-iterations", 5, "handoffs per A2 variant")
+	fleets := flag.String("a3-fleets", "1,8,32,64", "comma-separated fleet sizes for A3")
+	flag.Parse()
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("e1") {
+		ran = true
+		res, err := mosquitonet.RunE1(*seed)
+		exitOn(err)
+		fmt.Println(res)
+	}
+	if want("f6") {
+		ran = true
+		res, err := mosquitonet.RunF6(*seed)
+		exitOn(err)
+		fmt.Println(res)
+	}
+	if want("f7") {
+		ran = true
+		res, err := mosquitonet.RunF7(*seed)
+		exitOn(err)
+		fmt.Println(res)
+	}
+	if want("rtt") {
+		ran = true
+		res, err := mosquitonet.RunRTT(*seed, *samples)
+		exitOn(err)
+		fmt.Println(res)
+	}
+	if want("tput") {
+		ran = true
+		res, err := mosquitonet.RunThroughput(*seed, 50, 1000)
+		exitOn(err)
+		fmt.Println(res)
+	}
+	if want("a1") {
+		ran = true
+		res, err := mosquitonet.RunA1(*seed, *samples)
+		exitOn(err)
+		fmt.Println(res)
+	}
+	if want("a2") {
+		ran = true
+		res, err := mosquitonet.RunA2(*seed, *a2iters)
+		exitOn(err)
+		fmt.Println(res)
+	}
+	if want("a4") {
+		ran = true
+		res, err := mosquitonet.RunA4(*seed, *a2iters)
+		exitOn(err)
+		fmt.Println(res)
+	}
+	if want("a3") {
+		ran = true
+		var sizes []int
+		for _, f := range strings.Split(*fleets, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
+				exitOn(fmt.Errorf("bad fleet size %q", f))
+			}
+			sizes = append(sizes, n)
+		}
+		res, err := mosquitonet.RunA3(*seed, sizes)
+		exitOn(err)
+		fmt.Println(res)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f6, f7, rtt, a1, a2, a3, a4)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

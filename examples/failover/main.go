@@ -1,0 +1,129 @@
+// Failover: the extensions working together. A Roamer (the paper's §6
+// "when to switch" future work) monitors the active link and fails over to
+// the radio when the office wire dies, then upgrades back when it returns;
+// a DNS name keeps resolving to the permanent home address throughout; and
+// the link-change notification API tells the application what kind of
+// connectivity it has at each moment.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	mosquitonet "mosquitonet"
+)
+
+func main() {
+	w := mosquitonet.NewWorld(21)
+	home, err := w.AddSubnet("home", "10.1.0.0/24", mosquitonet.Ethernet())
+	check(err)
+	office, err := w.AddSubnet("office", "10.2.0.0/24", mosquitonet.Ethernet())
+	check(err)
+	cellular, err := w.AddSubnet("cellular", "10.9.0.0/24", mosquitonet.Radio())
+	check(err)
+
+	ha, err := home.HomeAgent(2)
+	check(err)
+	_, err = office.DHCP(100, 120)
+	check(err)
+
+	// Name service on the home subnet.
+	dnsHost, err := home.Host("dns", 53)
+	check(err)
+
+	laptop, err := w.MobileHost("laptop", home, 7, ha.Addr())
+	check(err)
+	_, err = mosquitonet.NewDNSServer(dnsHost.TS, mosquitonet.DNSServerConfig{
+		Zone: map[string]mosquitonet.Addr{"laptop.mosquito.edu": laptop.MH.HomeAddr()},
+	})
+	check(err)
+
+	eth0, err := laptop.WiredInterface("eth0", office)
+	check(err)
+	strip0, err := laptop.StaticInterface("strip0", cellular, 7, true)
+	check(err)
+
+	laptop.MH.OnLinkChange = func(c mosquitonet.LinkChange) {
+		fmt.Printf("[%8v] link: %s (%s, %d bit/s)\n",
+			w.Loop.Now().Duration().Round(time.Millisecond), c.Iface, c.Medium.Name, c.Medium.BitRate)
+	}
+
+	// A correspondent that knows the laptop only by name.
+	ch, err := home.Host("colleague", 9)
+	check(err)
+	resolver := mosquitonet.NewDNSResolver(ch.TS, dnsHost.Addr, mosquitonet.DNSResolverConfig{})
+	var laptopAddr mosquitonet.Addr
+	resolver.Resolve("laptop.mosquito.edu", func(a mosquitonet.Addr, err error) {
+		check(err)
+		laptopAddr = a
+	})
+
+	// Attach at the office and start a steady stream from the colleague.
+	done := false
+	laptop.MH.ConnectForeign(eth0, func(err error) { check(err); done = true })
+	w.Run(10 * time.Second)
+	if !done {
+		log.Fatal("could not attach at the office")
+	}
+	fmt.Printf("resolved laptop.mosquito.edu -> %v (the permanent home address)\n", laptopAddr)
+
+	received := 0
+	_, err = laptop.TS.UDP(mosquitonet.Unspecified, 4000, func(mosquitonet.Datagram) { received++ })
+	check(err)
+	src, err := ch.TS.UDP(mosquitonet.Unspecified, 0, nil)
+	check(err)
+	sent := 0
+	var tick func()
+	tick = func() {
+		sent++
+		src.SendTo(laptopAddr, 4000, []byte("tick"))
+		w.Loop.Schedule(100*time.Millisecond, tick)
+	}
+	w.Loop.Schedule(0, tick)
+
+	// The roamer watches the office wire, with the cellular radio as backup.
+	roamer := mosquitonet.NewRoamer(laptop.MH, mosquitonet.RoamerConfig{
+		ProbeInterval:   time.Second,
+		FailThreshold:   2,
+		UpgradeInterval: 5 * time.Second,
+	}, []mosquitonet.Candidate{
+		{Iface: eth0},
+		{Iface: strip0},
+	})
+	roamer.OnFailover = func(from, to *mosquitonet.ManagedIface) {
+		fmt.Printf("[%8v] FAILOVER %s -> %s\n", w.Loop.Now().Duration().Round(time.Millisecond), from.Name(), to.Name())
+	}
+	roamer.OnUpgrade = func(from, to *mosquitonet.ManagedIface) {
+		fmt.Printf("[%8v] UPGRADE  %s -> %s\n", w.Loop.Now().Duration().Round(time.Millisecond), from.Name(), to.Name())
+	}
+	roamer.Start()
+	w.Run(5 * time.Second)
+	report := func(tag string) {
+		fmt.Printf("           stream: %d sent, %d received (%s)\n", sent, received, tag)
+	}
+	report("on the office wire")
+
+	fmt.Println("\n-- the office wire is unplugged")
+	eth0.Iface().Device().Detach()
+	w.Run(20 * time.Second)
+	report("after automatic failover to the radio")
+
+	fmt.Println("\n-- the office wire is plugged back in")
+	eth0.Iface().Device().Attach(office.Net)
+	w.Run(30 * time.Second)
+	report("after automatic upgrade back to the wire")
+
+	roamer.Stop()
+	w.Run(2 * time.Second)
+	fmt.Printf("\nroamer stats: %+v\n", roamer.Stats())
+	fmt.Printf("lost across both automatic switches: %d of %d\n", sent-received, sent)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a small internetwork with the public API, attach a
+// mobile host, move it to a foreign network, and show that a correspondent
+// keeps reaching it at its home address the whole time.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	mosquitonet "mosquitonet"
+)
+
+func main() {
+	// A world is subnets around one backbone router.
+	w := mosquitonet.NewWorld(1)
+	home, err := w.AddSubnet("home", "10.1.0.0/24", mosquitonet.Ethernet())
+	check(err)
+	cafe, err := w.AddSubnet("cafe", "10.2.0.0/24", mosquitonet.Ethernet())
+	check(err)
+
+	// The home subnet runs a home agent; the café hands out addresses by
+	// DHCP, which is all MosquitoNet asks of a foreign network.
+	ha, err := home.HomeAgent(2)
+	check(err)
+	_, err = cafe.DHCP(100, 120)
+	check(err)
+
+	// A fixed correspondent at the café, running a tiny UDP echo service.
+	ch, err := cafe.Host("correspondent", 50)
+	check(err)
+	var srv *mosquitonet.UDPSocket
+	srv, err = ch.TS.UDP(mosquitonet.Unspecified, 7, func(d mosquitonet.Datagram) {
+		fmt.Printf("  correspondent: %q from %v (always the home address)\n", d.Payload, d.From)
+		srv.SendTo(d.From, d.FromPort, d.Payload)
+	})
+	check(err)
+
+	// The mobile host: permanent address 10.1.0.7, one interface at home,
+	// one that will attach at the café.
+	laptop, err := w.MobileHost("laptop", home, 7, ha.Addr())
+	check(err)
+	eth0, err := laptop.WiredInterface("eth0", home)
+	check(err)
+	eth1, err := laptop.WiredInterface("eth1", cafe)
+	check(err)
+
+	// Attach at home and say hello.
+	laptop.MH.ConnectHome(eth0, home.Gateway, func(err error) { check(err) })
+	w.Run(5 * time.Second)
+	fmt.Printf("at home: address %v\n", laptop.MH.HomeAddr())
+
+	replies := 0
+	cli, err := laptop.TS.UDP(mosquitonet.Unspecified, 0, func(mosquitonet.Datagram) { replies++ })
+	check(err)
+	cli.SendTo(ch.Addr, 7, []byte("hello from home"))
+	w.Run(2 * time.Second)
+
+	// Move to the café. The cold switch tears eth0 down, brings eth1 up,
+	// acquires a care-of address by DHCP, and registers it with the home
+	// agent — applications notice nothing.
+	laptop.MH.ColdSwitch(eth1, func(err error) { check(err) })
+	w.Run(10 * time.Second)
+	fmt.Printf("at the café: care-of %v, still reachable at %v\n",
+		laptop.MH.CareOf(), laptop.MH.HomeAddr())
+
+	cli.SendTo(ch.Addr, 7, []byte("hello from the café"))
+	w.Run(2 * time.Second)
+
+	fmt.Printf("echo replies received: %d of 2\n", replies)
+	if b, ok := ha.Binding(laptop.MH.HomeAddr()); ok {
+		fmt.Printf("home agent binding: %v -> %v\n", b.HomeAddr, b.CareOf)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Roaming: a mobile host wanders across three foreign networks run by
+// different authorities — two plain DHCP networks (all MosquitoNet asks
+// for) and one that happens to operate a foreign agent — while a
+// correspondent streams datagrams to its home address. The example prints
+// per-leg delivery statistics and shows the previous-foreign-agent
+// forwarding extension recovering in-flight packets during the final move.
+//
+//	go run ./examples/roaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	mosquitonet "mosquitonet"
+)
+
+func main() {
+	w := mosquitonet.NewWorld(11)
+	home, err := w.AddSubnet("home", "10.1.0.0/24", mosquitonet.Ethernet())
+	check(err)
+	hotel, err := w.AddSubnet("hotel", "10.2.0.0/24", mosquitonet.Ethernet())
+	check(err)
+	airport, err := w.AddSubnet("airport", "10.3.0.0/24", mosquitonet.Ethernet())
+	check(err)
+	// The campus network is far away and slow — and it runs a foreign
+	// agent, the optional extension.
+	slow := mosquitonet.Ethernet()
+	slow.Name = "slow-wired"
+	slow.Latency = 60 * time.Millisecond
+	slow.BitRate = 512_000
+	campus, err := w.AddSubnet("campus", "10.4.0.0/24", slow)
+	check(err)
+
+	ha, err := home.HomeAgent(2)
+	check(err)
+	_, err = hotel.DHCP(100, 120)
+	check(err)
+	_, err = airport.DHCP(100, 120)
+	check(err)
+	fa, err := campus.ForeignAgent(2)
+	check(err)
+
+	ch, err := home.Host("correspondent", 9)
+	check(err)
+
+	laptop, err := w.MobileHost("laptop", home, 7, ha.Addr())
+	check(err)
+	eth0, err := laptop.WiredInterface("eth0", home)
+	check(err)
+	wifi, err := laptop.WiredInterface("wlan0", hotel)
+	check(err)
+
+	// Correspondent streams a datagram every 50 ms to the home address.
+	received := 0
+	_, err = laptop.TS.UDP(mosquitonet.Unspecified, 4000, func(mosquitonet.Datagram) { received++ })
+	check(err)
+	src, err := ch.TS.UDP(mosquitonet.Unspecified, 0, nil)
+	check(err)
+	sent := 0
+	var tick func()
+	tick = func() {
+		sent++
+		src.SendTo(laptop.MH.HomeAddr(), 4000, []byte("news"))
+		w.Loop.Schedule(50*time.Millisecond, tick)
+	}
+
+	leg := func(name string, move func(done func(error))) {
+		before := sent - received
+		finished := false
+		move(func(err error) { check(err); finished = true })
+		for !finished {
+			w.Run(100 * time.Millisecond)
+		}
+		w.Run(3 * time.Second)
+		fmt.Printf("%-36s care-of=%-12v registered=%-5v lost-this-leg=%d\n",
+			name, laptop.MH.CareOf(), laptop.MH.Registered(), (sent-received)-before)
+	}
+
+	laptop.MH.ConnectHome(eth0, home.Gateway, func(err error) { check(err) })
+	w.Run(2 * time.Second)
+	w.Loop.Schedule(0, tick)
+	w.Run(2 * time.Second)
+	fmt.Printf("%-36s home=%v\n", "at home", laptop.MH.HomeAddr())
+
+	leg("moved to the hotel (DHCP)", func(done func(error)) {
+		laptop.MH.ColdSwitch(wifi, done)
+	})
+
+	leg("moved to the airport (DHCP)", func(done func(error)) {
+		laptop.MoveInterface(wifi, airport)
+		laptop.MH.ColdSwitch(wifi, done)
+	})
+
+	leg("moved to the campus (foreign agent)", func(done func(error)) {
+		laptop.MoveInterface(wifi, campus)
+		laptop.MH.Disconnect(wifi)
+		laptop.MH.ConnectViaForeignAgent(wifi, fa.Addr(), done)
+	})
+	fmt.Printf("%-36s visitors=%d adverts=%d\n", "  (foreign agent state)",
+		fa.Stats().VisitorsActive, fa.Stats().AdvertsSent)
+
+	leg("back to the airport, FA forwards", func(done func(error)) {
+		// Warn the FA, move, then hand it the new care-of address so it
+		// forwards buffered and in-flight packets instead of losing them.
+		laptop.MH.AnnounceDeparture(fa.Addr(), 30*time.Second)
+		w.Run(300 * time.Millisecond)
+		laptop.MoveInterface(wifi, airport)
+		laptop.MH.ColdSwitch(wifi, func(err error) {
+			if err == nil {
+				laptop.MH.NotifyPreviousFA(fa.Addr(), laptop.MH.CareOf(), 30*time.Second)
+			}
+			done(err)
+		})
+	})
+	fmt.Printf("%-36s forwarded=%d\n", "  (stragglers saved by the FA)", fa.Stats().Forwarded)
+
+	leg("home again", func(done func(error)) {
+		laptop.MoveInterface(eth0, home) // it never left, but be explicit
+		laptop.MH.ColdSwitchHome(eth0, home.Gateway, done)
+	})
+
+	w.Run(2 * time.Second)
+	fmt.Printf("\ntotals: %d sent, %d received, %d lost across 5 moves\n", sent, received, sent-received)
+	fmt.Printf("mobile host: %+v\n", laptop.MH.Stats())
+	fmt.Printf("home agent:  %+v\n", ha.Stats())
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

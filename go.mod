@@ -1,0 +1,3 @@
+module mosquitonet
+
+go 1.22

@@ -1,0 +1,331 @@
+// Package arp implements the Address Resolution Protocol over the
+// simulated link layer: the 28-byte Ethernet/IPv4 wire format, a per-device
+// cache with expiry and retry, pending-packet queues, gratuitous ARP, and
+// published (proxy) entries.
+//
+// Proxy and gratuitous ARP are not optional extras here: they are the
+// mechanism by which a MosquitoNet home agent intercepts packets addressed
+// to a mobile host that has left home. On registration the home agent
+// publishes the mobile host's home address (answering ARP requests for it
+// with the agent's own hardware address) and broadcasts a gratuitous ARP to
+// void stale entries in neighbors' caches.
+package arp
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+	"mosquitonet/internal/sim"
+)
+
+// Op is an ARP operation code.
+type Op uint16
+
+// ARP operations.
+const (
+	OpRequest Op = 1
+	OpReply   Op = 2
+)
+
+// MessageLen is the length of an Ethernet/IPv4 ARP message.
+const MessageLen = 28
+
+// Message is a parsed ARP message.
+type Message struct {
+	Op       Op
+	SenderHW link.HWAddr
+	SenderIP ip.Addr
+	TargetHW link.HWAddr
+	TargetIP ip.Addr
+}
+
+// IsGratuitous reports whether the message is a gratuitous announcement
+// (sender announcing its own binding: sender IP equals target IP).
+func (m *Message) IsGratuitous() bool { return m.SenderIP == m.TargetIP }
+
+// Marshal serializes the message in the standard wire format
+// (htype=1 Ethernet, ptype=0x0800 IPv4, hlen=6, plen=4).
+func (m *Message) Marshal() []byte {
+	b := make([]byte, MessageLen)
+	binary.BigEndian.PutUint16(b[0:], 1)      // htype: Ethernet
+	binary.BigEndian.PutUint16(b[2:], 0x0800) // ptype: IPv4
+	b[4] = 6                                  // hlen
+	b[5] = 4                                  // plen
+	binary.BigEndian.PutUint16(b[6:], uint16(m.Op))
+	copy(b[8:14], m.SenderHW[:])
+	copy(b[14:18], m.SenderIP[:])
+	copy(b[18:24], m.TargetHW[:])
+	copy(b[24:28], m.TargetIP[:])
+	return b
+}
+
+// Unmarshal errors.
+var (
+	ErrShortMessage = errors.New("arp: truncated message")
+	ErrBadFormat    = errors.New("arp: unsupported hardware or protocol type")
+)
+
+// Unmarshal parses an ARP message, validating the type/length fields.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < MessageLen {
+		return nil, ErrShortMessage
+	}
+	if binary.BigEndian.Uint16(b[0:]) != 1 || binary.BigEndian.Uint16(b[2:]) != 0x0800 ||
+		b[4] != 6 || b[5] != 4 {
+		return nil, ErrBadFormat
+	}
+	m := &Message{Op: Op(binary.BigEndian.Uint16(b[6:]))}
+	copy(m.SenderHW[:], b[8:14])
+	copy(m.SenderIP[:], b[14:18])
+	copy(m.TargetHW[:], b[18:24])
+	copy(m.TargetIP[:], b[24:28])
+	return m, nil
+}
+
+// Config tunes cache behaviour. Zero values select the defaults.
+type Config struct {
+	EntryTTL       time.Duration // lifetime of a resolved entry (default 10m)
+	RequestTimeout time.Duration // retransmit interval for requests (default 1s)
+	MaxRetries     int           // requests sent before giving up (default 3)
+	MaxPending     int           // packets queued per unresolved address (default 32)
+}
+
+func (c Config) withDefaults() Config {
+	if c.EntryTTL == 0 {
+		c.EntryTTL = 10 * time.Minute
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 32
+	}
+	return c
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	RequestsSent    uint64
+	RepliesSent     uint64
+	ProxyReplies    uint64 // replies sent on behalf of published addresses
+	ResolveFailures uint64 // addresses given up on after retries
+	PacketsDropped  uint64 // queued packets dropped (failure or overflow)
+	GratuitousSent  uint64
+}
+
+type entry struct {
+	hw      link.HWAddr
+	expires sim.Time
+}
+
+type pending struct {
+	payloads [][]byte
+	tries    int
+	timer    *sim.Timer
+}
+
+// Cache is a per-device ARP resolver and responder.
+type Cache struct {
+	loop *sim.Loop
+	dev  *link.Device
+	cfg  Config
+
+	// localAddrs reports the device's own IP addresses; the cache answers
+	// requests for any of them.
+	localAddrs func() []ip.Addr
+
+	entries   map[ip.Addr]entry
+	pend      map[ip.Addr]*pending
+	published map[ip.Addr]bool
+	stats     Stats
+}
+
+// New creates a cache resolving on dev. localAddrs is consulted live on
+// every request so address changes (the whole point of mobile IP) take
+// effect immediately.
+func New(loop *sim.Loop, dev *link.Device, cfg Config, localAddrs func() []ip.Addr) *Cache {
+	return &Cache{
+		loop:       loop,
+		dev:        dev,
+		cfg:        cfg.withDefaults(),
+		localAddrs: localAddrs,
+		entries:    make(map[ip.Addr]entry),
+		pend:       make(map[ip.Addr]*pending),
+		published:  make(map[ip.Addr]bool),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Lookup returns the cached hardware address for a, if fresh.
+func (c *Cache) Lookup(a ip.Addr) (link.HWAddr, bool) {
+	e, ok := c.entries[a]
+	if !ok || c.loop.Now() > e.expires {
+		return link.HWAddr{}, false
+	}
+	return e.hw, true
+}
+
+// AddStatic installs a non-expiring entry. The home agent uses this to
+// keep a mapping for a registered mobile host in its own cache.
+func (c *Cache) AddStatic(a ip.Addr, hw link.HWAddr) {
+	c.entries[a] = entry{hw: hw, expires: sim.Time(1<<62 - 1)}
+}
+
+// Delete removes any entry for a.
+func (c *Cache) Delete(a ip.Addr) { delete(c.entries, a) }
+
+// Publish makes the cache answer requests for a with this device's own
+// hardware address — proxy ARP, the home agent's interception mechanism.
+func (c *Cache) Publish(a ip.Addr) { c.published[a] = true }
+
+// Unpublish stops proxying for a.
+func (c *Cache) Unpublish(a ip.Addr) { delete(c.published, a) }
+
+// Published reports whether a is currently proxied.
+func (c *Cache) Published(a ip.Addr) bool { return c.published[a] }
+
+// SendIP transmits an IPv4 payload to dst, resolving its hardware address
+// first if necessary. Packets to unresolved addresses are queued (up to
+// MaxPending) and flushed when the reply arrives; if resolution fails after
+// MaxRetries requests, they are dropped.
+func (c *Cache) SendIP(dst ip.Addr, payload []byte) {
+	if hw, ok := c.Lookup(dst); ok {
+		c.dev.Send(&link.Frame{Dst: hw, Type: link.EtherTypeIPv4, Payload: payload})
+		return
+	}
+	p := c.pend[dst]
+	if p == nil {
+		p = &pending{}
+		c.pend[dst] = p
+		c.sendRequest(dst, p)
+	}
+	if len(p.payloads) >= c.cfg.MaxPending {
+		c.stats.PacketsDropped++
+		return
+	}
+	p.payloads = append(p.payloads, payload)
+}
+
+// SendBroadcastIP transmits an IPv4 payload to the link broadcast address.
+func (c *Cache) SendBroadcastIP(payload []byte) {
+	c.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeIPv4, Payload: payload})
+}
+
+func (c *Cache) sendRequest(dst ip.Addr, p *pending) {
+	p.tries++
+	m := &Message{
+		Op:       OpRequest,
+		SenderHW: c.dev.HW(),
+		SenderIP: c.senderIP(),
+		TargetIP: dst,
+	}
+	c.stats.RequestsSent++
+	c.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeARP, Payload: m.Marshal()})
+	p.timer = c.loop.Schedule(c.cfg.RequestTimeout, func() {
+		cur, ok := c.pend[dst]
+		if !ok || cur != p {
+			return
+		}
+		if p.tries >= c.cfg.MaxRetries {
+			c.stats.ResolveFailures++
+			c.stats.PacketsDropped += uint64(len(p.payloads))
+			delete(c.pend, dst)
+			return
+		}
+		c.sendRequest(dst, p)
+	})
+}
+
+// senderIP picks the address to advertise in our requests.
+func (c *Cache) senderIP() ip.Addr {
+	if addrs := c.localAddrs(); len(addrs) > 0 {
+		return addrs[0]
+	}
+	return ip.Unspecified
+}
+
+// Gratuitous broadcasts a gratuitous ARP binding a to hw. The home agent
+// calls this with the mobile host's home address and the agent's own
+// hardware address to void stale neighbor cache entries; a returning
+// mobile host calls it with its own.
+func (c *Cache) Gratuitous(a ip.Addr, hw link.HWAddr) {
+	m := &Message{Op: OpRequest, SenderHW: hw, SenderIP: a, TargetHW: link.HWAddr{}, TargetIP: a}
+	c.stats.GratuitousSent++
+	c.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeARP, Payload: m.Marshal()})
+}
+
+// HandleFrame processes a received ARP frame (requests and replies),
+// updating the cache and answering requests for local or published
+// addresses. Malformed messages are dropped silently, as on a real link.
+func (c *Cache) HandleFrame(f *link.Frame) {
+	m, err := Unmarshal(f.Payload)
+	if err != nil {
+		return
+	}
+	// Merge/update (RFC 826 flavored): refresh an existing mapping for the
+	// sender unconditionally — this is how gratuitous ARP voids stale
+	// entries — and create one if the message is addressed to us.
+	isLocal := c.isLocal(m.TargetIP)
+	if !m.SenderIP.IsUnspecified() {
+		if _, have := c.entries[m.SenderIP]; have || isLocal {
+			c.learn(m.SenderIP, m.SenderHW)
+		}
+	}
+	// Flush any packets waiting on the sender's address.
+	if p, ok := c.pend[m.SenderIP]; ok {
+		p.timer.Stop()
+		delete(c.pend, m.SenderIP)
+		c.learn(m.SenderIP, m.SenderHW)
+		for _, payload := range p.payloads {
+			c.dev.Send(&link.Frame{Dst: m.SenderHW, Type: link.EtherTypeIPv4, Payload: payload})
+		}
+	}
+	if m.Op != OpRequest || m.IsGratuitous() {
+		return
+	}
+	switch {
+	case isLocal:
+		c.reply(m)
+		c.stats.RepliesSent++
+	case c.published[m.TargetIP]:
+		c.reply(m)
+		c.stats.ProxyReplies++
+	}
+}
+
+func (c *Cache) isLocal(a ip.Addr) bool {
+	for _, l := range c.localAddrs() {
+		if l == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) learn(a ip.Addr, hw link.HWAddr) {
+	if e, ok := c.entries[a]; ok && e.expires == sim.Time(1<<62-1) {
+		e.hw = hw // static entries keep their lifetime but track moves
+		c.entries[a] = e
+		return
+	}
+	c.entries[a] = entry{hw: hw, expires: c.loop.Now().Add(c.cfg.EntryTTL)}
+}
+
+func (c *Cache) reply(req *Message) {
+	m := &Message{
+		Op:       OpReply,
+		SenderHW: c.dev.HW(),
+		SenderIP: req.TargetIP,
+		TargetHW: req.SenderHW,
+		TargetIP: req.SenderIP,
+	}
+	c.dev.Send(&link.Frame{Dst: req.SenderHW, Type: link.EtherTypeARP, Payload: m.Marshal()})
+}

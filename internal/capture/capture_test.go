@@ -1,0 +1,184 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mosquitonet/internal/dhcp"
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+	"mosquitonet/internal/mip"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/stack"
+	"mosquitonet/internal/transport"
+)
+
+// scenario: two hosts exchanging various traffic on one tapped network.
+type scenario struct {
+	loop *sim.Loop
+	net  *link.Network
+	cap  *Capture
+	a, b *transport.Stack
+}
+
+func newScenario(t *testing.T) *scenario {
+	t.Helper()
+	loop := sim.New(1)
+	n := link.NewNetwork(loop, "lab", link.Ethernet())
+	c := New(loop, 0)
+	c.Attach(n)
+	mk := func(name, addr string) *transport.Stack {
+		h := stack.NewHost(loop, name, stack.Config{})
+		d := link.NewDevice(loop, name+"-eth", 0, 0)
+		d.Attach(n)
+		d.BringUp(nil)
+		ifc := h.AddIface("eth0", d, ip.MustParseAddr(addr), ip.MustParsePrefix("10.0.0.0/24"), stack.IfaceOpts{})
+		h.ConnectRoute(ifc)
+		loop.RunFor(0)
+		return transport.NewStack(h)
+	}
+	return &scenario{loop: loop, net: n, cap: c, a: mk("a", "10.0.0.1"), b: mk("b", "10.0.0.2")}
+}
+
+func TestCapturesARPAndUDP(t *testing.T) {
+	s := newScenario(t)
+	srv, _ := s.b.UDP(ip.Unspecified, 4000, nil)
+	_ = srv
+	cli, _ := s.a.UDP(ip.Unspecified, 0, nil)
+	cli.SendTo(ip.MustParseAddr("10.0.0.2"), 4000, []byte("payload"))
+	s.loop.RunFor(time.Second)
+
+	if len(s.cap.Find("arp who-has 10.0.0.2")) != 1 {
+		t.Fatalf("ARP request not captured:\n%s", s.cap)
+	}
+	if len(s.cap.Find("arp reply 10.0.0.2 is-at")) != 1 {
+		t.Fatalf("ARP reply not captured:\n%s", s.cap)
+	}
+	if len(s.cap.Find("udp 7 bytes")) != 1 {
+		t.Fatalf("UDP datagram not captured:\n%s", s.cap)
+	}
+}
+
+func TestCapturesICMP(t *testing.T) {
+	s := newScenario(t)
+	s.a.Host().ICMP().Ping(ip.MustParseAddr("10.0.0.2"), ip.Unspecified, 8, time.Second, nil)
+	s.loop.RunFor(2 * time.Second)
+	if len(s.cap.Find("icmp echo request")) != 1 || len(s.cap.Find("icmp echo reply")) != 1 {
+		t.Fatalf("ICMP exchange not captured:\n%s", s.cap)
+	}
+}
+
+func TestCapturesTCPHandshake(t *testing.T) {
+	s := newScenario(t)
+	s.b.Listen(ip.Unspecified, 80, nil)
+	s.a.Connect(ip.Unspecified, ip.MustParseAddr("10.0.0.2"), 80)
+	s.loop.RunFor(2 * time.Second)
+	if len(s.cap.Find("tcp SYN seq=")) < 1 {
+		t.Fatalf("SYN not captured:\n%s", s.cap)
+	}
+	if len(s.cap.Find("tcp SYN|ACK")) != 1 {
+		t.Fatalf("SYN|ACK not captured:\n%s", s.cap)
+	}
+}
+
+func TestCapturesMobileIPAndTunnel(t *testing.T) {
+	// A registration request/reply plus a tunneled packet, hand-built.
+	s := newScenario(t)
+	reg := &mip.RegRequest{Lifetime: 60, HomeAddr: ip.MustParseAddr("36.135.0.7"),
+		HomeAgent: ip.MustParseAddr("10.0.0.2"), CareOf: ip.MustParseAddr("10.0.0.1"), ID: 42}
+	cli, _ := s.a.UDP(ip.MustParseAddr("10.0.0.1"), mip.Port, nil)
+	cli.SendTo(ip.MustParseAddr("10.0.0.2"), mip.Port, reg.Marshal())
+	s.loop.RunFor(time.Second)
+	if len(s.cap.Find("mip reg-request home=36.135.0.7 careof=10.0.0.1")) != 1 {
+		t.Fatalf("registration not decoded:\n%s", s.cap)
+	}
+
+	inner := &ip.Packet{
+		Header:  ip.Header{TTL: 64, Protocol: ip.ProtoUDP, Src: ip.MustParseAddr("36.8.0.99"), Dst: ip.MustParseAddr("36.135.0.7")},
+		Payload: ip.MarshalUDP(ip.MustParseAddr("36.8.0.99"), ip.MustParseAddr("36.135.0.7"), ip.UDPHeader{SrcPort: 9, DstPort: 9}, []byte("x")),
+	}
+	outer, _ := ip.Encapsulate(ip.MustParseAddr("10.0.0.2"), ip.MustParseAddr("10.0.0.1"), 64, 1, inner)
+	s.b.Host().Output(outer)
+	s.loop.RunFor(time.Second)
+	hits := s.cap.Find("ipip {")
+	if len(hits) != 1 || !strings.Contains(hits[0].Line, "36.8.0.99:9 > 36.135.0.7:9") {
+		t.Fatalf("tunnel not decoded recursively:\n%s", s.cap)
+	}
+}
+
+func TestCapturesDHCP(t *testing.T) {
+	s := newScenario(t)
+	m := &dhcp.Message{Type: dhcp.Discover, XID: 7}
+	cli, _ := s.a.UDP(ip.Unspecified, dhcp.ClientPort, nil)
+	cli.SendToVia(s.a.Host().IfaceByName("eth0"), ip.Broadcast, ip.Broadcast, dhcp.ServerPort, m.Marshal())
+	s.loop.RunFor(time.Second)
+	if len(s.cap.Find("dhcp DISCOVER")) != 1 {
+		t.Fatalf("DHCP not decoded:\n%s", s.cap)
+	}
+}
+
+func TestCapturesFragments(t *testing.T) {
+	loop := sim.New(1)
+	m := link.Ethernet()
+	m.MTU = 600
+	n := link.NewNetwork(loop, "narrow", m)
+	c := New(loop, 0)
+	c.Attach(n)
+	mk := func(name, addr string) *stack.Host {
+		h := stack.NewHost(loop, name, stack.Config{})
+		d := link.NewDevice(loop, name+"-eth", 0, 0)
+		d.Attach(n)
+		d.BringUp(nil)
+		ifc := h.AddIface("eth0", d, ip.MustParseAddr(addr), ip.MustParsePrefix("10.0.0.0/24"), stack.IfaceOpts{})
+		h.ConnectRoute(ifc)
+		loop.RunFor(0)
+		return h
+	}
+	h := mk("a", "10.0.0.1")
+	mk("b", "10.0.0.2") // must exist so ARP resolves and fragments fly
+	h.Output(&ip.Packet{
+		Header:  ip.Header{Protocol: ip.ProtoUDP, Dst: ip.MustParseAddr("10.0.0.2")},
+		Payload: make([]byte, 1500),
+	})
+	loop.RunFor(time.Second)
+	if len(c.Find("frag id=")) < 3 {
+		t.Fatalf("fragments not decoded:\n%s", c)
+	}
+}
+
+func TestCaptureLimitsAndHook(t *testing.T) {
+	s := newScenario(t)
+	s.cap.Reset()
+	limited := New(s.loop, 2)
+	limited.Attach(s.net)
+	live := 0
+	limited.Hook = func(Entry) { live++ }
+	cli, _ := s.a.UDP(ip.Unspecified, 0, nil)
+	for i := 0; i < 5; i++ {
+		cli.SendTo(ip.MustParseAddr("10.0.0.2"), 9, []byte("x"))
+	}
+	s.loop.RunFor(time.Second)
+	if limited.Len() != 2 {
+		t.Fatalf("limit not enforced: %d", limited.Len())
+	}
+	if live < 5 {
+		t.Fatalf("hook saw %d", live)
+	}
+	limited.Reset()
+	if limited.Len() != 0 {
+		t.Fatal("Reset ineffective")
+	}
+}
+
+func TestFormatMalformed(t *testing.T) {
+	if !strings.Contains(FormatFrame(&link.Frame{Type: link.EtherTypeARP, Payload: []byte{1}}), "malformed") {
+		t.Fatal("malformed ARP not flagged")
+	}
+	if !strings.Contains(FormatFrame(&link.Frame{Type: link.EtherTypeIPv4, Payload: []byte{1}}), "malformed") {
+		t.Fatal("malformed IP not flagged")
+	}
+	if !strings.Contains(FormatFrame(&link.Frame{Type: 0x9999, Payload: []byte{1}}), "ethertype") {
+		t.Fatal("unknown ethertype not flagged")
+	}
+}

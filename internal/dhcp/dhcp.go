@@ -1,0 +1,130 @@
+// Package dhcp implements a compact DHCP: DISCOVER/OFFER/REQUEST/ACK over
+// simulated UDP broadcast (ports 67/68), leases with lifetimes and renewal,
+// and a least-recently-used allocator.
+//
+// In MosquitoNet, DHCP is how a mobile host obtains its temporary care-of
+// address on a foreign network — the paper's one and only requirement of
+// the networks it visits. The LRU allocation policy implements the paper's
+// security observation that "a well-written DHCP server would avoid
+// reassigning the same IP address for as long as possible", so packets
+// straggling toward a departed mobile host are not delivered to a newcomer
+// holding its old address.
+package dhcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+	"mosquitonet/internal/sim"
+)
+
+// Ports.
+const (
+	ServerPort = 67
+	ClientPort = 68
+)
+
+// MsgType is a DHCP message type.
+type MsgType uint8
+
+// DHCP message types.
+const (
+	Discover MsgType = 1
+	Offer    MsgType = 2
+	Request  MsgType = 3
+	Ack      MsgType = 4
+	Nak      MsgType = 5
+	Release  MsgType = 6
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case Discover:
+		return "DISCOVER"
+	case Offer:
+		return "OFFER"
+	case Request:
+		return "REQUEST"
+	case Ack:
+		return "ACK"
+	case Nak:
+		return "NAK"
+	case Release:
+		return "RELEASE"
+	default:
+		return fmt.Sprintf("dhcp(%d)", uint8(t))
+	}
+}
+
+// MessageLen is the fixed wire length of a message.
+const MessageLen = 36
+
+// Message is a compact DHCP message. ClientAddr (ciaddr) is the client's
+// current address for renewals; YourAddr (yiaddr) is the server's offer;
+// RequestedAddr echoes an offer in a REQUEST.
+type Message struct {
+	Type          MsgType
+	XID           uint32
+	ClientHW      link.HWAddr
+	ClientAddr    ip.Addr
+	YourAddr      ip.Addr
+	ServerAddr    ip.Addr
+	RequestedAddr ip.Addr
+	PrefixBits    uint8
+	Gateway       ip.Addr
+	LeaseSecs     uint32
+}
+
+// Marshal serializes the message.
+func (m *Message) Marshal() []byte {
+	b := make([]byte, MessageLen)
+	b[0] = byte(m.Type)
+	binary.BigEndian.PutUint32(b[1:], m.XID)
+	copy(b[5:11], m.ClientHW[:])
+	copy(b[11:15], m.ClientAddr[:])
+	copy(b[15:19], m.YourAddr[:])
+	copy(b[19:23], m.ServerAddr[:])
+	copy(b[23:27], m.RequestedAddr[:])
+	b[27] = m.PrefixBits
+	copy(b[28:32], m.Gateway[:])
+	binary.BigEndian.PutUint32(b[32:], m.LeaseSecs)
+	return b
+}
+
+// ErrShortMessage reports a truncated DHCP message.
+var ErrShortMessage = errors.New("dhcp: truncated message")
+
+// Unmarshal parses a message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < MessageLen {
+		return nil, ErrShortMessage
+	}
+	m := &Message{Type: MsgType(b[0]), XID: binary.BigEndian.Uint32(b[1:])}
+	copy(m.ClientHW[:], b[5:11])
+	copy(m.ClientAddr[:], b[11:15])
+	copy(m.YourAddr[:], b[15:19])
+	copy(m.ServerAddr[:], b[19:23])
+	copy(m.RequestedAddr[:], b[23:27])
+	m.PrefixBits = b[27]
+	copy(m.Gateway[:], b[28:32])
+	m.LeaseSecs = binary.BigEndian.Uint32(b[32:])
+	return m, nil
+}
+
+// Lease is a granted address binding as seen by a client.
+type Lease struct {
+	Addr     ip.Addr
+	Prefix   ip.Prefix
+	Gateway  ip.Addr
+	Server   ip.Addr
+	Duration time.Duration
+	Acquired sim.Time
+}
+
+func (l Lease) String() string {
+	return fmt.Sprintf("%v/%d via %v (server %v, %v)", l.Addr, l.Prefix.Bits, l.Gateway, l.Server, l.Duration)
+}

@@ -1,0 +1,111 @@
+package dns
+
+import (
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/transport"
+)
+
+// ServerConfig configures a DNS server.
+type ServerConfig struct {
+	// Zone is the initial name -> address mapping.
+	Zone map[string]ip.Addr
+	// AllowUpdate authorizes dynamic updates (the "extended" operation);
+	// nil refuses all updates.
+	AllowUpdate func(name string, addr ip.Addr, from ip.Addr) bool
+	// ProcessingDelay models per-query server cost.
+	ProcessingDelay time.Duration
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	Queries        uint64
+	Answered       uint64
+	NXDomain       uint64
+	Updates        uint64
+	UpdatesRefused uint64
+}
+
+// Server answers A queries from its zone on UDP port 53.
+type Server struct {
+	loop  *sim.Loop
+	cfg   ServerConfig
+	zone  map[string]ip.Addr
+	sock  *transport.UDPSocket
+	stats ServerStats
+}
+
+// NewServer starts a server on ts, binding UDP port 53.
+func NewServer(ts *transport.Stack, cfg ServerConfig) (*Server, error) {
+	s := &Server{loop: ts.Host().Loop(), cfg: cfg, zone: make(map[string]ip.Addr)}
+	for name, addr := range cfg.Zone {
+		s.zone[NormalizeName(name)] = addr
+	}
+	sock, err := ts.UDP(ip.Unspecified, Port, s.input)
+	if err != nil {
+		return nil, err
+	}
+	s.sock = sock
+	return s, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// Lookup returns the zone's current binding for name.
+func (s *Server) Lookup(name string) (ip.Addr, bool) {
+	a, ok := s.zone[NormalizeName(name)]
+	return a, ok
+}
+
+// SetRecord installs or replaces a record administratively.
+func (s *Server) SetRecord(name string, addr ip.Addr) {
+	s.zone[NormalizeName(name)] = addr
+}
+
+func (s *Server) input(d transport.Datagram) {
+	m, err := Unmarshal(d.Payload)
+	if err != nil {
+		return
+	}
+	respond := func() {
+		switch m.Op {
+		case OpQuery:
+			s.stats.Queries++
+			resp := &Message{ID: m.ID, Op: OpResponse, Name: m.Name}
+			if addr, ok := s.zone[NormalizeName(m.Name)]; ok {
+				resp.Addr = addr
+				s.stats.Answered++
+			} else {
+				resp.Rcode = RcodeNXDomain
+				s.stats.NXDomain++
+			}
+			s.reply(d, resp)
+		case OpUpdate:
+			resp := &Message{ID: m.ID, Op: OpUpdateOK, Name: m.Name, Addr: m.Addr}
+			if s.cfg.AllowUpdate != nil && s.cfg.AllowUpdate(m.Name, ip.Addr(m.Addr), d.From) {
+				s.zone[NormalizeName(m.Name)] = ip.Addr(m.Addr)
+				s.stats.Updates++
+			} else {
+				resp.Rcode = RcodeRefused
+				s.stats.UpdatesRefused++
+			}
+			s.reply(d, resp)
+		}
+	}
+	if s.cfg.ProcessingDelay > 0 {
+		s.loop.Schedule(s.loop.Jitter(s.cfg.ProcessingDelay, s.cfg.ProcessingDelay/12), respond)
+	} else {
+		respond()
+	}
+}
+
+func (s *Server) reply(d transport.Datagram, m *Message) {
+	raw, err := m.Marshal()
+	if err != nil {
+		return
+	}
+	s.sock.SendTo(d.From, d.FromPort, raw)
+}

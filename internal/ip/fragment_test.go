@@ -1,0 +1,244 @@
+package ip
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fragSample(size int) *Packet {
+	p := &Packet{
+		Header: Header{
+			ID: 77, TTL: 64, Protocol: ProtoUDP,
+			Src: MustParseAddr("36.135.0.1"), Dst: MustParseAddr("36.8.0.100"),
+		},
+		Payload: make([]byte, size),
+	}
+	for i := range p.Payload {
+		p.Payload[i] = byte(i * 13)
+	}
+	return p
+}
+
+func TestFragmentSmallPacketUnchanged(t *testing.T) {
+	p := fragSample(100)
+	frags, err := Fragment(p, 1500)
+	if err != nil || len(frags) != 1 || frags[0] != p {
+		t.Fatalf("small packet fragmented: %d pieces, %v", len(frags), err)
+	}
+}
+
+func TestFragmentSizesAndOffsets(t *testing.T) {
+	p := fragSample(3000)
+	frags, err := Fragment(p, 1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 {
+		t.Fatalf("pieces = %d", len(frags))
+	}
+	for i, f := range frags {
+		if f.Len() > 1100 {
+			t.Fatalf("fragment %d size %d exceeds MTU", i, f.Len())
+		}
+		last := i == len(frags)-1
+		if f.MoreFrag == last {
+			t.Fatalf("fragment %d MF=%v", i, f.MoreFrag)
+		}
+		if !last && len(f.Payload)%8 != 0 {
+			t.Fatalf("interior fragment %d payload %d not 8-aligned", i, len(f.Payload))
+		}
+		if f.ID != p.ID || f.Protocol != p.Protocol || f.Src != p.Src || f.Dst != p.Dst {
+			t.Fatalf("fragment %d header fields drifted", i)
+		}
+	}
+	if frags[1].FragOff != uint16(len(frags[0].Payload)/8) {
+		t.Fatalf("second offset %d", frags[1].FragOff)
+	}
+}
+
+func TestFragmentDFRejected(t *testing.T) {
+	p := fragSample(3000)
+	p.DontFrag = true
+	if _, err := Fragment(p, 1100); err != ErrFragNeeded {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFragmentTinyMTURejected(t *testing.T) {
+	if _, err := Fragment(fragSample(100), 21); err != ErrBadMTU {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReassembleInOrder(t *testing.T) {
+	p := fragSample(3000)
+	frags, _ := Fragment(p, 1100)
+	r := NewReassembler()
+	for i, f := range frags {
+		full, done := r.Add(f)
+		if i < len(frags)-1 && done {
+			t.Fatal("completed early")
+		}
+		if i == len(frags)-1 {
+			if !done {
+				t.Fatal("did not complete")
+			}
+			if !bytes.Equal(full.Payload, p.Payload) {
+				t.Fatal("payload corrupted")
+			}
+			if full.IsFragment() {
+				t.Fatal("reassembled packet still looks like a fragment")
+			}
+		}
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+	if r.Stats().Reassembled != 1 {
+		t.Fatalf("stats: %+v", r.Stats())
+	}
+}
+
+func TestReassembleShuffled(t *testing.T) {
+	p := fragSample(8000)
+	frags, _ := Fragment(p, 600)
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+	r := NewReassembler()
+	var full *Packet
+	for _, f := range frags {
+		if got, done := r.Add(f); done {
+			full = got
+		}
+	}
+	if full == nil || !bytes.Equal(full.Payload, p.Payload) {
+		t.Fatal("shuffled reassembly failed")
+	}
+}
+
+func TestReassembleDuplicatesHarmless(t *testing.T) {
+	p := fragSample(2000)
+	frags, _ := Fragment(p, 1100)
+	r := NewReassembler()
+	r.Add(frags[0])
+	r.Add(frags[0]) // duplicate
+	full, done := r.Add(frags[1])
+	if !done || !bytes.Equal(full.Payload, p.Payload) {
+		t.Fatal("duplicate fragment broke reassembly")
+	}
+}
+
+func TestReassembleInterleavedPackets(t *testing.T) {
+	a := fragSample(2400)
+	b := fragSample(2400)
+	b.ID = 78
+	for i := range b.Payload {
+		b.Payload[i] = byte(i * 7)
+	}
+	fa, _ := Fragment(a, 1100)
+	fb, _ := Fragment(b, 1100)
+	r := NewReassembler()
+	var got []*Packet
+	for i := range fa {
+		if full, done := r.Add(fa[i]); done {
+			got = append(got, full)
+		}
+		if full, done := r.Add(fb[i]); done {
+			got = append(got, full)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("reassembled %d packets", len(got))
+	}
+	if !bytes.Equal(got[0].Payload, a.Payload) || !bytes.Equal(got[1].Payload, b.Payload) {
+		t.Fatal("interleaved packets crossed")
+	}
+}
+
+func TestReassemblySweepExpires(t *testing.T) {
+	p := fragSample(3000)
+	frags, _ := Fragment(p, 1100)
+	r := NewReassembler()
+	r.Add(frags[0]) // hole remains
+	r.Sweep()
+	r.Sweep()
+	r.Sweep() // age 3 > MaxAge 2
+	if r.Pending() != 0 {
+		t.Fatal("partial packet survived the sweeps")
+	}
+	if r.Stats().Expired != 1 {
+		t.Fatalf("stats: %+v", r.Stats())
+	}
+	// The late tail must not resurrect the packet.
+	if _, done := r.Add(frags[1]); done {
+		t.Fatal("expired packet completed from its tail")
+	}
+}
+
+func TestReassembleMissingTailNeverCompletes(t *testing.T) {
+	p := fragSample(3000)
+	frags, _ := Fragment(p, 1100)
+	r := NewReassembler()
+	for _, f := range frags[:len(frags)-1] {
+		if _, done := r.Add(f); done {
+			t.Fatal("completed without the tail")
+		}
+	}
+}
+
+func TestFragmentsSurviveWire(t *testing.T) {
+	p := fragSample(3000)
+	frags, _ := Fragment(p, 1100)
+	r := NewReassembler()
+	var full *Packet
+	for _, f := range frags {
+		raw, err := f.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, done := r.Add(rx); done {
+			full = got
+		}
+	}
+	if full == nil || !bytes.Equal(full.Payload, p.Payload) {
+		t.Fatal("wire round trip broke reassembly")
+	}
+}
+
+// Property: fragment+reassemble is the identity for any payload size and
+// viable MTU, regardless of arrival order.
+func TestPropertyFragmentRoundTrip(t *testing.T) {
+	f := func(sizeRaw uint16, mtuRaw uint16, seed int64) bool {
+		size := int(sizeRaw%20000) + 1
+		mtu := int(mtuRaw%1400) + 48 // >= 48: header + >= 1 block
+		p := fragSample(size)
+		frags, err := Fragment(p, mtu)
+		if err != nil {
+			return false
+		}
+		for _, fr := range frags {
+			if fr.Len() > mtu {
+				return false
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+		r := NewReassembler()
+		var full *Packet
+		for _, fr := range frags {
+			if got, done := r.Add(fr); done {
+				full = got
+			}
+		}
+		return full != nil && bytes.Equal(full.Payload, p.Payload) && full.Header == p.Header
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package ip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol is an IPv4 protocol number.
+type Protocol uint8
+
+// Protocol numbers used by the simulator. ProtoIPIP (4) is the IP-in-IP
+// encapsulation carrying tunneled mobile-IP traffic.
+const (
+	ProtoICMP Protocol = 1
+	ProtoIPIP Protocol = 4
+	ProtoTCP  Protocol = 6
+	ProtoUDP  Protocol = 17
+)
+
+// String names the protocols this stack speaks.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoIPIP:
+		return "ipip"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// HeaderLen is the length of an IPv4 header without options. The simulator
+// does not emit IP options, so this is also the encapsulation overhead of
+// one IP-in-IP layer — the paper's "20 bytes or more".
+const HeaderLen = 20
+
+// MaxTotalLen is the largest total packet length representable.
+const MaxTotalLen = 0xffff
+
+// DefaultTTL is the initial TTL for locally originated packets.
+const DefaultTTL = 64
+
+// Header is a parsed IPv4 header. Fragmentation fields are carried so that
+// headers round-trip, but the simulated media use MTUs large enough that
+// the stack never fragments.
+type Header struct {
+	TOS      uint8
+	ID       uint16
+	DontFrag bool
+	MoreFrag bool
+	FragOff  uint16 // in 8-byte units
+	TTL      uint8
+	Protocol Protocol
+	Src, Dst Addr
+}
+
+// Packet is an IPv4 packet: a header plus its payload. For IP-in-IP
+// packets the payload is the marshaled inner packet.
+type Packet struct {
+	Header
+	Payload []byte
+}
+
+// Len returns the marshaled length of the packet in bytes.
+func (p *Packet) Len() int { return HeaderLen + len(p.Payload) }
+
+// String summarizes the packet for traces.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %s->%s ttl=%d len=%d", p.Protocol, p.Src, p.Dst, p.TTL, p.Len())
+}
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Payload = append([]byte(nil), p.Payload...)
+	return &q
+}
+
+// Marshal errors.
+var (
+	ErrTooLong      = errors.New("ip: packet exceeds maximum total length")
+	ErrShortPacket  = errors.New("ip: truncated packet")
+	ErrBadVersion   = errors.New("ip: not an IPv4 packet")
+	ErrBadChecksum  = errors.New("ip: header checksum mismatch")
+	ErrBadHeaderLen = errors.New("ip: bad header length")
+)
+
+// Marshal serializes the packet with a correct header checksum.
+func (p *Packet) Marshal() ([]byte, error) {
+	total := HeaderLen + len(p.Payload)
+	if total > MaxTotalLen {
+		return nil, ErrTooLong
+	}
+	b := make([]byte, total)
+	b[0] = 4<<4 | HeaderLen/4 // version, IHL
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	binary.BigEndian.PutUint16(b[4:], p.ID)
+	flagsFrag := p.FragOff & 0x1fff
+	if p.DontFrag {
+		flagsFrag |= 0x4000
+	}
+	if p.MoreFrag {
+		flagsFrag |= 0x2000
+	}
+	binary.BigEndian.PutUint16(b[6:], flagsFrag)
+	b[8] = p.TTL
+	b[9] = byte(p.Protocol)
+	// checksum at b[10:12] is computed over the header with the field zero
+	copy(b[12:16], p.Src[:])
+	copy(b[16:20], p.Dst[:])
+	binary.BigEndian.PutUint16(b[10:], Checksum(b[:HeaderLen]))
+	copy(b[HeaderLen:], p.Payload)
+	return b, nil
+}
+
+// Unmarshal parses and validates an IPv4 packet: version, header length,
+// total length, and header checksum.
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrShortPacket
+	}
+	if b[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl != HeaderLen { // options unsupported
+		return nil, ErrBadHeaderLen
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total < ihl || total > len(b) {
+		return nil, ErrShortPacket
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	flagsFrag := binary.BigEndian.Uint16(b[6:])
+	p := &Packet{
+		Header: Header{
+			TOS:      b[1],
+			ID:       binary.BigEndian.Uint16(b[4:]),
+			DontFrag: flagsFrag&0x4000 != 0,
+			MoreFrag: flagsFrag&0x2000 != 0,
+			FragOff:  flagsFrag & 0x1fff,
+			TTL:      b[8],
+			Protocol: Protocol(b[9]),
+		},
+	}
+	copy(p.Src[:], b[12:16])
+	copy(p.Dst[:], b[16:20])
+	p.Payload = append([]byte(nil), b[ihl:total]...)
+	return p, nil
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over b. Computing it
+// over a block that embeds a correct checksum yields zero.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the partial sum of the TCP/UDP pseudo-header.
+func pseudoHeaderSum(src, dst Addr, proto Protocol, length int) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// transportChecksum computes the checksum over a pseudo-header plus
+// segment, used by both UDP and TCP.
+func transportChecksum(src, dst Addr, proto Protocol, seg []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(seg))
+	b := seg
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Encapsulate wraps inner in an outer IP-in-IP header addressed
+// outerSrc -> outerDst. This is the operation the paper's VIF performs: the
+// result is a normal IP packet whose payload is the marshaled inner packet.
+func Encapsulate(outerSrc, outerDst Addr, ttl uint8, id uint16, inner *Packet) (*Packet, error) {
+	body, err := inner.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if HeaderLen+len(body) > MaxTotalLen {
+		return nil, ErrTooLong
+	}
+	return &Packet{
+		Header: Header{
+			ID:       id,
+			TTL:      ttl,
+			Protocol: ProtoIPIP,
+			Src:      outerSrc,
+			Dst:      outerDst,
+		},
+		Payload: body,
+	}, nil
+}
+
+// ErrNotEncapsulated is returned by Decapsulate for non-IPIP packets.
+var ErrNotEncapsulated = errors.New("ip: packet is not IP-in-IP")
+
+// Decapsulate unwraps one layer of IP-in-IP encapsulation, validating the
+// inner packet, and returns the inner packet. This is the receive half of
+// the paper's fused VIF/IPIP module.
+func Decapsulate(p *Packet) (*Packet, error) {
+	if p.Protocol != ProtoIPIP {
+		return nil, ErrNotEncapsulated
+	}
+	return Unmarshal(p.Payload)
+}

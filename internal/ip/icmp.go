@@ -1,0 +1,148 @@
+package ip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ICMPType is an ICMP message type.
+type ICMPType uint8
+
+// ICMP types the simulator generates and consumes. Echo is the substrate
+// for "ping", which the paper uses both as a measurement tool and as the
+// probe for detecting routers that drop triangle-route (transit) traffic.
+const (
+	ICMPEchoReply      ICMPType = 0
+	ICMPDestUnreach    ICMPType = 3
+	ICMPEchoRequest    ICMPType = 8
+	ICMPRedirect       ICMPType = 5
+	ICMPTimeExceeded   ICMPType = 11
+	ICMPParamProblem   ICMPType = 12
+	ICMPTimestamp      ICMPType = 13
+	ICMPTimestampReply ICMPType = 14
+)
+
+// Destination-unreachable codes.
+const (
+	CodeNetUnreach       = 0
+	CodeHostUnreach      = 1
+	CodeProtoUnreach     = 2
+	CodePortUnreach      = 3
+	CodeFragNeeded       = 4  // fragmentation needed and DF set (path-MTU discovery)
+	CodeAdminProhibited  = 13 // what a transit-traffic filter returns, if polite
+	CodeSrcRouteFailed   = 5
+	CodeNetUnknown       = 6
+	CodeHostUnknown      = 7
+	CodeCommProhibited   = 11
+	CodePrecedenceCutoff = 15
+)
+
+func (t ICMPType) String() string {
+	switch t {
+	case ICMPEchoReply:
+		return "echo-reply"
+	case ICMPDestUnreach:
+		return "dest-unreachable"
+	case ICMPEchoRequest:
+		return "echo-request"
+	case ICMPRedirect:
+		return "redirect"
+	case ICMPTimeExceeded:
+		return "time-exceeded"
+	default:
+		return fmt.Sprintf("icmp(%d)", uint8(t))
+	}
+}
+
+// ICMPHeaderLen is the length of the fixed ICMP header.
+const ICMPHeaderLen = 8
+
+// ICMP is a parsed ICMP message. The second header word is interpreted per
+// type: ID/Seq for echo, gateway address for redirects, unused for
+// unreachables (whose Body then carries the offending header).
+type ICMP struct {
+	Type ICMPType
+	Code uint8
+	ID   uint16 // echo: identifier; redirect: high half of gateway
+	Seq  uint16 // echo: sequence;   redirect: low half of gateway
+	Body []byte
+}
+
+// Gateway returns the redirect gateway address encoded in ID/Seq.
+func (m *ICMP) Gateway() Addr {
+	return AddrFromUint32(uint32(m.ID)<<16 | uint32(m.Seq))
+}
+
+// SetGateway encodes a redirect gateway address into ID/Seq.
+func (m *ICMP) SetGateway(a Addr) {
+	v := a.Uint32()
+	m.ID = uint16(v >> 16)
+	m.Seq = uint16(v)
+}
+
+// ICMP parse errors.
+var (
+	ErrShortICMP       = errors.New("ip: truncated ICMP message")
+	ErrBadICMPChecksum = errors.New("ip: ICMP checksum mismatch")
+)
+
+// MarshalICMP serializes an ICMP message with a correct checksum.
+func MarshalICMP(m *ICMP) []byte {
+	b := make([]byte, ICMPHeaderLen+len(m.Body))
+	b[0] = byte(m.Type)
+	b[1] = m.Code
+	binary.BigEndian.PutUint16(b[4:], m.ID)
+	binary.BigEndian.PutUint16(b[6:], m.Seq)
+	copy(b[ICMPHeaderLen:], m.Body)
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b
+}
+
+// UnmarshalICMP parses and validates an ICMP message.
+func UnmarshalICMP(b []byte) (*ICMP, error) {
+	if len(b) < ICMPHeaderLen {
+		return nil, ErrShortICMP
+	}
+	if Checksum(b) != 0 {
+		return nil, ErrBadICMPChecksum
+	}
+	return &ICMP{
+		Type: ICMPType(b[0]),
+		Code: b[1],
+		ID:   binary.BigEndian.Uint16(b[4:]),
+		Seq:  binary.BigEndian.Uint16(b[6:]),
+		Body: append([]byte(nil), b[ICMPHeaderLen:]...),
+	}, nil
+}
+
+// UnmarshalICMPLoose parses an ICMP message without verifying its
+// checksum. ICMP error bodies quote only the first 8 bytes of the
+// offending payload, so an ICMP message embedded there is truncated and
+// its checksum cannot be expected to verify.
+func UnmarshalICMPLoose(b []byte) (*ICMP, error) {
+	if len(b) < ICMPHeaderLen {
+		return nil, ErrShortICMP
+	}
+	return &ICMP{
+		Type: ICMPType(b[0]),
+		Code: b[1],
+		ID:   binary.BigEndian.Uint16(b[4:]),
+		Seq:  binary.BigEndian.Uint16(b[6:]),
+		Body: append([]byte(nil), b[ICMPHeaderLen:]...),
+	}, nil
+}
+
+// ICMPErrorBody builds the body of an ICMP error message: the offending
+// packet's IP header plus the first 8 bytes of its payload (RFC 792).
+func ICMPErrorBody(offender *Packet) []byte {
+	raw, err := offender.Marshal()
+	if err != nil {
+		return nil
+	}
+	n := HeaderLen + 8
+	if n > len(raw) {
+		n = len(raw)
+	}
+	return append([]byte(nil), raw[:n]...)
+}

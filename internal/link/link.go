@@ -1,0 +1,258 @@
+// Package link implements the simulated link layer: MAC-style hardware
+// addresses, Ethernet-like frames, network broadcast domains with
+// per-medium latency/bandwidth/loss models, and network devices with an
+// up/down state machine.
+//
+// The paper's testbed has three media — Ethernet (a Linksys PCMCIA card),
+// a Metricom packet radio in Starmode driven by the STRIP driver, and the
+// serial line carrying it — and its central measurements are about what
+// happens while a mobile host switches devices. The two properties that
+// matter there are modeled explicitly: a device that is down (or still
+// coming up) silently drops frames, and bringing a device up takes real
+// time (the dominant cost of a cold switch, per the paper's Figure 6).
+package link
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mosquitonet/internal/sim"
+)
+
+// HWAddr is a 6-byte link-layer (MAC-style) hardware address.
+type HWAddr [6]byte
+
+// BroadcastHW is the all-ones broadcast hardware address.
+var BroadcastHW = HWAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String formats the address in colon-separated hex.
+func (a HWAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IsBroadcast reports whether a is the broadcast address.
+func (a HWAddr) IsBroadcast() bool { return a == BroadcastHW }
+
+// hwSeq hands out distinct hardware addresses. Uniqueness per simulation is
+// all that matters; the OUI byte is arbitrary.
+var hwSeq uint32
+
+// NextHWAddr returns a process-unique hardware address.
+func NextHWAddr() HWAddr {
+	hwSeq++
+	return HWAddr{0x02, 0x4d, 0x4e, byte(hwSeq >> 16), byte(hwSeq >> 8), byte(hwSeq)}
+}
+
+// EtherType identifies the payload protocol of a frame.
+type EtherType uint16
+
+// EtherTypes used by the simulator.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+)
+
+// Frame is a link-layer frame.
+type Frame struct {
+	Src, Dst HWAddr
+	Type     EtherType
+	Payload  []byte
+}
+
+// frameOverhead approximates Ethernet framing overhead (header + FCS) for
+// serialization-delay purposes.
+const frameOverhead = 18
+
+// Len returns the frame's length on the wire in bytes.
+func (f *Frame) Len() int { return frameOverhead + len(f.Payload) }
+
+// State is a device's administrative state.
+type State int
+
+// Device states. A device in StateBringingUp has been asked to come up but
+// is still initializing (hardware interaction, driver setup) and drops
+// traffic until the bring-up delay elapses.
+const (
+	StateDown State = iota
+	StateBringingUp
+	StateUp
+)
+
+func (s State) String() string {
+	switch s {
+	case StateDown:
+		return "down"
+	case StateBringingUp:
+		return "bringing-up"
+	case StateUp:
+		return "up"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// DeviceStats counts a device's traffic.
+type DeviceStats struct {
+	Sent          uint64 // frames handed to the network
+	Received      uint64 // frames delivered to the receiver callback
+	DroppedDown   uint64 // frames dropped because the device was not up
+	DroppedNoNet  uint64 // sends while detached from any network
+	DroppedMTU    uint64 // sends exceeding the medium MTU
+	DroppedFilter uint64 // received frames not addressed to us
+}
+
+// Device errors.
+var (
+	ErrDeviceDown  = errors.New("link: device is down")
+	ErrNoNetwork   = errors.New("link: device not attached to a network")
+	ErrFrameTooBig = errors.New("link: frame exceeds medium MTU")
+)
+
+// Device is a simulated network interface. IP-level state (addresses,
+// routes) lives in the host stack; the device deals only in frames.
+type Device struct {
+	name  string
+	hw    HWAddr
+	loop  *sim.Loop
+	net   *Network
+	state State
+
+	// bringUpDelay and bringUpJitter model the time from "ifconfig up" to
+	// the interface actually passing traffic. The paper attributes most of
+	// its <1.25 s cold-switch loss window to this delay.
+	bringUpDelay  time.Duration
+	bringUpJitter time.Duration
+
+	recv        func(*Frame)
+	promiscuous bool
+	stats       DeviceStats
+	upSince     sim.Time
+}
+
+// NewDevice creates a device named name with a fresh hardware address.
+// bringUpDelay (±jitter) is the simulated initialization time.
+func NewDevice(loop *sim.Loop, name string, bringUpDelay, jitter time.Duration) *Device {
+	return &Device{
+		name:          name,
+		hw:            NextHWAddr(),
+		loop:          loop,
+		bringUpDelay:  bringUpDelay,
+		bringUpJitter: jitter,
+	}
+}
+
+// Name returns the device name, e.g. "eth0" or "strip0".
+func (d *Device) Name() string { return d.name }
+
+// HW returns the device hardware address.
+func (d *Device) HW() HWAddr { return d.hw }
+
+// State returns the administrative state.
+func (d *Device) State() State { return d.state }
+
+// IsUp reports whether the device passes traffic.
+func (d *Device) IsUp() bool { return d.state == StateUp }
+
+// Network returns the attached broadcast domain, or nil.
+func (d *Device) Network() *Network { return d.net }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// SetReceiver installs the host-stack callback for delivered frames.
+func (d *Device) SetReceiver(fn func(*Frame)) { d.recv = fn }
+
+// SetPromiscuous controls whether frames for other stations are delivered.
+func (d *Device) SetPromiscuous(v bool) { d.promiscuous = v }
+
+// Attach connects the device to a broadcast domain. Attaching does not
+// bring the device up.
+func (d *Device) Attach(n *Network) {
+	if d.net != nil {
+		d.Detach()
+	}
+	d.net = n
+	n.add(d)
+}
+
+// Detach disconnects the device from its network, e.g. when carried out of
+// radio coverage.
+func (d *Device) Detach() {
+	if d.net == nil {
+		return
+	}
+	d.net.remove(d)
+	d.net = nil
+}
+
+// BringUp starts the device's initialization and invokes done (if non-nil)
+// once the device is up and passing traffic. Calling BringUp on a device
+// that is already up invokes done immediately. The returned duration is
+// the initialization time charged.
+func (d *Device) BringUp(done func()) time.Duration {
+	if d.state == StateUp {
+		if done != nil {
+			done()
+		}
+		return 0
+	}
+	delay := d.loop.Jitter(d.bringUpDelay, d.bringUpJitter)
+	d.state = StateBringingUp
+	d.loop.Schedule(delay, func() {
+		if d.state != StateBringingUp { // brought down meanwhile
+			return
+		}
+		d.state = StateUp
+		d.upSince = d.loop.Now()
+		if done != nil {
+			done()
+		}
+	})
+	return delay
+}
+
+// BringDown takes the device down immediately. Pending bring-ups are
+// cancelled; frames in flight toward this device will be dropped on
+// arrival.
+func (d *Device) BringDown() { d.state = StateDown }
+
+// UpSince returns when the device last transitioned to up.
+func (d *Device) UpSince() sim.Time { return d.upSince }
+
+// Send transmits a frame with this device's hardware source address.
+func (d *Device) Send(f *Frame) error {
+	f.Src = d.hw
+	if d.state != StateUp {
+		d.stats.DroppedDown++
+		return ErrDeviceDown
+	}
+	if d.net == nil {
+		d.stats.DroppedNoNet++
+		return ErrNoNetwork
+	}
+	if len(f.Payload) > d.net.medium.MTU {
+		d.stats.DroppedMTU++
+		return ErrFrameTooBig
+	}
+	d.stats.Sent++
+	d.net.transmit(d, f)
+	return nil
+}
+
+// deliver hands a frame arriving from the network to the device, applying
+// the destination filter and up/down state.
+func (d *Device) deliver(f *Frame) {
+	if d.state != StateUp {
+		d.stats.DroppedDown++
+		return
+	}
+	if !d.promiscuous && !f.Dst.IsBroadcast() && f.Dst != d.hw {
+		d.stats.DroppedFilter++
+		return
+	}
+	d.stats.Received++
+	if d.recv != nil {
+		d.recv(f)
+	}
+}

@@ -1,0 +1,392 @@
+package link
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mosquitonet/internal/sim"
+)
+
+// upDevice creates a device on n that is already up, with instant bring-up.
+func upDevice(t *testing.T, loop *sim.Loop, n *Network, name string) *Device {
+	t.Helper()
+	d := NewDevice(loop, name, 0, 0)
+	d.Attach(n)
+	d.BringUp(nil)
+	loop.RunFor(0)
+	if !d.IsUp() {
+		t.Fatalf("device %s not up", name)
+	}
+	return d
+}
+
+func TestHWAddrString(t *testing.T) {
+	a := HWAddr{0x02, 0x4d, 0x4e, 0x00, 0x00, 0x01}
+	if a.String() != "02:4d:4e:00:00:01" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if !BroadcastHW.IsBroadcast() || a.IsBroadcast() {
+		t.Fatal("IsBroadcast wrong")
+	}
+}
+
+func TestNextHWAddrUnique(t *testing.T) {
+	seen := map[HWAddr]bool{}
+	for i := 0; i < 1000; i++ {
+		a := NextHWAddr()
+		if seen[a] {
+			t.Fatalf("duplicate hardware address %v", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	loop := sim.New(1)
+	n := NewNetwork(loop, "test", Ethernet())
+	a := upDevice(t, loop, n, "a")
+	b := upDevice(t, loop, n, "b")
+	c := upDevice(t, loop, n, "c")
+
+	var got []byte
+	b.SetReceiver(func(f *Frame) { got = f.Payload })
+	var cGot bool
+	c.SetReceiver(func(f *Frame) { cGot = true })
+
+	if err := a.Send(&Frame{Dst: b.HW(), Type: EtherTypeIPv4, Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	loop.Run()
+	if string(got) != "hi" {
+		t.Fatalf("b received %q", got)
+	}
+	if cGot {
+		t.Fatal("c received a unicast frame not addressed to it")
+	}
+	if c.Stats().DroppedFilter != 1 {
+		t.Fatalf("c filter drops = %d, want 1", c.Stats().DroppedFilter)
+	}
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	loop := sim.New(1)
+	n := NewNetwork(loop, "test", Ethernet())
+	a := upDevice(t, loop, n, "a")
+	b := upDevice(t, loop, n, "b")
+	c := upDevice(t, loop, n, "c")
+
+	count := 0
+	b.SetReceiver(func(*Frame) { count++ })
+	c.SetReceiver(func(*Frame) { count++ })
+	a.Send(&Frame{Dst: BroadcastHW, Type: EtherTypeARP, Payload: []byte("who-has")})
+	loop.Run()
+	if count != 2 {
+		t.Fatalf("broadcast reached %d devices, want 2", count)
+	}
+	if a.Stats().Received != 0 {
+		t.Fatal("sender received its own frame")
+	}
+}
+
+func TestSendSetsSourceAddress(t *testing.T) {
+	loop := sim.New(1)
+	n := NewNetwork(loop, "test", Ethernet())
+	a := upDevice(t, loop, n, "a")
+	b := upDevice(t, loop, n, "b")
+	var src HWAddr
+	b.SetReceiver(func(f *Frame) { src = f.Src })
+	a.Send(&Frame{Src: HWAddr{9, 9, 9, 9, 9, 9}, Dst: b.HW(), Payload: []byte("x")})
+	loop.Run()
+	if src != a.HW() {
+		t.Fatalf("frame source %v, want %v", src, a.HW())
+	}
+}
+
+func TestPromiscuousReceivesAll(t *testing.T) {
+	loop := sim.New(1)
+	n := NewNetwork(loop, "test", Ethernet())
+	a := upDevice(t, loop, n, "a")
+	b := upDevice(t, loop, n, "b")
+	c := upDevice(t, loop, n, "c")
+	c.SetPromiscuous(true)
+	got := false
+	c.SetReceiver(func(*Frame) { got = true })
+	a.Send(&Frame{Dst: b.HW(), Payload: []byte("x")})
+	loop.Run()
+	if !got {
+		t.Fatal("promiscuous device missed a frame")
+	}
+}
+
+func TestSendWhileDown(t *testing.T) {
+	loop := sim.New(1)
+	n := NewNetwork(loop, "test", Ethernet())
+	d := NewDevice(loop, "d", 0, 0)
+	d.Attach(n)
+	if err := d.Send(&Frame{Dst: BroadcastHW}); err != ErrDeviceDown {
+		t.Fatalf("err = %v, want ErrDeviceDown", err)
+	}
+	if d.Stats().DroppedDown != 1 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestSendDetached(t *testing.T) {
+	loop := sim.New(1)
+	d := NewDevice(loop, "d", 0, 0)
+	d.BringUp(nil)
+	loop.RunFor(0)
+	if err := d.Send(&Frame{Dst: BroadcastHW}); err != ErrNoNetwork {
+		t.Fatalf("err = %v, want ErrNoNetwork", err)
+	}
+}
+
+func TestMTUEnforced(t *testing.T) {
+	loop := sim.New(1)
+	n := NewNetwork(loop, "test", Ethernet())
+	d := upDevice(t, loop, n, "d")
+	if err := d.Send(&Frame{Dst: BroadcastHW, Payload: make([]byte, 1501)}); err != ErrFrameTooBig {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+	if err := d.Send(&Frame{Dst: BroadcastHW, Payload: make([]byte, 1500)}); err != nil {
+		t.Fatalf("MTU-sized frame rejected: %v", err)
+	}
+}
+
+func TestBringUpDelay(t *testing.T) {
+	loop := sim.New(1)
+	n := NewNetwork(loop, "test", Ethernet())
+	d := NewDevice(loop, "d", 500*time.Millisecond, 0)
+	d.Attach(n)
+	var upAt sim.Time
+	delay := d.BringUp(func() { upAt = loop.Now() })
+	if delay != 500*time.Millisecond {
+		t.Fatalf("charged delay %v", delay)
+	}
+	if d.State() != StateBringingUp {
+		t.Fatalf("state %v during bring-up", d.State())
+	}
+	loop.RunFor(499 * time.Millisecond)
+	if d.IsUp() {
+		t.Fatal("device up too early")
+	}
+	loop.RunFor(time.Millisecond)
+	if !d.IsUp() || upAt != sim.Time(500*time.Millisecond) {
+		t.Fatalf("device not up at 500ms (upAt=%v)", upAt)
+	}
+}
+
+func TestBringUpAlreadyUp(t *testing.T) {
+	loop := sim.New(1)
+	d := NewDevice(loop, "d", 500*time.Millisecond, 0)
+	d.BringUp(nil)
+	loop.RunFor(time.Second)
+	called := false
+	if delay := d.BringUp(func() { called = true }); delay != 0 {
+		t.Fatalf("second BringUp charged %v", delay)
+	}
+	if !called {
+		t.Fatal("done callback not invoked for already-up device")
+	}
+}
+
+func TestBringDownCancelsBringUp(t *testing.T) {
+	loop := sim.New(1)
+	d := NewDevice(loop, "d", 100*time.Millisecond, 0)
+	called := false
+	d.BringUp(func() { called = true })
+	d.BringDown()
+	loop.RunFor(time.Second)
+	if called || d.IsUp() {
+		t.Fatal("BringDown did not cancel pending bring-up")
+	}
+}
+
+func TestFramesInFlightDroppedAfterBringDown(t *testing.T) {
+	loop := sim.New(1)
+	n := NewNetwork(loop, "test", Ethernet())
+	a := upDevice(t, loop, n, "a")
+	b := upDevice(t, loop, n, "b")
+	got := false
+	b.SetReceiver(func(*Frame) { got = true })
+	a.Send(&Frame{Dst: b.HW(), Payload: []byte("x")})
+	b.BringDown() // frame still in flight
+	loop.Run()
+	if got {
+		t.Fatal("down device received a frame")
+	}
+	if b.Stats().DroppedDown != 1 {
+		t.Fatalf("DroppedDown = %d", b.Stats().DroppedDown)
+	}
+}
+
+func TestDetachStopsDelivery(t *testing.T) {
+	loop := sim.New(1)
+	n := NewNetwork(loop, "test", Ethernet())
+	a := upDevice(t, loop, n, "a")
+	b := upDevice(t, loop, n, "b")
+	got := 0
+	b.SetReceiver(func(*Frame) { got++ })
+	a.Send(&Frame{Dst: b.HW(), Payload: []byte("1")})
+	loop.Run()
+	b.Detach()
+	a.Send(&Frame{Dst: b.HW(), Payload: []byte("2")})
+	loop.Run()
+	if got != 1 {
+		t.Fatalf("received %d frames, want 1", got)
+	}
+}
+
+func TestReattachMovesNetworks(t *testing.T) {
+	loop := sim.New(1)
+	n1 := NewNetwork(loop, "n1", Ethernet())
+	n2 := NewNetwork(loop, "n2", Ethernet())
+	d := NewDevice(loop, "d", 0, 0)
+	d.Attach(n1)
+	d.Attach(n2) // implicit detach from n1
+	if len(n1.Devices()) != 0 {
+		t.Fatal("device still attached to old network")
+	}
+	if len(n2.Devices()) != 1 {
+		t.Fatal("device not attached to new network")
+	}
+	if d.Network() != n2 {
+		t.Fatal("Network() wrong")
+	}
+}
+
+func TestEthernetLatency(t *testing.T) {
+	loop := sim.New(1)
+	n := NewNetwork(loop, "test", Ethernet())
+	a := upDevice(t, loop, n, "a")
+	b := upDevice(t, loop, n, "b")
+	var at sim.Time
+	b.SetReceiver(func(*Frame) { at = loop.Now() })
+	a.Send(&Frame{Dst: b.HW(), Payload: make([]byte, 100)})
+	loop.Run()
+	d := at.Duration()
+	if d < 100*time.Microsecond || d > 500*time.Microsecond {
+		t.Fatalf("ethernet one-way delay %v outside expected envelope", d)
+	}
+}
+
+// TestRadioRTTEnvelope verifies the calibrated radio medium produces the
+// paper's 200-250 ms round-trip times for small packets.
+func TestRadioRTTEnvelope(t *testing.T) {
+	loop := sim.New(42)
+	n := NewNetwork(loop, "radio", Radio())
+	a := upDevice(t, loop, n, "a")
+	b := upDevice(t, loop, n, "b")
+	b.SetReceiver(func(f *Frame) {
+		b.Send(&Frame{Dst: a.HW(), Payload: f.Payload}) // echo
+	})
+	for i := 0; i < 30; i++ {
+		var rtt time.Duration
+		start := loop.Now()
+		done := false
+		a.SetReceiver(func(*Frame) { rtt = loop.Now().Sub(start); done = true })
+		a.Send(&Frame{Dst: b.HW(), Payload: make([]byte, 40)})
+		loop.RunFor(time.Second)
+		if !done {
+			continue // radio loss; the medium is allowed to drop ~1%
+		}
+		if rtt < 190*time.Millisecond || rtt > 260*time.Millisecond {
+			t.Fatalf("radio RTT %v outside the paper's 200-250ms envelope", rtt)
+		}
+	}
+}
+
+func TestRadioLoss(t *testing.T) {
+	loop := sim.New(7)
+	m := Radio()
+	m.LossProb = 0.5
+	n := NewNetwork(loop, "lossy", m)
+	a := upDevice(t, loop, n, "a")
+	b := upDevice(t, loop, n, "b")
+	got := 0
+	b.SetReceiver(func(*Frame) { got++ })
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		a.Send(&Frame{Dst: b.HW(), Payload: []byte("x")})
+	}
+	loop.Run()
+	if got < sent/4 || got > sent*3/4 {
+		t.Fatalf("received %d of %d at 50%% loss", got, sent)
+	}
+	if n.Stats().LostMedium != uint64(sent-got) {
+		t.Fatalf("LostMedium = %d, want %d", n.Stats().LostMedium, sent-got)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	m := Medium{BitRate: 8000} // 1 byte per ms
+	if d := m.serializationDelay(100); d != 100*time.Millisecond {
+		t.Fatalf("serialization of 100B at 8kbit = %v", d)
+	}
+	free := Medium{}
+	if d := free.serializationDelay(1000); d != 0 {
+		t.Fatalf("zero bitrate serialization = %v", d)
+	}
+}
+
+func TestDeliveryPreservesPayloadIsolation(t *testing.T) {
+	loop := sim.New(1)
+	n := NewNetwork(loop, "test", Ethernet())
+	a := upDevice(t, loop, n, "a")
+	b := upDevice(t, loop, n, "b")
+	var got []byte
+	b.SetReceiver(func(f *Frame) { got = f.Payload })
+	payload := []byte("original")
+	a.Send(&Frame{Dst: b.HW(), Payload: payload})
+	payload[0] = 'X' // sender mutates after send
+	loop.Run()
+	if string(got) != "original" {
+		t.Fatalf("delivered payload %q shares memory with sender", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateDown.String() != "down" || StateBringingUp.String() != "bringing-up" || StateUp.String() != "up" {
+		t.Fatal("State strings wrong")
+	}
+}
+
+// Property: on a lossless medium every up device other than the sender
+// receives each broadcast exactly once, regardless of how many frames are
+// sent.
+func TestPropertyBroadcastExactlyOnce(t *testing.T) {
+	f := func(nDevices, nFrames uint8) bool {
+		devs := int(nDevices%6) + 2
+		frames := int(nFrames % 50)
+		loop := sim.New(3)
+		n := NewNetwork(loop, "p", Ethernet())
+		counts := make([]int, devs)
+		all := make([]*Device, devs)
+		for i := 0; i < devs; i++ {
+			i := i
+			d := NewDevice(loop, "d", 0, 0)
+			d.Attach(n)
+			d.BringUp(nil)
+			d.SetReceiver(func(*Frame) { counts[i]++ })
+			all[i] = d
+		}
+		loop.RunFor(0)
+		for k := 0; k < frames; k++ {
+			all[0].Send(&Frame{Dst: BroadcastHW, Payload: []byte{byte(k)}})
+		}
+		loop.Run()
+		if counts[0] != 0 {
+			return false
+		}
+		for i := 1; i < devs; i++ {
+			if counts[i] != frames {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

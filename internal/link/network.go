@@ -1,0 +1,179 @@
+package link
+
+import (
+	"time"
+
+	"mosquitonet/internal/sim"
+)
+
+// Medium describes the physical characteristics of a broadcast domain.
+type Medium struct {
+	Name string
+
+	// Latency is the one-way propagation plus link-level processing delay,
+	// varied by ±LatencyJitter per frame.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+
+	// BitRate is the serialization rate in bits per second; zero means
+	// serialization is free. The Metricom radio's effective 30-40 Kbit/s
+	// is modeled here.
+	BitRate int64
+
+	// LossProb is the probability an individual receiver misses a frame.
+	// Wired media use zero; radio uses a small nonzero rate.
+	LossProb float64
+
+	// MTU is the largest frame payload in bytes.
+	MTU int
+}
+
+// serializationDelay returns the time to clock a frame of n bytes onto the
+// medium.
+func (m Medium) serializationDelay(n int) time.Duration {
+	if m.BitRate <= 0 {
+		return 0
+	}
+	return time.Duration(int64(n) * 8 * int64(time.Second) / m.BitRate)
+}
+
+// Ethernet returns a 10 Mbit/s wired Ethernet medium, matching the paper's
+// PCMCIA Ethernet: sub-millisecond latency, effectively lossless.
+func Ethernet() Medium {
+	return Medium{
+		Name:          "ethernet",
+		Latency:       150 * time.Microsecond,
+		LatencyJitter: 30 * time.Microsecond,
+		BitRate:       10_000_000,
+		LossProb:      0,
+		MTU:           1500,
+	}
+}
+
+// Radio returns a Metricom Starmode packet-radio medium as characterized in
+// Section 4 of the paper: round-trip times of 200-250 ms through the radio
+// interface and 30-40 Kbit/s effective throughput (nominal 100 Kbit/s),
+// with occasional frame loss from the radio itself.
+func Radio() Medium {
+	return Medium{
+		Name:          "radio",
+		Latency:       100 * time.Millisecond, // one-way, so RTT ~200-250ms with jitter+serialization
+		LatencyJitter: 10 * time.Millisecond,
+		BitRate:       35_000,
+		LossProb:      0.01,
+		MTU:           1100, // STRIP's radio packet limit
+	}
+}
+
+// Serial returns a 115.2 Kbit/s point-to-point serial medium, the paper's
+// Handbook-to-radio link.
+func Serial() Medium {
+	return Medium{
+		Name:          "serial",
+		Latency:       time.Millisecond,
+		LatencyJitter: 100 * time.Microsecond,
+		BitRate:       115_200,
+		MTU:           1500,
+	}
+}
+
+// NetworkStats counts a broadcast domain's traffic.
+type NetworkStats struct {
+	Transmitted uint64 // frames offered to the medium
+	Delivered   uint64 // frame deliveries (one per receiving device)
+	LostMedium  uint64 // deliveries dropped by the loss model
+}
+
+// Network is a broadcast domain: every attached, up device receives a copy
+// of each transmitted frame addressed to it (or to broadcast), after the
+// medium's serialization and propagation delays.
+type Network struct {
+	name    string
+	loop    *sim.Loop
+	medium  Medium
+	devices []*Device
+	stats   NetworkStats
+
+	// busyUntil models the shared half-duplex channel: a frame cannot
+	// start clocking out before the previous one finished.
+	busyUntil sim.Time
+	// lastDelivery enforces FIFO delivery so latency jitter cannot reorder
+	// frames within one broadcast domain, which real Ethernets and the
+	// Metricom radio channel do not do either.
+	lastDelivery sim.Time
+
+	// taps observe every transmitted frame (packet capture).
+	taps []func(from *Device, f *Frame)
+}
+
+// AddTap registers an observer invoked for every frame offered to the
+// medium, before loss and delivery — a passive sniffer on the wire.
+func (n *Network) AddTap(fn func(from *Device, f *Frame)) {
+	n.taps = append(n.taps, fn)
+}
+
+// NewNetwork creates a broadcast domain over the given medium.
+func NewNetwork(loop *sim.Loop, name string, m Medium) *Network {
+	return &Network{name: name, loop: loop, medium: m}
+}
+
+// Name returns the network name, e.g. "net-36.135".
+func (n *Network) Name() string { return n.name }
+
+// Medium returns the network's medium description.
+func (n *Network) Medium() Medium { return n.medium }
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() NetworkStats { return n.stats }
+
+// Devices returns the attached devices.
+func (n *Network) Devices() []*Device { return append([]*Device(nil), n.devices...) }
+
+func (n *Network) add(d *Device) { n.devices = append(n.devices, d) }
+
+func (n *Network) remove(d *Device) {
+	for i, x := range n.devices {
+		if x == d {
+			n.devices = append(n.devices[:i], n.devices[i+1:]...)
+			return
+		}
+	}
+}
+
+// transmit schedules delivery of f from device from to every other attached
+// device. Each receiver independently suffers the medium's loss
+// probability, which matches radio behaviour (receivers miss frames
+// individually, not collectively).
+func (n *Network) transmit(from *Device, f *Frame) {
+	n.stats.Transmitted++
+	for _, tap := range n.taps {
+		tap(from, f)
+	}
+	now := n.loop.Now()
+	start := now
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	txEnd := start.Add(n.medium.serializationDelay(f.Len()))
+	n.busyUntil = txEnd
+	arrival := txEnd.Add(n.loop.Jitter(n.medium.Latency, n.medium.LatencyJitter))
+	if arrival < n.lastDelivery {
+		arrival = n.lastDelivery
+	}
+	n.lastDelivery = arrival
+	for _, d := range n.devices {
+		if d == from {
+			continue
+		}
+		if n.medium.LossProb > 0 && n.loop.Rand().Float64() < n.medium.LossProb {
+			n.stats.LostMedium++
+			continue
+		}
+		d := d
+		cp := &Frame{Src: f.Src, Dst: f.Dst, Type: f.Type, Payload: append([]byte(nil), f.Payload...)}
+		n.loop.At(arrival, func() {
+			n.stats.Delivered++
+			d.deliver(cp)
+		})
+	}
+}

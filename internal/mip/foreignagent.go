@@ -1,0 +1,448 @@
+package mip
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/stack"
+	"mosquitonet/internal/trace"
+	"mosquitonet/internal/transport"
+	"mosquitonet/internal/tunnel"
+)
+
+// This file implements the optional foreign-agent extension the paper's
+// Section 5.1 leaves open ("there is nothing that prevents us from
+// implementing or using foreign agents"). It exists so the trade-off the
+// paper discusses — an FA can forward straggler packets after the mobile
+// host moves on, reducing handoff loss, at the cost of foreign-network
+// support — can be measured rather than argued (experiment A2).
+//
+// In FA mode the mobile host acquires no address at all on the visited
+// network: the FA's address is the care-of address, the FA relays
+// registrations to the home agent, decapsulates tunneled packets, and
+// delivers them on-link (the mobile host answers ARP for its home address
+// on the visited link). When the mobile host departs, it can send the FA a
+// previous-foreign-agent notification; the FA then re-tunnels stragglers
+// to the new care-of address instead of dropping them.
+
+// ForeignAgentConfig configures a foreign agent.
+type ForeignAgentConfig struct {
+	// Iface is the agent's interface on the visited network.
+	Iface *stack.Iface
+	// AdvertInterval is the period of agent advertisements (default 1s).
+	AdvertInterval time.Duration
+	// MaxLifetime clamps visitor registrations it will relay (default 5m).
+	MaxLifetime time.Duration
+	// ProcessingDelay models per-message relay cost.
+	ProcessingDelay time.Duration
+	// Tracer, if set, records relay events.
+	Tracer *trace.Tracer
+}
+
+// ForeignAgentStats counts agent activity.
+type ForeignAgentStats struct {
+	AdvertsSent     uint64
+	RequestsRelayed uint64
+	RepliesRelayed  uint64
+	VisitorsActive  int
+	Forwarded       uint64 // straggler packets re-tunneled after departure
+}
+
+type visitorEntry struct {
+	home      ip.Addr
+	expires   sim.Time
+	timer     *sim.Timer
+	forwardTo ip.Addr // non-zero once a PFA notification arrived
+	fwdTimer  *sim.Timer
+
+	// buffering holds tunneled packets for a visitor that has announced
+	// its departure but not yet registered elsewhere; they are flushed to
+	// the new care-of address when it arrives.
+	buffering bool
+	queue     []*ip.Packet
+}
+
+// visitorQueueLimit bounds the departure buffer per visitor.
+const visitorQueueLimit = 64
+
+// ForeignAgent is the visited-network agent.
+type ForeignAgent struct {
+	host *stack.Host
+	ts   *transport.Stack
+	cfg  ForeignAgentConfig
+	tun  *tunnel.Endpoint
+	sock *transport.UDPSocket
+
+	visitors map[ip.Addr]*visitorEntry // keyed by home address
+	pending  map[uint64]ip.Addr        // relayed request ID -> home address
+	seq      uint16
+	stats    ForeignAgentStats
+}
+
+// NewForeignAgent starts a foreign agent on ts, binding UDP port 434,
+// installing its decapsulating tunnel endpoint, enabling forwarding, and
+// beginning periodic advertisements.
+func NewForeignAgent(ts *transport.Stack, cfg ForeignAgentConfig) (*ForeignAgent, error) {
+	if cfg.AdvertInterval == 0 {
+		cfg.AdvertInterval = time.Second
+	}
+	if cfg.MaxLifetime == 0 {
+		cfg.MaxLifetime = 5 * time.Minute
+	}
+	fa := &ForeignAgent{
+		host:     ts.Host(),
+		ts:       ts,
+		cfg:      cfg,
+		visitors: make(map[ip.Addr]*visitorEntry),
+		pending:  make(map[uint64]ip.Addr),
+	}
+	fa.tun = tunnel.New(fa.host, "vif0",
+		func() (ip.Addr, bool) { return cfg.Iface.Addr(), true },
+		fa.tunnelDst)
+	sock, err := ts.UDP(ip.Unspecified, Port, fa.input)
+	if err != nil {
+		return nil, fmt.Errorf("mip: foreign agent binding port %d: %w", Port, err)
+	}
+	fa.sock = sock
+	fa.host.SetForwarding(true)
+	fa.advertise()
+	return fa, nil
+}
+
+// Addr returns the agent's address — its visitors' care-of address.
+func (fa *ForeignAgent) Addr() ip.Addr { return fa.cfg.Iface.Addr() }
+
+// Stats returns a snapshot of the counters.
+func (fa *ForeignAgent) Stats() ForeignAgentStats {
+	s := fa.stats
+	s.VisitorsActive = len(fa.visitors)
+	return s
+}
+
+// Tunnel returns the agent's tunnel endpoint (for its statistics).
+func (fa *ForeignAgent) Tunnel() *tunnel.Endpoint { return fa.tun }
+
+// HasVisitor reports whether a home address is in the visitor list.
+func (fa *ForeignAgent) HasVisitor(home ip.Addr) bool {
+	_, ok := fa.visitors[home]
+	return ok
+}
+
+// advertise broadcasts an agent advertisement and reschedules itself.
+func (fa *ForeignAgent) advertise() {
+	fa.seq++
+	a := &AgentAdvert{Agent: fa.Addr(), Lifetime: uint16(fa.cfg.MaxLifetime / time.Second), Seq: fa.seq}
+	fa.sock.SendToVia(fa.cfg.Iface, ip.Broadcast, ip.Broadcast, Port, a.Marshal())
+	fa.stats.AdvertsSent++
+	fa.host.Loop().Schedule(fa.cfg.AdvertInterval, fa.advertise)
+}
+
+// tunnelDst resolves re-tunneling for departed visitors: packets for a
+// home address with a forwarding binding are encapsulated to the new
+// care-of address; packets for a visitor that announced departure but has
+// no new binding yet are buffered.
+func (fa *ForeignAgent) tunnelDst(inner *ip.Packet) (ip.Addr, bool) {
+	v, ok := fa.visitors[inner.Dst]
+	if !ok {
+		return ip.Addr{}, false
+	}
+	if !v.forwardTo.IsUnspecified() {
+		fa.stats.Forwarded++
+		return v.forwardTo, true
+	}
+	if v.buffering && len(v.queue) < visitorQueueLimit {
+		v.queue = append(v.queue, inner.Clone())
+	}
+	return ip.Addr{}, false
+}
+
+func (fa *ForeignAgent) input(d transport.Datagram) {
+	typ, err := MessageType(d.Payload)
+	if err != nil {
+		return
+	}
+	handle := func() {
+		switch typ {
+		case TypeRegRequest:
+			fa.relayRequest(d)
+		case TypeRegReply:
+			fa.relayReply(d)
+		case TypePFANotify:
+			fa.handlePFANotify(d)
+		}
+	}
+	if fa.cfg.ProcessingDelay > 0 {
+		fa.host.Loop().Schedule(fa.host.Loop().Jitter(fa.cfg.ProcessingDelay, fa.cfg.ProcessingDelay/12), handle)
+	} else {
+		handle()
+	}
+}
+
+// relayRequest forwards a visitor's registration request to its home
+// agent, clamping the lifetime to what this agent will serve.
+func (fa *ForeignAgent) relayRequest(d transport.Datagram) {
+	req, err := UnmarshalRegRequest(d.Payload)
+	if err != nil {
+		return
+	}
+	if req.CareOf != fa.Addr() && !req.IsDeregistration() {
+		return // not addressed through this agent
+	}
+	if max := uint16(fa.cfg.MaxLifetime / time.Second); req.Lifetime > max {
+		req.Lifetime = max
+	}
+	fa.pending[req.ID] = req.HomeAddr
+	fa.stats.RequestsRelayed++
+	fa.cfg.Tracer.Record(fa.host.Name(), "fa.relay.request", "home=%v id=%d", req.HomeAddr, req.ID)
+	fa.sock.SendTo(req.HomeAgent, Port, req.Marshal())
+}
+
+// relayReply forwards the home agent's reply to the visitor and, on
+// success, installs the visitor entry and its on-link delivery route.
+func (fa *ForeignAgent) relayReply(d transport.Datagram) {
+	reply, err := UnmarshalRegReply(d.Payload)
+	if err != nil {
+		return
+	}
+	home, ok := fa.pending[reply.ID]
+	if !ok {
+		return
+	}
+	delete(fa.pending, reply.ID)
+	if reply.Accepted() && reply.Lifetime > 0 {
+		fa.installVisitor(home, time.Duration(reply.Lifetime)*time.Second)
+	}
+	if reply.Accepted() && reply.Lifetime == 0 {
+		fa.removeVisitor(home)
+	}
+	fa.stats.RepliesRelayed++
+	fa.cfg.Tracer.Record(fa.host.Name(), "fa.relay.reply", "home=%v %s", home, CodeString(reply.Code))
+	fa.sock.SendTo(home, Port, reply.Marshal())
+}
+
+func (fa *ForeignAgent) installVisitor(home ip.Addr, life time.Duration) {
+	if v, ok := fa.visitors[home]; ok {
+		v.timer.Stop()
+		if v.fwdTimer != nil {
+			v.fwdTimer.Stop()
+		}
+	}
+	v := &visitorEntry{home: home, expires: fa.host.Loop().Now().Add(life)}
+	v.timer = fa.host.Loop().Schedule(life, func() {
+		if cur, ok := fa.visitors[home]; ok && cur == v {
+			fa.removeVisitor(home)
+		}
+	})
+	fa.visitors[home] = v
+	// Deliver decapsulated packets on-link: the visitor answers ARP for
+	// its home address on this network. Any stale forwarding route from a
+	// previous visit is replaced.
+	fa.host.Routes().Delete(ip.Prefix{Addr: home, Bits: 32})
+	fa.host.Routes().Add(stack.Route{Dst: ip.Prefix{Addr: home, Bits: 32}, Iface: fa.cfg.Iface})
+}
+
+func (fa *ForeignAgent) removeVisitor(home ip.Addr) {
+	v, ok := fa.visitors[home]
+	if !ok {
+		return
+	}
+	v.timer.Stop()
+	if v.fwdTimer != nil {
+		v.fwdTimer.Stop()
+	}
+	delete(fa.visitors, home)
+	fa.host.Routes().Delete(ip.Prefix{Addr: home, Bits: 32})
+}
+
+// handlePFANotify handles a departing or departed visitor. With an
+// unspecified new care-of address the visitor is announcing departure:
+// the agent starts buffering its packets. With a new care-of address the
+// agent forwards — flushing anything buffered first — so stragglers
+// tunneled here by a home agent that had not yet processed the new
+// registration reach the mobile host instead of being lost.
+func (fa *ForeignAgent) handlePFANotify(d transport.Datagram) {
+	n, err := UnmarshalPFANotify(d.Payload)
+	if err != nil {
+		return
+	}
+	v, ok := fa.visitors[n.HomeAddr]
+	if !ok {
+		return
+	}
+	// Steer the home address into the re-encapsulating VIF instead of
+	// on-link delivery; tunnelDst buffers or forwards from there.
+	fa.host.Routes().Delete(ip.Prefix{Addr: n.HomeAddr, Bits: 32})
+	fa.host.Routes().Add(stack.Route{Dst: ip.Prefix{Addr: n.HomeAddr, Bits: 32}, Iface: fa.tun.Iface()})
+	life := time.Duration(n.Lifetime) * time.Second
+	if v.fwdTimer != nil {
+		v.fwdTimer.Stop()
+	}
+	v.fwdTimer = fa.host.Loop().Schedule(life, func() {
+		if cur, ok := fa.visitors[n.HomeAddr]; ok && cur == v {
+			fa.removeVisitor(n.HomeAddr)
+		}
+	})
+	if n.NewCareOf.IsUnspecified() {
+		v.buffering = true
+		fa.cfg.Tracer.Record(fa.host.Name(), "fa.buffering", "home=%v", n.HomeAddr)
+		return
+	}
+	v.forwardTo = n.NewCareOf
+	v.buffering = false
+	fa.cfg.Tracer.Record(fa.host.Name(), "fa.forwarding", "home=%v to=%v buffered=%d", n.HomeAddr, n.NewCareOf, len(v.queue))
+	queued := v.queue
+	v.queue = nil
+	for _, pkt := range queued {
+		fa.host.Input(fa.tun.Iface(), pkt)
+	}
+}
+
+// --- Mobile-host support for foreign agents -----------------------------
+
+// ConnectViaForeignAgent brings mi up on a network served by a foreign
+// agent at faAddr: the mobile host takes no local address, answers ARP for
+// its home address on the visited link, uses the agent as its default
+// router, and registers with the agent's address as care-of.
+func (m *MobileHost) ConnectViaForeignAgent(mi *ManagedIface, faAddr ip.Addr, done func(error)) {
+	m.trace("handoff.fa.start", "iface=%s fa=%v", mi.Name(), faAddr)
+	mi.ifc.Device().BringUp(func() {
+		m.host.Loop().Schedule(m.jit(m.cfg.ConfigureDelay), func() {
+			if arp := mi.ifc.ARP(); arp != nil {
+				arp.Publish(m.cfg.HomeAddr)
+			}
+			mi.addr = ip.Addr{}
+			mi.gateway = faAddr
+			m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
+				m.host.Routes().Add(stack.Route{Dst: ip.Prefix{Addr: faAddr, Bits: 32}, Iface: mi.ifc, Metric: 10})
+				m.host.Routes().Delete(ip.Prefix{})
+				m.host.Routes().Add(stack.Route{Dst: ip.Prefix{}, Gateway: faAddr, Iface: mi.ifc})
+				mi.ready = true
+				m.active = mi
+				m.atHome = false
+				m.careOf = ip.Addr{}
+				m.faAddr = faAddr
+				m.notifyLink(mi)
+				m.registerViaFA(faAddr, done)
+			})
+		})
+	})
+}
+
+// registerViaFA registers with the foreign agent's address as care-of,
+// sending the request to the agent for relay.
+func (m *MobileHost) registerViaFA(faAddr ip.Addr, done func(error)) {
+	m.cancelPending()
+	m.rebindRegSock(m.cfg.HomeAddr)
+	m.regID++
+	req := &RegRequest{
+		Lifetime:  uint16(m.cfg.Lifetime / time.Second),
+		HomeAddr:  m.cfg.HomeAddr,
+		HomeAgent: m.cfg.HomeAgent,
+		CareOf:    faAddr,
+		ID:        m.regID,
+	}
+	m.pending = &regAttempt{req: req, dst: faAddr, done: done}
+	m.sendPending()
+}
+
+// DiscoveredAgent reports a foreign agent heard advertising on a link.
+type DiscoveredAgent struct {
+	Agent    ip.Addr
+	Lifetime time.Duration
+	Seq      uint16
+}
+
+// DiscoverForeignAgent listens on mi for an agent advertisement — the
+// extension's substitute for being told an agent address out of band. The
+// device is brought up if necessary; cb receives the first advertisement
+// heard, or ok=false at the timeout. The mobile host needs no address to
+// listen: advertisements are link broadcasts.
+func (m *MobileHost) DiscoverForeignAgent(mi *ManagedIface, timeout time.Duration, cb func(DiscoveredAgent, bool)) {
+	mi.ifc.Device().BringUp(func() {
+		var sock *transport.UDPSocket
+		var timer *sim.Timer
+		finish := func(a DiscoveredAgent, ok bool) {
+			if sock != nil {
+				sock.Close()
+				sock = nil
+			}
+			if timer != nil {
+				timer.Stop()
+			}
+			if cb != nil {
+				cb(a, ok)
+			}
+		}
+		s, err := m.ts.UDP(ip.Unspecified, Port, func(d transport.Datagram) {
+			typ, err := MessageType(d.Payload)
+			if err != nil || typ != TypeAgentAdvert {
+				return
+			}
+			adv, err := UnmarshalAgentAdvert(d.Payload)
+			if err != nil {
+				return
+			}
+			m.trace("fa.discovered", "agent=%v seq=%d", adv.Agent, adv.Seq)
+			finish(DiscoveredAgent{
+				Agent:    adv.Agent,
+				Lifetime: time.Duration(adv.Lifetime) * time.Second,
+				Seq:      adv.Seq,
+			}, true)
+		})
+		if err != nil {
+			// Port 434 busy (an active registration socket with wildcard
+			// binding); report failure rather than wedging.
+			if cb != nil {
+				cb(DiscoveredAgent{}, false)
+			}
+			return
+		}
+		sock = s
+		timer = m.host.Loop().Schedule(timeout, func() { finish(DiscoveredAgent{}, false) })
+	})
+}
+
+// ConnectViaDiscoveredAgent brings mi up, listens for an agent
+// advertisement, and registers through whichever agent answers first. It
+// fails with ErrNoAgentFound if none advertises within timeout.
+func (m *MobileHost) ConnectViaDiscoveredAgent(mi *ManagedIface, timeout time.Duration, done func(error)) {
+	m.DiscoverForeignAgent(mi, timeout, func(a DiscoveredAgent, ok bool) {
+		if !ok {
+			if done != nil {
+				done(ErrNoAgentFound)
+			}
+			return
+		}
+		m.ConnectViaForeignAgent(mi, a.Agent, done)
+	})
+}
+
+// ErrNoAgentFound is returned when agent discovery times out.
+var ErrNoAgentFound = errors.New("mip: no foreign agent advertisement heard")
+
+// NotifyPreviousFA asks the foreign agent the host just left to forward
+// stragglers to its new care-of address for the given lifetime. It is
+// called after a successful registration on the new network.
+func (m *MobileHost) NotifyPreviousFA(fa ip.Addr, newCareOf ip.Addr, lifetime time.Duration) {
+	n := &PFANotify{HomeAddr: m.cfg.HomeAddr, NewCareOf: newCareOf, Lifetime: uint16(lifetime / time.Second)}
+	m.trace("pfa.notify", "fa=%v newCareOf=%v", fa, newCareOf)
+	if m.regSock != nil {
+		m.regSock.SendTo(fa, Port, n.Marshal())
+	}
+}
+
+// AnnounceDeparture tells the current foreign agent the host is about to
+// leave, so it buffers tunneled packets until NotifyPreviousFA supplies
+// the new care-of address. This is the "sufficient warning" case the
+// paper discusses for smooth switches. Call it before tearing the old
+// interface down.
+func (m *MobileHost) AnnounceDeparture(fa ip.Addr, lifetime time.Duration) {
+	n := &PFANotify{HomeAddr: m.cfg.HomeAddr, Lifetime: uint16(lifetime / time.Second)}
+	m.trace("pfa.departing", "fa=%v", fa)
+	if m.regSock != nil {
+		m.regSock.SendTo(fa, Port, n.Marshal())
+	}
+}

@@ -1,0 +1,293 @@
+package mip
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/stack"
+	"mosquitonet/internal/trace"
+	"mosquitonet/internal/transport"
+	"mosquitonet/internal/tunnel"
+)
+
+// HomeAgentConfig configures a home agent.
+type HomeAgentConfig struct {
+	// HomeIface is the agent's interface on the home subnet; proxy ARP and
+	// gratuitous ARPs for absent mobile hosts go out here.
+	HomeIface *stack.Iface
+	// HomePrefix is the home subnet; registrations for addresses outside
+	// it are denied.
+	HomePrefix ip.Prefix
+	// ProcessingDelay models the agent's per-request software cost; the
+	// paper measures 1.48 ms on its Pentium 90.
+	ProcessingDelay time.Duration
+	// MaxLifetime clamps granted registration lifetimes (default 5m).
+	MaxLifetime time.Duration
+	// Authorize, if set, may deny a request by returning a non-zero reply
+	// code. The paper implements no authentication; this is the hook a
+	// deployment would attach S/Key-style verification to.
+	Authorize func(*RegRequest) uint8
+	// Tracer, if set, records registration processing events.
+	Tracer *trace.Tracer
+}
+
+// HomeAgentStats counts agent activity.
+type HomeAgentStats struct {
+	Requests        uint64
+	Accepted        uint64
+	Denied          uint64
+	Deregistrations uint64
+	Expired         uint64
+	Duplicated      uint64 // packet copies emitted for simultaneous bindings
+}
+
+// Binding is one mobility binding: a mobile host's current location.
+// Extras holds additional care-of addresses registered with the
+// simultaneous-bindings flag; the agent duplicates tunneled packets to
+// every address in the set.
+type Binding struct {
+	HomeAddr ip.Addr
+	CareOf   ip.Addr
+	Extras   []ip.Addr
+	Expires  sim.Time
+	ID       uint64 // identification of the registration that installed it
+}
+
+type haBinding struct {
+	Binding
+	timer *sim.Timer
+}
+
+// HomeAgent implements the home-network half of the protocol: it answers
+// registration requests, intercepts packets for registered-away mobile
+// hosts by proxy ARP, tunnels them to care-of addresses through its
+// VIF/IPIP module, and decapsulates reverse-tunneled packets for
+// forwarding to correspondents.
+type HomeAgent struct {
+	host *stack.Host
+	ts   *transport.Stack
+	cfg  HomeAgentConfig
+	tun  *tunnel.Endpoint
+	sock *transport.UDPSocket
+
+	bindings map[ip.Addr]*haBinding
+	// lastID tracks the highest identification accepted per home address.
+	// Requests with stale identifications are rejected — the replay
+	// protection RFC 2002's identification field exists for. (The paper
+	// defers full authentication; this is the protocol-level half.)
+	lastID map[ip.Addr]uint64
+	stats  HomeAgentStats
+}
+
+// ErrNotOnHomeSubnet is returned when the configured interface has no
+// address inside the home prefix.
+var ErrNotOnHomeSubnet = errors.New("mip: home agent interface not on home subnet")
+
+// NewHomeAgent starts a home agent on ts. It binds UDP port 434, installs
+// the VIF/IPIP module, and enables IP forwarding (required to relay
+// decapsulated reverse-tunnel traffic onward).
+func NewHomeAgent(ts *transport.Stack, cfg HomeAgentConfig) (*HomeAgent, error) {
+	if cfg.HomeIface == nil || !cfg.HomePrefix.Contains(cfg.HomeIface.Addr()) {
+		return nil, ErrNotOnHomeSubnet
+	}
+	if cfg.MaxLifetime == 0 {
+		cfg.MaxLifetime = 5 * time.Minute
+	}
+	ha := &HomeAgent{
+		host:     ts.Host(),
+		ts:       ts,
+		cfg:      cfg,
+		bindings: make(map[ip.Addr]*haBinding),
+		lastID:   make(map[ip.Addr]uint64),
+	}
+	ha.tun = tunnel.New(ha.host, "vif0",
+		func() (ip.Addr, bool) { return cfg.HomeIface.Addr(), true },
+		ha.tunnelDst)
+	sock, err := ts.UDP(ip.Unspecified, Port, ha.input)
+	if err != nil {
+		return nil, fmt.Errorf("mip: home agent binding port %d: %w", Port, err)
+	}
+	ha.sock = sock
+	ha.host.SetForwarding(true)
+	return ha, nil
+}
+
+// Addr returns the agent's address on the home subnet.
+func (ha *HomeAgent) Addr() ip.Addr { return ha.cfg.HomeIface.Addr() }
+
+// Stats returns a snapshot of the counters.
+func (ha *HomeAgent) Stats() HomeAgentStats { return ha.stats }
+
+// Tunnel returns the agent's tunnel endpoint (for its statistics).
+func (ha *HomeAgent) Tunnel() *tunnel.Endpoint { return ha.tun }
+
+// Binding returns the current binding for a home address.
+func (ha *HomeAgent) Binding(home ip.Addr) (Binding, bool) {
+	b, ok := ha.bindings[home]
+	if !ok {
+		return Binding{}, false
+	}
+	return b.Binding, true
+}
+
+// Bindings returns all active bindings.
+func (ha *HomeAgent) Bindings() []Binding {
+	out := make([]Binding, 0, len(ha.bindings))
+	for _, b := range ha.bindings {
+		out = append(out, b.Binding)
+	}
+	return out
+}
+
+// tunnelDst is the VIF's destination callback: the care-of address bound
+// to the inner packet's destination. With simultaneous bindings, copies
+// are emitted to every extra care-of address as a side effect and the
+// primary is returned for the normal path.
+func (ha *HomeAgent) tunnelDst(inner *ip.Packet) (ip.Addr, bool) {
+	b, ok := ha.bindings[inner.Dst]
+	if !ok {
+		return ip.Addr{}, false
+	}
+	for _, extra := range b.Extras {
+		outer, err := ip.Encapsulate(ha.Addr(), extra, ip.DefaultTTL, ha.host.NextID(), inner)
+		if err == nil {
+			ha.stats.Duplicated++
+			ha.host.Output(outer)
+		}
+	}
+	return b.CareOf, true
+}
+
+func (ha *HomeAgent) input(d transport.Datagram) {
+	typ, err := MessageType(d.Payload)
+	if err != nil || typ != TypeRegRequest {
+		return
+	}
+	req, err := UnmarshalRegRequest(d.Payload)
+	if err != nil {
+		return
+	}
+	ha.stats.Requests++
+	ha.cfg.Tracer.Record(ha.host.Name(), "reg.request.received", "home=%v careof=%v lifetime=%ds id=%d",
+		req.HomeAddr, req.CareOf, req.Lifetime, req.ID)
+	ha.process(req, d)
+}
+
+// process validates the request and updates the binding table immediately
+// — packets start flowing to the new care-of address as soon as the
+// request is accepted — while the reply goes out after the agent's
+// processing delay, the 1.48 ms the paper measures between receiving a
+// request and sending its reply.
+func (ha *HomeAgent) process(req *RegRequest, d transport.Datagram) {
+	code := uint8(CodeAccepted)
+	granted := req.Lifetime
+	switch {
+	case !ha.cfg.HomePrefix.Contains(req.HomeAddr):
+		code = CodeDeniedBadHomeAddr
+	case req.HomeAgent != ha.Addr():
+		code = CodeDeniedBadRequest
+	case !req.IsDeregistration() && req.CareOf.IsUnspecified():
+		code = CodeDeniedBadRequest
+	case req.ID <= ha.lastID[req.HomeAddr]:
+		code = CodeDeniedBadID // stale or replayed identification
+	}
+	if code == CodeAccepted && ha.cfg.Authorize != nil {
+		code = ha.cfg.Authorize(req)
+	}
+	if code == CodeAccepted {
+		ha.lastID[req.HomeAddr] = req.ID
+		if max := uint16(ha.cfg.MaxLifetime / time.Second); granted > max {
+			granted = max
+		}
+		if req.IsDeregistration() || req.CareOf == req.HomeAddr {
+			ha.deregister(req.HomeAddr)
+			granted = 0
+		} else {
+			ha.register(req, granted)
+		}
+	} else {
+		ha.stats.Denied++
+	}
+	sendReply := func() {
+		reply := &RegReply{Code: code, Lifetime: granted, HomeAddr: req.HomeAddr, HomeAgent: ha.Addr(), ID: req.ID}
+		ha.cfg.Tracer.Record(ha.host.Name(), "reg.reply.sent", "%s lifetime=%ds id=%d", CodeString(code), granted, req.ID)
+		ha.sock.SendTo(d.From, d.FromPort, reply.Marshal())
+	}
+	if ha.cfg.ProcessingDelay > 0 {
+		ha.host.Loop().Schedule(ha.host.Loop().Jitter(ha.cfg.ProcessingDelay, ha.cfg.ProcessingDelay/12), sendReply)
+	} else {
+		sendReply()
+	}
+}
+
+// register installs or refreshes a mobility binding: the proxy ARP
+// publication, the gratuitous ARP voiding stale neighbor entries, the
+// host route steering the home address into the encapsulating VIF, and
+// the lifetime timer.
+func (ha *HomeAgent) register(req *RegRequest, granted uint16) {
+	life := time.Duration(granted) * time.Second
+	old, existed := ha.bindings[req.HomeAddr]
+	if existed {
+		old.timer.Stop()
+	}
+	b := &haBinding{Binding: Binding{
+		HomeAddr: req.HomeAddr,
+		CareOf:   req.CareOf,
+		Expires:  ha.host.Loop().Now().Add(life),
+		ID:       req.ID,
+	}}
+	if existed && req.Simultaneous() {
+		// Retain the prior binding set alongside the new care-of address.
+		for _, a := range append([]ip.Addr{old.CareOf}, old.Extras...) {
+			if a != req.CareOf {
+				b.Extras = append(b.Extras, a)
+			}
+		}
+	}
+	b.timer = ha.host.Loop().Schedule(life, func() {
+		if cur, ok := ha.bindings[req.HomeAddr]; ok && cur == b {
+			ha.stats.Expired++
+			ha.cfg.Tracer.Record(ha.host.Name(), "binding.expired", "home=%v", req.HomeAddr)
+			ha.remove(req.HomeAddr)
+		}
+	})
+	ha.bindings[req.HomeAddr] = b
+	ha.stats.Accepted++
+	if !existed {
+		arp := ha.cfg.HomeIface.ARP()
+		if arp != nil {
+			arp.Publish(req.HomeAddr)
+			arp.Gratuitous(req.HomeAddr, ha.cfg.HomeIface.Device().HW())
+		}
+		ha.host.Routes().Add(stack.Route{
+			Dst:   ip.Prefix{Addr: req.HomeAddr, Bits: 32},
+			Iface: ha.tun.Iface(),
+		})
+	}
+	ha.cfg.Tracer.Record(ha.host.Name(), "binding.installed", "home=%v careof=%v", req.HomeAddr, req.CareOf)
+}
+
+// deregister handles an explicit deregistration; removing an absent
+// binding succeeds (the reply is still "accepted", per the protocol).
+func (ha *HomeAgent) deregister(home ip.Addr) {
+	ha.stats.Deregistrations++
+	ha.remove(home)
+}
+
+// remove tears down a binding's proxy state.
+func (ha *HomeAgent) remove(home ip.Addr) {
+	b, ok := ha.bindings[home]
+	if !ok {
+		return
+	}
+	b.timer.Stop()
+	delete(ha.bindings, home)
+	if arp := ha.cfg.HomeIface.ARP(); arp != nil {
+		arp.Unpublish(home)
+	}
+	ha.host.Routes().Delete(ip.Prefix{Addr: home, Bits: 32})
+	ha.cfg.Tracer.Record(ha.host.Name(), "binding.removed", "home=%v", home)
+}

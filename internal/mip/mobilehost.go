@@ -1,0 +1,869 @@
+package mip
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mosquitonet/internal/dhcp"
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/stack"
+	"mosquitonet/internal/trace"
+	"mosquitonet/internal/transport"
+	"mosquitonet/internal/tunnel"
+)
+
+// MobileHostConfig configures a mobile host.
+type MobileHostConfig struct {
+	HomeAddr   ip.Addr
+	HomePrefix ip.Prefix
+	HomeAgent  ip.Addr
+
+	// Lifetime is the registration lifetime requested (default 60s); the
+	// host re-registers at three quarters of the granted lifetime.
+	Lifetime time.Duration
+	// RegRetryInterval and RegMaxRetries govern registration
+	// retransmission (defaults 1s, 5).
+	RegRetryInterval time.Duration
+	RegMaxRetries    int
+
+	// ConfigureDelay is the cost of configuring an interface address and
+	// RouteChangeDelay the cost of a routing table update — the
+	// "pre-registration" steps of the paper's Figure 7 time-line.
+	ConfigureDelay   time.Duration
+	RouteChangeDelay time.Duration
+
+	// Tracer, if set, records handoff and registration events.
+	Tracer *trace.Tracer
+}
+
+func (c MobileHostConfig) withDefaults() MobileHostConfig {
+	if c.Lifetime == 0 {
+		c.Lifetime = 60 * time.Second
+	}
+	if c.RegRetryInterval == 0 {
+		c.RegRetryInterval = time.Second
+	}
+	if c.RegMaxRetries == 0 {
+		c.RegMaxRetries = 5
+	}
+	return c
+}
+
+// MobileHostStats counts mobility events.
+type MobileHostStats struct {
+	Registrations   uint64 // accepted registrations (including renewals)
+	Renewals        uint64
+	Deregistrations uint64
+	RegTimeouts     uint64
+	ColdSwitches    uint64
+	HotSwitches     uint64
+	AddressSwitches uint64
+}
+
+// LinkChange describes a connectivity change, delivered to OnLinkChange.
+// This implements the paper's Section 6 future-work item: informing
+// upper layers when bandwidth, latency, and path characteristics change so
+// they can adapt.
+type LinkChange struct {
+	Iface  string
+	Medium link.Medium // characteristics of the new link
+	CareOf ip.Addr
+	AtHome bool
+}
+
+// StaticConfig configures an interface without DHCP.
+type StaticConfig struct {
+	Addr    ip.Addr
+	Prefix  ip.Prefix
+	Gateway ip.Addr
+}
+
+// ManagedIface is an interface under the mobile host's control.
+type ManagedIface struct {
+	m      *MobileHost
+	ifc    *stack.Iface
+	static *StaticConfig
+	dhcpc  *dhcp.Client
+
+	gateway ip.Addr
+	addr    ip.Addr
+	prefix  ip.Prefix
+	ready   bool // up, addressed, and routed
+}
+
+// Name returns the interface name.
+func (mi *ManagedIface) Name() string { return mi.ifc.Name() }
+
+// Iface returns the underlying stack interface.
+func (mi *ManagedIface) Iface() *stack.Iface { return mi.ifc }
+
+// Addr returns the interface's current address.
+func (mi *ManagedIface) Addr() ip.Addr { return mi.addr }
+
+// Gateway returns the interface's current default gateway.
+func (mi *ManagedIface) Gateway() ip.Addr { return mi.gateway }
+
+// Ready reports whether the interface is up, addressed, and routed.
+func (mi *ManagedIface) Ready() bool { return mi.ready }
+
+// Mobility errors.
+var (
+	ErrRegistrationTimeout = errors.New("mip: registration timed out")
+	ErrRegistrationDenied  = errors.New("mip: registration denied")
+	ErrIfaceNotReady       = errors.New("mip: interface not ready")
+	ErrNoActiveIface       = errors.New("mip: no active interface")
+	ErrBusy                = errors.New("mip: operation already in progress")
+)
+
+// MobileHost is the mobile side of the protocol. It owns the host's
+// route-lookup override (the paper's modified ip_rt_route()), the Mobile
+// Policy Table, the encapsulating VIF, and the managed physical
+// interfaces it switches between.
+type MobileHost struct {
+	host *stack.Host
+	ts   *transport.Stack
+	cfg  MobileHostConfig
+
+	policy    *PolicyTable
+	tunHA     *tunnel.Endpoint // vif0: tunnel to/from the home agent
+	tunDirect *tunnel.Endpoint // vif1: encapsulated-direct to smart correspondents
+
+	ifaces []*ManagedIface
+	active *ManagedIface
+
+	atHome     bool
+	careOf     ip.Addr
+	faAddr     ip.Addr // non-zero in foreign-agent mode
+	registered bool
+
+	regSock  *transport.UDPSocket
+	regID    uint64
+	regTimer *sim.Timer
+	reregT   *sim.Timer
+	pending  *regAttempt
+
+	// OnLinkChange, OnRegistered and OnDeregistered notify interested
+	// upper layers; all are optional.
+	OnLinkChange   func(LinkChange)
+	OnRegistered   func(careOf ip.Addr)
+	OnDeregistered func()
+
+	stats MobileHostStats
+}
+
+type regAttempt struct {
+	req   *RegRequest
+	dst   ip.Addr // where to send; zero means the home agent
+	tries int
+	done  func(error)
+}
+
+// NewMobileHost wraps ts's host with mobility support: it installs the
+// route-lookup override, the VIF/IPIP tunnel endpoints, and registers the
+// home address as always-local (tunneled packets arrive addressed to it).
+func NewMobileHost(ts *transport.Stack, cfg MobileHostConfig) *MobileHost {
+	m := &MobileHost{
+		host:   ts.Host(),
+		ts:     ts,
+		cfg:    cfg.withDefaults(),
+		policy: NewPolicyTable(PolicyTunnel),
+		regID:  uint64(ts.Host().Loop().Rand().Uint32()) << 16,
+	}
+	// vif1 first, then vif0, so vif0's receive handler wins the IPIP
+	// registration: inbound tunneled traffic is attributed to the
+	// home-agent tunnel.
+	m.tunDirect = tunnel.New(m.host, "vif1",
+		m.currentCareOf,
+		func(inner *ip.Packet) (ip.Addr, bool) { return inner.Dst, true })
+	m.tunHA = tunnel.New(m.host, "vif0",
+		m.currentCareOf,
+		func(*ip.Packet) (ip.Addr, bool) { return m.cfg.HomeAgent, true })
+	m.host.AddLocalAddr(m.cfg.HomeAddr)
+	m.host.SetRouteLookup(m.routeLookup)
+	return m
+}
+
+// Host returns the underlying stack host.
+func (m *MobileHost) Host() *stack.Host { return m.host }
+
+// Transport returns the host's transport stack.
+func (m *MobileHost) Transport() *transport.Stack { return m.ts }
+
+// Policy returns the Mobile Policy Table.
+func (m *MobileHost) Policy() *PolicyTable { return m.policy }
+
+// Tunnel returns the home-agent tunnel endpoint (for statistics).
+func (m *MobileHost) Tunnel() *tunnel.Endpoint { return m.tunHA }
+
+// Stats returns a snapshot of the counters.
+func (m *MobileHost) Stats() MobileHostStats { return m.stats }
+
+// HomeAddr returns the host's permanent home address.
+func (m *MobileHost) HomeAddr() ip.Addr { return m.cfg.HomeAddr }
+
+// CareOf returns the current care-of address (zero at home).
+func (m *MobileHost) CareOf() ip.Addr { return m.careOf }
+
+// AtHome reports whether the host believes it is on its home subnet.
+func (m *MobileHost) AtHome() bool { return m.atHome }
+
+// Registered reports whether a registration is active at the home agent.
+func (m *MobileHost) Registered() bool { return m.registered }
+
+// Active returns the active managed interface, or nil.
+func (m *MobileHost) Active() *ManagedIface { return m.active }
+
+// currentCareOf is the tunnels' outer-source callback.
+func (m *MobileHost) currentCareOf() (ip.Addr, bool) {
+	if m.careOf.IsUnspecified() {
+		return ip.Addr{}, false
+	}
+	return m.careOf, true
+}
+
+// AddInterface places a device under mobility management. static, if
+// non-nil, is the interface's fixed configuration on foreign networks
+// (e.g. the radio subnet's preassigned address); when nil, foreign
+// attachments acquire a care-of address by DHCP. Attaching to the home
+// subnet (ConnectHome, ColdSwitchHome) always uses the home address and
+// needs no static config. The device is left down; Connect* operations
+// bring it up.
+func (m *MobileHost) AddInterface(name string, dev *link.Device, pointToPoint bool, static *StaticConfig) (*ManagedIface, error) {
+	ifc := m.host.AddIface(name, dev, ip.Unspecified, ip.Prefix{}, stack.IfaceOpts{PointToPoint: pointToPoint})
+	mi := &ManagedIface{m: m, ifc: ifc, static: static}
+	if static == nil {
+		c, err := dhcp.NewClient(m.ts, ifc, dhcp.ClientConfig{})
+		if err != nil {
+			return nil, err
+		}
+		mi.dhcpc = c
+	}
+	m.ifaces = append(m.ifaces, mi)
+	return mi, nil
+}
+
+// Interfaces returns the managed interfaces.
+func (m *MobileHost) Interfaces() []*ManagedIface {
+	return append([]*ManagedIface(nil), m.ifaces...)
+}
+
+// trace records through the configured tracer.
+func (m *MobileHost) trace(kind, format string, args ...any) {
+	m.cfg.Tracer.Record(m.host.Name(), kind, format, args...)
+}
+
+// --- Connectivity operations -------------------------------------------
+
+// ConnectHome brings mi up on the home subnet: the home address goes on
+// the interface, routes are installed, any registration is cleared with
+// the home agent, and a gratuitous ARP reclaims the address from the
+// agent's proxy. done receives the deregistration outcome.
+func (m *MobileHost) ConnectHome(mi *ManagedIface, gateway ip.Addr, done func(error)) {
+	m.trace("home.attach.start", "iface=%s", mi.Name())
+	mi.ifc.Device().BringUp(func() {
+		m.host.Loop().Schedule(m.jit(m.cfg.ConfigureDelay), func() {
+			mi.ifc.SetAddr(m.cfg.HomeAddr, m.cfg.HomePrefix)
+			mi.addr, mi.prefix, mi.gateway = m.cfg.HomeAddr, m.cfg.HomePrefix, gateway
+			m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
+				m.installRoutes(mi)
+				mi.ready = true
+				m.active = mi
+				m.atHome = true
+				m.careOf = ip.Addr{}
+				if arp := mi.ifc.ARP(); arp != nil {
+					arp.Gratuitous(m.cfg.HomeAddr, mi.ifc.Device().HW())
+				}
+				m.notifyLink(mi)
+				m.trace("home.attach.done", "addr=%v", m.cfg.HomeAddr)
+				if m.registered {
+					m.deregister(done)
+				} else if done != nil {
+					done(nil)
+				}
+			})
+		})
+	})
+}
+
+// ConnectForeign brings mi up on a foreign network: the device comes up,
+// a care-of address is acquired (DHCP unless static), routes are
+// installed, and the care-of address is registered with the home agent.
+// done receives the registration outcome.
+func (m *MobileHost) ConnectForeign(mi *ManagedIface, done func(error)) {
+	m.trace("handoff.bringup.start", "iface=%s", mi.Name())
+	mi.ifc.Device().BringUp(func() {
+		m.trace("handoff.bringup.done", "iface=%s", mi.Name())
+		m.Prepare(mi, func(err error) {
+			if err != nil {
+				if done != nil {
+					done(err)
+				}
+				return
+			}
+			m.Activate(mi, done)
+		})
+	})
+}
+
+// Prepare acquires an address and installs routes on an already-up
+// interface without making it active — the staging step of a hot switch.
+func (m *MobileHost) Prepare(mi *ManagedIface, done func(error)) {
+	finish := func(addr ip.Addr, prefix ip.Prefix, gw ip.Addr) {
+		m.host.Loop().Schedule(m.jit(m.cfg.ConfigureDelay), func() {
+			mi.ifc.SetAddr(addr, prefix)
+			mi.addr, mi.prefix, mi.gateway = addr, prefix, gw
+			m.trace("handoff.configure.done", "iface=%s addr=%v", mi.Name(), addr)
+			m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
+				m.host.Routes().Add(stack.Route{Dst: prefix, Iface: mi.ifc, Metric: 10})
+				mi.ready = true
+				m.trace("handoff.route.staged", "iface=%s", mi.Name())
+				if done != nil {
+					done(nil)
+				}
+			})
+		})
+	}
+	if mi.static != nil {
+		finish(mi.static.Addr, mi.static.Prefix, mi.static.Gateway)
+		return
+	}
+	m.trace("handoff.dhcp.start", "iface=%s", mi.Name())
+	err := mi.dhcpc.Acquire(func(l dhcp.Lease, err error) {
+		if err != nil {
+			if done != nil {
+				done(fmt.Errorf("mip: acquiring care-of address: %w", err))
+			}
+			return
+		}
+		m.trace("handoff.dhcp.done", "iface=%s addr=%v", mi.Name(), l.Addr)
+		finish(l.Addr, l.Prefix, l.Gateway)
+	})
+	if err != nil && done != nil {
+		done(err)
+	}
+}
+
+// Activate makes a prepared interface the active one — "merely changes
+// its route and registers the new address with its home agent", the
+// paper's hot-switch step — and registers its address as the care-of.
+func (m *MobileHost) Activate(mi *ManagedIface, done func(error)) {
+	if !mi.ready || !mi.ifc.Up() {
+		if done != nil {
+			done(ErrIfaceNotReady)
+		}
+		return
+	}
+	m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
+		m.active = mi
+		m.atHome = m.cfg.HomePrefix.Contains(mi.addr) && mi.addr == m.cfg.HomeAddr
+		m.switchDefaultRoute(mi)
+		m.trace("handoff.route.switched", "iface=%s", mi.Name())
+		m.notifyLink(mi)
+		if m.atHome {
+			m.careOf = ip.Addr{}
+			if m.registered {
+				m.deregister(done)
+				return
+			}
+			if done != nil {
+				done(nil)
+			}
+			return
+		}
+		m.register(mi.addr, m.cfg.Lifetime, done)
+	})
+}
+
+// SwitchAddress changes the care-of address on the active interface to a
+// new address on the same subnet — the paper's first experiment, measuring
+// the minimal software overhead of a switch.
+func (m *MobileHost) SwitchAddress(newAddr ip.Addr, done func(error)) {
+	mi := m.active
+	if mi == nil {
+		if done != nil {
+			done(ErrNoActiveIface)
+		}
+		return
+	}
+	m.stats.AddressSwitches++
+	m.trace("addrswitch.start", "old=%v new=%v", mi.addr, newAddr)
+	m.host.Loop().Schedule(m.jit(m.cfg.ConfigureDelay), func() {
+		mi.ifc.SetAddr(newAddr, mi.prefix) // the old address stops receiving here
+		mi.addr = newAddr
+		m.trace("addrswitch.configure.done", "addr=%v", newAddr)
+		m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
+			m.trace("addrswitch.route.done", "")
+			m.register(newAddr, m.cfg.Lifetime, done)
+		})
+	})
+}
+
+// ColdSwitch tears down the active interface before bringing up the new
+// one on a foreign network: delete the old routes, take the device down,
+// bring the new device up, address and route it, and register — the
+// paper's cold-switch sequence, with its full loss window.
+func (m *MobileHost) ColdSwitch(to *ManagedIface, done func(error)) {
+	m.coldSwitch(to, done, func(hdone func(error)) { m.ConnectForeign(to, hdone) })
+}
+
+// ColdSwitchHome is ColdSwitch toward the home subnet: the new interface
+// comes up with the home address and the host deregisters.
+func (m *MobileHost) ColdSwitchHome(to *ManagedIface, gateway ip.Addr, done func(error)) {
+	m.coldSwitch(to, done, func(hdone func(error)) { m.ConnectHome(to, gateway, hdone) })
+}
+
+func (m *MobileHost) coldSwitch(to *ManagedIface, done func(error), connect func(func(error))) {
+	from := m.active
+	m.stats.ColdSwitches++
+	m.trace("handoff.cold.start", "from=%s to=%s", nameOf(from), to.Name())
+	m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
+		if from != nil {
+			m.teardown(from)
+		}
+		connect(func(err error) {
+			m.trace("handoff.cold.done", "err=%v", err)
+			if done != nil {
+				done(err)
+			}
+		})
+	})
+}
+
+// HotSwitch moves the active role to an interface that is already up and
+// prepared, keeping the old interface up until the switch completes.
+func (m *MobileHost) HotSwitch(to *ManagedIface, done func(error)) {
+	m.stats.HotSwitches++
+	m.trace("handoff.hot.start", "from=%s to=%s", nameOf(m.active), to.Name())
+	m.Activate(to, func(err error) {
+		m.trace("handoff.hot.done", "err=%v", err)
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// Disconnect takes an interface down (out of coverage, card ejected).
+func (m *MobileHost) Disconnect(mi *ManagedIface) {
+	m.teardown(mi)
+	if m.active == mi {
+		m.active = nil
+	}
+}
+
+func (m *MobileHost) teardown(mi *ManagedIface) {
+	if mi.dhcpc != nil {
+		mi.dhcpc.Stop()
+	}
+	if arp := mi.ifc.ARP(); arp != nil {
+		arp.Unpublish(m.cfg.HomeAddr) // foreign-agent mode publication
+	}
+	if m.active == mi {
+		m.faAddr = ip.Addr{}
+	}
+	m.host.Routes().DeleteIface(mi.ifc)
+	mi.ifc.Device().BringDown()
+	mi.ifc.SetAddr(ip.Unspecified, ip.Prefix{})
+	mi.addr = ip.Addr{}
+	mi.ready = false
+	m.trace("iface.down", "iface=%s", mi.Name())
+}
+
+// installRoutes installs connected + default routes for the active iface.
+func (m *MobileHost) installRoutes(mi *ManagedIface) {
+	m.host.Routes().Add(stack.Route{Dst: mi.prefix, Iface: mi.ifc, Metric: 10})
+	m.switchDefaultRoute(mi)
+}
+
+// switchDefaultRoute points the default route at mi.
+func (m *MobileHost) switchDefaultRoute(mi *ManagedIface) {
+	m.host.Routes().Delete(ip.Prefix{})
+	if !mi.gateway.IsUnspecified() {
+		m.host.AddDefaultRoute(mi.gateway, mi.ifc)
+	} else {
+		m.host.Routes().Add(stack.Route{Dst: ip.Prefix{}, Iface: mi.ifc})
+	}
+}
+
+func nameOf(mi *ManagedIface) string {
+	if mi == nil {
+		return "<none>"
+	}
+	return mi.Name()
+}
+
+// notifyLink delivers a LinkChange to the upper layers.
+func (m *MobileHost) notifyLink(mi *ManagedIface) {
+	if m.OnLinkChange == nil {
+		return
+	}
+	var medium link.Medium
+	if dev := mi.ifc.Device(); dev != nil && dev.Network() != nil {
+		medium = dev.Network().Medium()
+	}
+	m.OnLinkChange(LinkChange{Iface: mi.Name(), Medium: medium, CareOf: mi.addr, AtHome: m.atHome})
+}
+
+// --- Registration -------------------------------------------------------
+
+// register sends a registration request for careOf and retries until a
+// reply arrives or the attempt times out.
+func (m *MobileHost) register(careOf ip.Addr, lifetime time.Duration, done func(error)) {
+	m.cancelPending()
+	m.careOf = careOf
+	m.atHome = false
+	m.faAddr = ip.Addr{} // collocated care-of mode
+	m.rebindRegSock(careOf)
+	m.regID++
+	req := &RegRequest{
+		Lifetime:  uint16(lifetime / time.Second),
+		HomeAddr:  m.cfg.HomeAddr,
+		HomeAgent: m.cfg.HomeAgent,
+		CareOf:    careOf,
+		ID:        m.regID,
+	}
+	m.pending = &regAttempt{req: req, done: done}
+	m.sendPending()
+}
+
+// deregister clears the binding at the home agent (lifetime zero).
+func (m *MobileHost) deregister(done func(error)) {
+	m.cancelPending()
+	m.rebindRegSock(m.cfg.HomeAddr)
+	m.regID++
+	req := &RegRequest{
+		Lifetime:  0,
+		HomeAddr:  m.cfg.HomeAddr,
+		HomeAgent: m.cfg.HomeAgent,
+		CareOf:    m.cfg.HomeAddr,
+		ID:        m.regID,
+	}
+	m.pending = &regAttempt{req: req, done: done}
+	m.sendPending()
+}
+
+func (m *MobileHost) cancelPending() {
+	if m.regTimer != nil {
+		m.regTimer.Stop()
+		m.regTimer = nil
+	}
+	if m.reregT != nil {
+		m.reregT.Stop()
+		m.reregT = nil
+	}
+	m.pending = nil
+}
+
+// rebindRegSock binds the registration socket to the current (care-of or
+// home) address so requests go out in the local role and replies come
+// straight back, never through the tunnel.
+func (m *MobileHost) rebindRegSock(addr ip.Addr) {
+	if m.regSock != nil {
+		m.regSock.Close()
+		m.regSock = nil
+	}
+	sock, err := m.ts.UDP(addr, Port, m.regInput)
+	if err == nil {
+		m.regSock = sock
+	}
+}
+
+func (m *MobileHost) sendPending() {
+	p := m.pending
+	if p == nil || m.regSock == nil {
+		return
+	}
+	p.tries++
+	if p.tries > m.cfg.RegMaxRetries {
+		m.stats.RegTimeouts++
+		m.trace("reg.timeout", "id=%d", p.req.ID)
+		m.pending = nil
+		if p.done != nil {
+			p.done(ErrRegistrationTimeout)
+		}
+		return
+	}
+	// Every transmission carries a fresh identification: if a reply is
+	// lost, the retransmission must not look like a replay to the home
+	// agent's identification check.
+	if p.tries > 1 {
+		m.regID++
+		p.req.ID = m.regID
+	}
+	kind := "reg.request.sent"
+	if p.req.IsDeregistration() {
+		kind = "reg.dereg.sent"
+	}
+	m.trace(kind, "careof=%v id=%d try=%d", p.req.CareOf, p.req.ID, p.tries)
+	dst := p.dst
+	if dst.IsUnspecified() {
+		dst = m.cfg.HomeAgent
+	}
+	m.regSock.SendTo(dst, Port, p.req.Marshal())
+	m.regTimer = m.host.Loop().Schedule(m.cfg.RegRetryInterval, func() {
+		if m.pending == p {
+			m.sendPending()
+		}
+	})
+}
+
+func (m *MobileHost) regInput(d transport.Datagram) {
+	typ, err := MessageType(d.Payload)
+	if err != nil || typ != TypeRegReply {
+		return
+	}
+	reply, err := UnmarshalRegReply(d.Payload)
+	if err != nil {
+		return
+	}
+	p := m.pending
+	if p == nil || reply.ID != p.req.ID {
+		return // stale or duplicate reply
+	}
+	m.pending = nil
+	if m.regTimer != nil {
+		m.regTimer.Stop()
+	}
+	m.trace("reg.reply.received", "%s lifetime=%ds id=%d", CodeString(reply.Code), reply.Lifetime, reply.ID)
+	if !reply.Accepted() {
+		if p.done != nil {
+			p.done(fmt.Errorf("%w: %s", ErrRegistrationDenied, CodeString(reply.Code)))
+		}
+		return
+	}
+	if p.req.IsDeregistration() {
+		m.registered = false
+		m.stats.Deregistrations++
+		if m.OnDeregistered != nil {
+			m.OnDeregistered()
+		}
+	} else {
+		wasRenewal := m.registered
+		m.registered = true
+		m.stats.Registrations++
+		if wasRenewal {
+			m.stats.Renewals++
+		}
+		m.scheduleRenewal(time.Duration(reply.Lifetime) * time.Second)
+		if m.OnRegistered != nil {
+			m.OnRegistered(p.req.CareOf)
+		}
+	}
+	if p.done != nil {
+		p.done(nil)
+	}
+}
+
+// scheduleRenewal re-registers at three quarters of the granted lifetime.
+func (m *MobileHost) scheduleRenewal(granted time.Duration) {
+	if m.reregT != nil {
+		m.reregT.Stop()
+	}
+	if granted == 0 {
+		return
+	}
+	m.reregT = m.host.Loop().Schedule(granted*3/4, func() {
+		switch {
+		case !m.registered || m.atHome:
+		case !m.faAddr.IsUnspecified():
+			m.trace("reg.renew", "via-fa=%v", m.faAddr)
+			m.registerViaFA(m.faAddr, nil)
+		case !m.careOf.IsUnspecified():
+			m.trace("reg.renew", "careof=%v", m.careOf)
+			m.register(m.careOf, m.cfg.Lifetime, nil)
+		}
+	})
+}
+
+// --- Policy probing (dynamic Mobile Policy Table updates) ---------------
+
+// ProbeTriangle tests whether the triangle-route optimization works toward
+// ch from the current foreign network — the paper's "failed attempts to
+// ping a correspondent host" detection — and caches the result in the
+// Mobile Policy Table: PolicyTriangle on success, PolicyTunnel on failure.
+func (m *MobileHost) ProbeTriangle(ch ip.Addr, timeout time.Duration, done func(ok bool)) {
+	prior := m.policy.Lookup(ch)
+	m.policy.SetHost(ch, PolicyTriangle)
+	m.trace("policy.probe.start", "ch=%v", ch)
+	m.host.ICMP().Ping(ch, m.cfg.HomeAddr, 8, timeout, func(r stack.PingResult) {
+		ok := !r.TimedOut && !r.Unreachable
+		if ok {
+			m.policy.SetHost(ch, PolicyTriangle)
+		} else {
+			// Revert to the safe policy and remember it.
+			if prior == PolicyTriangle {
+				prior = PolicyTunnel
+			}
+			m.policy.SetHost(ch, PolicyTunnel)
+		}
+		m.trace("policy.probe.done", "ch=%v ok=%v", ch, ok)
+		if done != nil {
+			done(ok)
+		}
+	})
+}
+
+// --- The route-lookup override -------------------------------------------
+
+// routeLookup is the paper's modified ip_rt_route(). Packets whose source
+// is bound to a specific local address are outside the scope of mobile IP
+// and follow the unchanged routing table. Packets with an unspecified
+// source, or bound to the home address, are subject to mobile IP: at home
+// they route normally (the home address is just the interface address);
+// away, the Mobile Policy Table picks tunnel, triangle, encapsulated-
+// direct, or plain-direct treatment.
+func (m *MobileHost) routeLookup(dst, boundSrc ip.Addr) (stack.RouteDecision, error) {
+	if !boundSrc.IsUnspecified() && boundSrc != m.cfg.HomeAddr {
+		// Outside the scope of mobile IP (local role, VIF outer packets,
+		// mobile-aware applications).
+		return m.host.DefaultRouteLookup(dst, boundSrc)
+	}
+	if m.host.IsLocalAddr(dst) && !dst.IsBroadcast() && !dst.IsMulticast() {
+		return m.host.DefaultRouteLookup(dst, boundSrc)
+	}
+	if dst.IsMulticast() {
+		// Multicast is joined via the visited network — the local role
+		// (Section 5.2) — never tunneled through the home agent.
+		return m.host.DefaultRouteLookup(dst, boundSrc)
+	}
+	if !m.faAddr.IsUnspecified() && m.active != nil {
+		// Foreign-agent mode: the agent is the default router and the
+		// mobile host's only connection; packets go out bare with the
+		// home source, and the agent handles the rest.
+		return stack.RouteDecision{Iface: m.active.ifc, Src: m.cfg.HomeAddr, NextHop: m.faAddr}, nil
+	}
+	if m.atHome || m.careOf.IsUnspecified() {
+		dec, err := m.host.DefaultRouteLookup(dst, boundSrc)
+		if err != nil {
+			return dec, err
+		}
+		if boundSrc.IsUnspecified() && m.atHome {
+			dec.Src = m.cfg.HomeAddr
+		}
+		return dec, nil
+	}
+	switch m.policy.Lookup(dst) {
+	case PolicyTriangle:
+		dec, err := m.host.DefaultRouteLookup(dst, ip.Unspecified)
+		if err != nil {
+			return dec, err
+		}
+		dec.Src = m.cfg.HomeAddr
+		return dec, nil
+	case PolicyEncapDirect:
+		return stack.RouteDecision{Iface: m.tunDirect.Iface(), Src: m.cfg.HomeAddr, NextHop: dst}, nil
+	case PolicyDirect:
+		return m.host.DefaultRouteLookup(dst, ip.Unspecified)
+	default: // PolicyTunnel
+		return stack.RouteDecision{Iface: m.tunHA.Iface(), Src: m.cfg.HomeAddr, NextHop: dst}, nil
+	}
+}
+
+// MakeSmartCorrespondent equips an ordinary host with transparent IP-in-IP
+// decapsulation (as "recent Linux development kernels" have, per the
+// paper), making the encapsulated-direct optimization usable toward it.
+func MakeSmartCorrespondent(h *stack.Host) *tunnel.Endpoint {
+	primary := func() (ip.Addr, bool) {
+		for _, ifc := range h.Ifaces() {
+			if !ifc.IsVirtual() && !ifc.Addr().IsUnspecified() {
+				return ifc.Addr(), true
+			}
+		}
+		return ip.Addr{}, false
+	}
+	return tunnel.New(h, "tunl0", primary, func(*ip.Packet) (ip.Addr, bool) { return ip.Addr{}, false })
+}
+
+// jit adds ~8% of calibrated variance to a charged software delay, so
+// measured phase durations have realistic (non-degenerate) deviations.
+func (m *MobileHost) jit(d time.Duration) time.Duration {
+	return m.host.Loop().Jitter(d, d/12)
+}
+
+// AddSimultaneousBinding registers an additional care-of address with the
+// simultaneous-bindings flag, keeping existing bindings active; the home
+// agent then duplicates tunneled packets to every registered address. Used
+// with overlapping coverage for smooth handoffs: prepare the new interface,
+// add its address as a simultaneous binding, and only then retire the old
+// one (a plain registration for the new address drops the extras again).
+// The address must already be configured on one of the host's interfaces
+// so the reply can arrive.
+func (m *MobileHost) AddSimultaneousBinding(careOf ip.Addr, done func(error)) {
+	m.regID++
+	req := &RegRequest{
+		Flags:     FlagSimultaneous,
+		Lifetime:  uint16(m.cfg.Lifetime / time.Second),
+		HomeAddr:  m.cfg.HomeAddr,
+		HomeAgent: m.cfg.HomeAgent,
+		CareOf:    careOf,
+		ID:        m.regID,
+	}
+	m.oneShotExchange(req, careOf, done)
+}
+
+// oneShotExchange runs a self-contained registration exchange on its own
+// socket (bound to the request's care-of address), independent of the main
+// pending-registration machinery.
+func (m *MobileHost) oneShotExchange(req *RegRequest, bound ip.Addr, done func(error)) {
+	var sock *transport.UDPSocket
+	var timer *sim.Timer
+	finished := false
+	finish := func(err error) {
+		if finished {
+			return
+		}
+		finished = true
+		if timer != nil {
+			timer.Stop()
+		}
+		if sock != nil {
+			sock.Close()
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+	sock, err := m.ts.UDP(bound, Port, func(d transport.Datagram) {
+		typ, err := MessageType(d.Payload)
+		if err != nil || typ != TypeRegReply {
+			return
+		}
+		reply, err := UnmarshalRegReply(d.Payload)
+		if err != nil || reply.ID != req.ID {
+			return
+		}
+		m.trace("reg.reply.received", "%s lifetime=%ds id=%d", CodeString(reply.Code), reply.Lifetime, reply.ID)
+		if !reply.Accepted() {
+			finish(fmt.Errorf("%w: %s", ErrRegistrationDenied, CodeString(reply.Code)))
+			return
+		}
+		finish(nil)
+	})
+	if err != nil {
+		finish(err)
+		return
+	}
+	tries := 0
+	var attempt func()
+	attempt = func() {
+		if finished {
+			return
+		}
+		tries++
+		if tries > m.cfg.RegMaxRetries {
+			finish(ErrRegistrationTimeout)
+			return
+		}
+		if tries > 1 {
+			// Fresh identification per transmission (see sendPending).
+			m.regID++
+			req.ID = m.regID
+		}
+		m.trace("reg.request.sent", "careof=%v id=%d try=%d simultaneous=%v", req.CareOf, req.ID, tries, req.Simultaneous())
+		sock.SendTo(m.cfg.HomeAgent, Port, req.Marshal())
+		timer = m.host.Loop().Schedule(m.cfg.RegRetryInterval, attempt)
+	}
+	attempt()
+}

@@ -1,0 +1,101 @@
+package mip
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mosquitonet/internal/ip"
+)
+
+func TestPolicyDefault(t *testing.T) {
+	pt := NewPolicyTable(PolicyTunnel)
+	if pt.Lookup(ip.MustParseAddr("1.2.3.4")) != PolicyTunnel {
+		t.Fatal("default not applied")
+	}
+	pt.SetDefault(PolicyTriangle)
+	if pt.Default() != PolicyTriangle || pt.Lookup(ip.MustParseAddr("1.2.3.4")) != PolicyTriangle {
+		t.Fatal("SetDefault ineffective")
+	}
+}
+
+func TestPolicyLongestPrefixWins(t *testing.T) {
+	pt := NewPolicyTable(PolicyTunnel)
+	pt.Set(ip.MustParsePrefix("36.0.0.0/8"), PolicyTriangle)
+	pt.Set(ip.MustParsePrefix("36.8.0.0/16"), PolicyEncapDirect)
+	pt.SetHost(ip.MustParseAddr("36.8.0.99"), PolicyDirect)
+
+	cases := map[string]Policy{
+		"36.8.0.99":  PolicyDirect,
+		"36.8.0.1":   PolicyEncapDirect,
+		"36.135.0.1": PolicyTriangle,
+		"128.1.1.1":  PolicyTunnel,
+	}
+	for addr, want := range cases {
+		if got := pt.Lookup(ip.MustParseAddr(addr)); got != want {
+			t.Errorf("Lookup(%s) = %v, want %v", addr, got, want)
+		}
+	}
+}
+
+func TestPolicyReplaceAndDelete(t *testing.T) {
+	pt := NewPolicyTable(PolicyTunnel)
+	p := ip.MustParsePrefix("36.8.0.0/16")
+	pt.Set(p, PolicyTriangle)
+	pt.Set(p, PolicyEncapDirect) // replace
+	if pt.Len() != 1 {
+		t.Fatalf("Len = %d after replace", pt.Len())
+	}
+	if pt.Lookup(ip.MustParseAddr("36.8.1.1")) != PolicyEncapDirect {
+		t.Fatal("replacement ineffective")
+	}
+	if !pt.Delete(p) {
+		t.Fatal("Delete returned false")
+	}
+	if pt.Delete(p) {
+		t.Fatal("second Delete returned true")
+	}
+	if pt.Lookup(ip.MustParseAddr("36.8.1.1")) != PolicyTunnel {
+		t.Fatal("entry survived Delete")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	pt := NewPolicyTable(PolicyTunnel)
+	pt.SetHost(ip.MustParseAddr("1.2.3.4"), PolicyTriangle)
+	s := pt.String()
+	if !strings.Contains(s, "1.2.3.4/32 -> triangle") || !strings.Contains(s, "default -> tunnel") {
+		t.Fatalf("String = %q", s)
+	}
+	for p, want := range map[Policy]string{
+		PolicyTunnel: "tunnel", PolicyTriangle: "triangle",
+		PolicyEncapDirect: "encap-direct", PolicyDirect: "direct", Policy(9): "policy(9)",
+	} {
+		if p.String() != want {
+			t.Errorf("%d -> %q", p, p.String())
+		}
+	}
+}
+
+// Property: for any set of prefixes covering an address, Lookup returns the
+// policy of the longest one.
+func TestPropertyPolicyLPM(t *testing.T) {
+	f := func(addr ip.Addr, lengths []uint8) bool {
+		pt := NewPolicyTable(PolicyTunnel)
+		longest := -1
+		for _, l := range lengths {
+			bits := int(l % 33)
+			pt.Set(ip.Prefix{Addr: addr, Bits: bits}, Policy(bits%3+1))
+			if bits > longest {
+				longest = bits
+			}
+		}
+		if longest < 0 {
+			return pt.Lookup(addr) == PolicyTunnel
+		}
+		return pt.Lookup(addr) == Policy(longest%3+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

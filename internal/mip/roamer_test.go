@@ -1,0 +1,147 @@
+package mip
+
+import (
+	"testing"
+	"time"
+
+	"mosquitonet/internal/ip"
+)
+
+func newRoamerWorld(t *testing.T) (*world, *Roamer) {
+	w := newWorld(t, 5)
+	r := NewRoamer(w.mh, RoamerConfig{
+		ProbeInterval:   500 * time.Millisecond,
+		FailThreshold:   2,
+		UpgradeInterval: 3 * time.Second,
+	}, []Candidate{
+		{Iface: w.eth0, Home: true, Gateway: ip.MustParseAddr("10.1.0.1")},
+		{Iface: w.eth1},
+	})
+	return w, r
+}
+
+func TestRoamerFailsOverWhenLinkDies(t *testing.T) {
+	w, r := newRoamerWorld(t)
+	done := false
+	w.mh.ConnectHome(w.eth0, ip.MustParseAddr("10.1.0.1"), func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	w.run(2 * time.Second)
+	if !done {
+		t.Fatal("ConnectHome failed")
+	}
+	var failedFrom, failedTo string
+	r.OnFailover = func(from, to *ManagedIface) { failedFrom, failedTo = from.Name(), to.Name() }
+	r.Start()
+	w.run(3 * time.Second)
+	if r.Stats().Failovers != 0 {
+		t.Fatal("failover on a healthy link")
+	}
+	if r.Stats().Probes == 0 {
+		t.Fatal("roamer never probed")
+	}
+
+	// The home wire dies.
+	w.eth0.Iface().Device().Detach()
+	w.run(20 * time.Second)
+
+	if r.Stats().Failovers != 1 {
+		t.Fatalf("failovers = %d", r.Stats().Failovers)
+	}
+	if failedFrom != "eth0" || failedTo != "eth1" {
+		t.Fatalf("failover %s -> %s", failedFrom, failedTo)
+	}
+	if w.mh.Active() != w.eth1 || !w.mh.Registered() {
+		t.Fatal("not running on the fallback interface")
+	}
+	if !ip.MustParsePrefix("10.2.0.0/24").Contains(w.mh.CareOf()) {
+		t.Fatalf("care-of %v", w.mh.CareOf())
+	}
+
+	// Traffic still flows end to end after the automatic switch.
+	served, _ := w.udpEchoServer(7)
+	cli, _ := w.mhTS.UDP(ip.Unspecified, 0, nil)
+	cli.SendTo(ip.MustParseAddr(wCHAddr), 7, []byte("auto-switched"))
+	w.run(3 * time.Second)
+	if *served != 1 {
+		t.Fatal("traffic dead after failover")
+	}
+	r.Stop()
+}
+
+func TestRoamerUpgradesWhenPreferredReturns(t *testing.T) {
+	w, r := newRoamerWorld(t)
+	done := false
+	w.mh.ConnectHome(w.eth0, ip.MustParseAddr("10.1.0.1"), func(error) { done = true })
+	w.run(2 * time.Second)
+	if !done {
+		t.Fatal("setup failed")
+	}
+	upgraded := false
+	r.OnUpgrade = func(from, to *ManagedIface) { upgraded = true }
+	r.Start()
+
+	// Kill the wire, fail over to eth1.
+	w.eth0.Iface().Device().Detach()
+	w.run(20 * time.Second)
+	if w.mh.Active() != w.eth1 {
+		t.Fatal("failover did not happen")
+	}
+
+	// The wire comes back; the upgrade probe should move us home.
+	w.eth0.Iface().Device().Attach(w.homeNet)
+	w.run(30 * time.Second)
+	if !upgraded || r.Stats().Upgrades == 0 {
+		t.Fatalf("no upgrade: %+v", r.Stats())
+	}
+	if w.mh.Active() != w.eth0 || !w.mh.AtHome() {
+		t.Fatalf("active=%s atHome=%v after upgrade", w.mh.Active().Name(), w.mh.AtHome())
+	}
+	if w.mh.Registered() {
+		t.Fatal("still registered after returning home")
+	}
+	r.Stop()
+}
+
+func TestRoamerStopHaltsProbing(t *testing.T) {
+	w, r := newRoamerWorld(t)
+	w.mh.ConnectHome(w.eth0, ip.MustParseAddr("10.1.0.1"), nil)
+	w.run(2 * time.Second)
+	r.Start()
+	w.run(2 * time.Second)
+	r.Stop()
+	before := r.Stats().Probes
+	w.eth0.Iface().Device().Detach() // would trigger failover if running
+	w.run(10 * time.Second)
+	if r.Stats().Probes != before {
+		t.Fatal("probing continued after Stop")
+	}
+	if r.Stats().Failovers != 0 {
+		t.Fatal("failover after Stop")
+	}
+}
+
+func TestRoamerNoAlternativeStaysPut(t *testing.T) {
+	w := newWorld(t, 5)
+	r := NewRoamer(w.mh, RoamerConfig{ProbeInterval: 300 * time.Millisecond, FailThreshold: 2},
+		[]Candidate{{Iface: w.eth0, Home: true, Gateway: ip.MustParseAddr("10.1.0.1")}})
+	done := false
+	w.mh.ConnectHome(w.eth0, ip.MustParseAddr("10.1.0.1"), func(error) { done = true })
+	w.run(2 * time.Second)
+	if !done {
+		t.Fatal("setup failed")
+	}
+	r.Start()
+	w.eth0.Iface().Device().Detach()
+	w.run(10 * time.Second)
+	if r.Stats().Failovers != 0 {
+		t.Fatal("failover with no alternative candidate")
+	}
+	if r.Stats().ProbeFails == 0 {
+		t.Fatal("failures not observed")
+	}
+	r.Stop()
+}

@@ -1,0 +1,199 @@
+package mip
+
+import (
+	"testing"
+	"time"
+
+	"mosquitonet/internal/dhcp"
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/stack"
+	"mosquitonet/internal/trace"
+	"mosquitonet/internal/transport"
+)
+
+// world is the integration fixture: four subnets joined by one router.
+//
+//	home 10.1.0.0/24:     router .1, home agent .2, MH home address .7, neighbor .9
+//	foreignA 10.2.0.0/24: router .1, DHCP server .2, pool .100+
+//	foreignB 10.3.0.0/24: router .1, DHCP server .2, pool .100+
+//	chNet 10.4.0.0/24:    router .1, correspondent host .2
+type world struct {
+	t    *testing.T
+	loop *sim.Loop
+	tr   *trace.Tracer
+
+	homeNet, forA, forB, chNet *link.Network
+	router                     *stack.Host
+
+	ha   *HomeAgent
+	ch   *transport.Stack
+	mh   *MobileHost
+	mhTS *transport.Stack
+
+	eth0 *ManagedIface // static home configuration, wired
+	eth1 *ManagedIface // DHCP, wired; attach to forA/forB as tests move it
+}
+
+const (
+	wHomeAddr = "10.1.0.7"
+	wHAAddr   = "10.1.0.2"
+	wCHAddr   = "10.4.0.2"
+)
+
+// mkHost builds a host with one interface on n.
+func mkHost(loop *sim.Loop, n *link.Network, name, cidr, gw string) (*transport.Stack, *stack.Iface) {
+	h := stack.NewHost(loop, name, stack.Config{})
+	d := link.NewDevice(loop, name+"-eth0", 0, 0)
+	d.Attach(n)
+	d.BringUp(nil)
+	pfx := ip.MustParsePrefix(cidr)
+	slash := len(cidr) - 3
+	ifc := h.AddIface("eth0", d, ip.MustParseAddr(cidr[:slash]), pfx, stack.IfaceOpts{})
+	h.ConnectRoute(ifc)
+	if gw != "" {
+		h.AddDefaultRoute(ip.MustParseAddr(gw), ifc)
+	}
+	loop.RunFor(0) // complete the device bring-up event
+	return transport.NewStack(h), ifc
+}
+
+func newWorld(t *testing.T, seed int64) *world {
+	t.Helper()
+	loop := sim.New(seed)
+	w := &world{t: t, loop: loop, tr: trace.New(loop)}
+	w.homeNet = link.NewNetwork(loop, "home", link.Ethernet())
+	w.forA = link.NewNetwork(loop, "foreignA", link.Ethernet())
+	w.forB = link.NewNetwork(loop, "foreignB", link.Ethernet())
+	w.chNet = link.NewNetwork(loop, "chNet", link.Ethernet())
+
+	// Router with one interface per subnet.
+	w.router = stack.NewHost(loop, "router", stack.Config{})
+	for _, x := range []struct {
+		n    *link.Network
+		cidr string
+	}{
+		{w.homeNet, "10.1.0.1/24"},
+		{w.forA, "10.2.0.1/24"},
+		{w.forB, "10.3.0.1/24"},
+		{w.chNet, "10.4.0.1/24"},
+	} {
+		d := link.NewDevice(loop, "r-"+x.n.Name(), 0, 0)
+		d.Attach(x.n)
+		d.BringUp(nil)
+		pfx := ip.MustParsePrefix(x.cidr)
+		ifc := w.router.AddIface("r-"+x.n.Name(), d, ip.MustParseAddr(x.cidr[:len(x.cidr)-3]), pfx, stack.IfaceOpts{})
+		w.router.ConnectRoute(ifc)
+	}
+	w.router.SetForwarding(true)
+
+	// Home agent.
+	haTS, haIfc := mkHost(loop, w.homeNet, "ha", wHAAddr+"/24", "10.1.0.1")
+	ha, err := NewHomeAgent(haTS, HomeAgentConfig{
+		HomeIface:  haIfc,
+		HomePrefix: ip.MustParsePrefix("10.1.0.0/24"),
+		Tracer:     w.tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ha = ha
+
+	// Correspondent host.
+	w.ch, _ = mkHost(loop, w.chNet, "ch", wCHAddr+"/24", "10.4.0.1")
+
+	// DHCP servers on the foreign nets.
+	dhcpA, _ := mkHost(loop, w.forA, "dhcpA", "10.2.0.2/24", "10.2.0.1")
+	if _, err := dhcp.NewServer(dhcpA, dhcp.ServerConfig{
+		Pool: ip.MustParsePrefix("10.2.0.0/24"), FirstHost: 100, LastHost: 150,
+		Gateway: ip.MustParseAddr("10.2.0.1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dhcpB, _ := mkHost(loop, w.forB, "dhcpB", "10.3.0.2/24", "10.3.0.1")
+	if _, err := dhcp.NewServer(dhcpB, dhcp.ServerConfig{
+		Pool: ip.MustParsePrefix("10.3.0.0/24"), FirstHost: 100, LastHost: 150,
+		Gateway: ip.MustParseAddr("10.3.0.1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mobile host with two managed interfaces.
+	mhHost := stack.NewHost(loop, "mh", stack.Config{})
+	w.mhTS = transport.NewStack(mhHost)
+	w.mh = NewMobileHost(w.mhTS, MobileHostConfig{
+		HomeAddr:   ip.MustParseAddr(wHomeAddr),
+		HomePrefix: ip.MustParsePrefix("10.1.0.0/24"),
+		HomeAgent:  ip.MustParseAddr(wHAAddr),
+		Lifetime:   time.Minute,
+		Tracer:     w.tr,
+	})
+	eth0dev := link.NewDevice(loop, "mh-eth0", 0, 0)
+	eth0dev.Attach(w.homeNet)
+	eth0, err := w.mh.AddInterface("eth0", eth0dev, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.eth0 = eth0
+	eth1dev := link.NewDevice(loop, "mh-eth1", 0, 0)
+	eth1dev.Attach(w.forA)
+	eth1, err := w.mh.AddInterface("eth1", eth1dev, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.eth1 = eth1
+
+	loop.RunFor(0)
+	return w
+}
+
+// run advances the simulation.
+func (w *world) run(d time.Duration) { w.loop.RunFor(d) }
+
+// goForeign connects eth1 to the currently attached foreign net and waits
+// for registration.
+func (w *world) goForeign() {
+	w.t.Helper()
+	var regErr error
+	done := false
+	w.mh.ConnectForeign(w.eth1, func(err error) { regErr, done = err, true })
+	w.run(10 * time.Second)
+	if !done || regErr != nil {
+		w.t.Fatalf("ConnectForeign: done=%v err=%v", done, regErr)
+	}
+	if !w.mh.Registered() {
+		w.t.Fatal("not registered after ConnectForeign")
+	}
+}
+
+// goHome cold-switches back to the home interface.
+func (w *world) goHome() {
+	w.t.Helper()
+	var err error
+	done := false
+	w.mh.ColdSwitchHome(w.eth0, ip.MustParseAddr("10.1.0.1"), func(e error) { err, done = e, true })
+	w.run(10 * time.Second)
+	if !done || err != nil {
+		w.t.Fatalf("ColdSwitchHome: done=%v err=%v", done, err)
+	}
+}
+
+// udpEchoServer starts an echo server on the correspondent host and
+// returns a pointer to the count of requests it served, plus the last
+// source address seen.
+func (w *world) udpEchoServer(port uint16) (served *int, lastFrom *ip.Addr) {
+	w.t.Helper()
+	count := 0
+	var from ip.Addr
+	var srv *transport.UDPSocket
+	srv, err := w.ch.UDP(ip.Unspecified, port, func(d transport.Datagram) {
+		count++
+		from = d.From
+		srv.SendTo(d.From, d.FromPort, d.Payload)
+	})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return &count, &from
+}

@@ -1,0 +1,489 @@
+package stack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mosquitonet/internal/arp"
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+	"mosquitonet/internal/sim"
+)
+
+// Config tunes a host's per-packet software costs. The paper's numbers are
+// from 40 MHz 486 subnotebooks and a Pentium 90 router, where protocol
+// processing is measurable in fractions of a millisecond; the testbed
+// package calibrates these so the registration time-line lands on the
+// measured values.
+type Config struct {
+	InputDelay   time.Duration // receive-path processing per packet
+	OutputDelay  time.Duration // send-path processing per packet
+	ForwardDelay time.Duration // extra cost to forward (routers)
+	TTL          uint8         // initial TTL for local packets (default 64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.TTL == 0 {
+		c.TTL = ip.DefaultTTL
+	}
+	return c
+}
+
+// Stats counts a host's IP-layer activity.
+type Stats struct {
+	Sent          uint64
+	Received      uint64
+	Delivered     uint64
+	Forwarded     uint64
+	DropNoRoute   uint64
+	DropTTL       uint64
+	DropFilter    uint64
+	DropBadPacket uint64
+	DropNotLocal  uint64
+	DropNoHandler uint64
+	DropMTU       uint64 // DF packets exceeding an interface MTU
+	FragmentsSent uint64
+	RedirectsSent uint64
+	RedirectsRcvd uint64
+}
+
+// ProtocolHandler consumes a locally delivered packet.
+type ProtocolHandler func(ifc *Iface, pkt *ip.Packet)
+
+// Verdict is a forwarding filter's decision.
+type Verdict int
+
+// Filter verdicts. Reject differs from Drop by sending an ICMP
+// administratively-prohibited error back to the source, which is how a
+// polite transit-traffic filter behaves.
+const (
+	Accept Verdict = iota
+	Drop
+	Reject
+)
+
+// FilterFunc inspects a packet being forwarded from in to out.
+type FilterFunc func(in, out *Iface, pkt *ip.Packet) Verdict
+
+// ErrNoRoute is returned when no route matches a destination.
+var ErrNoRoute = errors.New("stack: no route to host")
+
+// Host is a simulated IP host: interfaces, routing table, input/output/
+// forwarding machinery, and protocol handlers.
+type Host struct {
+	name string
+	loop *sim.Loop
+	cfg  Config
+
+	ifaces []*Iface
+	lo     *Iface
+	routes RouteTable
+	lookup RouteLookupFunc
+
+	handlers   map[ip.Protocol]ProtocolHandler
+	forwarding bool
+	filters    []FilterFunc
+
+	// localAddrs holds addresses the host accepts beyond its interface
+	// addresses. A mobile host away from home keeps its home address here:
+	// tunneled packets arrive addressed to the care-of address, but the
+	// decapsulated inner packet is addressed to the home address.
+	localAddrs map[ip.Addr]bool
+
+	// groups holds joined multicast groups. Group traffic is link-scoped:
+	// it rides link broadcast on the joined interface and routers do not
+	// forward it — the paper's "join multicast groups via the foreign
+	// network" is a local-role activity.
+	groups map[ip.Addr]bool
+
+	installRedirects bool
+	icmp             *ICMP
+	reasm            *ip.Reassembler
+	sweepArmed       bool
+	stats            Stats
+	idSeq            uint16
+}
+
+// reassemblySweepInterval drives partial-fragment expiry; with MaxAge 2
+// this gives incomplete packets 15-30 s, per the classic reassembly
+// timeout.
+const reassemblySweepInterval = 15 * time.Second
+
+// NewHost creates a host with a loopback interface and the default route
+// lookup installed.
+func NewHost(loop *sim.Loop, name string, cfg Config) *Host {
+	h := &Host{
+		name:       name,
+		loop:       loop,
+		cfg:        cfg.withDefaults(),
+		handlers:   make(map[ip.Protocol]ProtocolHandler),
+		localAddrs: make(map[ip.Addr]bool),
+		groups:     make(map[ip.Addr]bool),
+	}
+	h.lookup = h.DefaultRouteLookup
+	h.lo = &Iface{host: h, name: "lo", addr: ip.MustParseAddr("127.0.0.1"), prefix: ip.MustParsePrefix("127.0.0.0/8")}
+	h.lo.transmit = func(pkt *ip.Packet, _ ip.Addr) { h.Input(h.lo, pkt) }
+	h.ifaces = append(h.ifaces, h.lo)
+	h.icmp = newICMP(h)
+	h.reasm = ip.NewReassembler()
+	return h
+}
+
+// armSweep keeps a reassembly-expiry sweep scheduled while partial
+// fragments are held, and lets the timer die otherwise so an idle host
+// leaves the event queue empty.
+func (h *Host) armSweep() {
+	if h.sweepArmed {
+		return
+	}
+	h.sweepArmed = true
+	h.loop.Schedule(reassemblySweepInterval, func() {
+		h.sweepArmed = false
+		h.reasm.Sweep()
+		if h.reasm.Pending() > 0 {
+			h.armSweep()
+		}
+	})
+}
+
+// Reassembler exposes fragment-reassembly statistics.
+func (h *Host) Reassembler() *ip.Reassembler { return h.reasm }
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Loop returns the simulation loop the host runs on.
+func (h *Host) Loop() *sim.Loop { return h.loop }
+
+// Stats returns a snapshot of the host's counters.
+func (h *Host) Stats() Stats { return h.stats }
+
+// Routes returns the host's routing table.
+func (h *Host) Routes() *RouteTable { return &h.routes }
+
+// ICMP returns the host's ICMP endpoint (echo, error notifications).
+func (h *Host) ICMP() *ICMP { return h.icmp }
+
+// Loopback returns the loopback interface.
+func (h *Host) Loopback() *Iface { return h.lo }
+
+// SetForwarding enables or disables IP forwarding (routers, home agents).
+func (h *Host) SetForwarding(v bool) { h.forwarding = v }
+
+// Forwarding reports whether the host forwards packets.
+func (h *Host) Forwarding() bool { return h.forwarding }
+
+// AddFilter appends a forwarding filter (evaluated in order; first
+// non-Accept verdict wins).
+func (h *Host) AddFilter(f FilterFunc) { h.filters = append(h.filters, f) }
+
+// SetInstallRedirects controls whether received ICMP redirects install
+// host routes, one of the transparency issues Section 5.2 discusses.
+func (h *Host) SetInstallRedirects(v bool) { h.installRedirects = v }
+
+// IfaceOpts configures AddIface.
+type IfaceOpts struct {
+	// PointToPoint disables ARP; frames go to the link broadcast address
+	// and are filtered by IP address on receive, like the STRIP radio
+	// driver's Starmode.
+	PointToPoint bool
+	// ARP tunes the ARP cache on broadcast media.
+	ARP arp.Config
+}
+
+// AddIface attaches a device-backed interface with the given address and
+// connected prefix, and wires the device's receive path into the stack.
+// It does not add routes; call ConnectRoute or add them explicitly.
+func (h *Host) AddIface(name string, dev *link.Device, addr ip.Addr, prefix ip.Prefix, opts IfaceOpts) *Iface {
+	ifc := &Iface{
+		host:         h,
+		name:         name,
+		addr:         addr,
+		prefix:       prefix.Normalize(),
+		dev:          dev,
+		pointToPoint: opts.PointToPoint,
+	}
+	if !opts.PointToPoint {
+		ifc.arp = arp.New(h.loop, dev, opts.ARP, func() []ip.Addr {
+			if ifc.addr.IsUnspecified() {
+				return nil
+			}
+			return []ip.Addr{ifc.addr}
+		})
+	}
+	dev.SetReceiver(func(f *link.Frame) {
+		switch f.Type {
+		case link.EtherTypeARP:
+			if ifc.arp != nil {
+				ifc.arp.HandleFrame(f)
+			}
+		case link.EtherTypeIPv4:
+			pkt, err := ip.Unmarshal(f.Payload)
+			if err != nil {
+				h.stats.DropBadPacket++
+				return
+			}
+			h.Input(ifc, pkt)
+		}
+	})
+	h.ifaces = append(h.ifaces, ifc)
+	return ifc
+}
+
+// AddVirtualIface attaches a software interface whose transmit function
+// receives routed packets — the hook the tunnel package's VIF uses.
+func (h *Host) AddVirtualIface(name string, transmit TransmitFunc) *Iface {
+	ifc := &Iface{host: h, name: name, transmit: transmit}
+	h.ifaces = append(h.ifaces, ifc)
+	return ifc
+}
+
+// Ifaces returns the host's interfaces, loopback first.
+func (h *Host) Ifaces() []*Iface { return append([]*Iface(nil), h.ifaces...) }
+
+// IfaceByName returns the named interface, or nil.
+func (h *Host) IfaceByName(name string) *Iface {
+	for _, i := range h.ifaces {
+		if i.name == name {
+			return i
+		}
+	}
+	return nil
+}
+
+// ConnectRoute adds the directly-connected subnet route for ifc.
+func (h *Host) ConnectRoute(ifc *Iface) {
+	h.routes.Add(Route{Dst: ifc.prefix, Iface: ifc})
+}
+
+// AddDefaultRoute adds 0.0.0.0/0 via gw on ifc.
+func (h *Host) AddDefaultRoute(gw ip.Addr, ifc *Iface) {
+	h.routes.Add(Route{Dst: ip.Prefix{}, Gateway: gw, Iface: ifc})
+}
+
+// AddLocalAddr makes the host accept packets addressed to a beyond its
+// interface addresses (the mobile host's home address while away).
+func (h *Host) AddLocalAddr(a ip.Addr) { h.localAddrs[a] = true }
+
+// RemoveLocalAddr undoes AddLocalAddr.
+func (h *Host) RemoveLocalAddr(a ip.Addr) { delete(h.localAddrs, a) }
+
+// JoinGroup subscribes the host to a multicast group; traffic to it is
+// accepted and delivered to protocol handlers.
+func (h *Host) JoinGroup(g ip.Addr) error {
+	if !g.IsMulticast() {
+		return fmt.Errorf("stack: %v is not a multicast group", g)
+	}
+	h.groups[g] = true
+	return nil
+}
+
+// LeaveGroup unsubscribes the host from a multicast group.
+func (h *Host) LeaveGroup(g ip.Addr) { delete(h.groups, g) }
+
+// InGroup reports whether the host has joined g.
+func (h *Host) InGroup(g ip.Addr) bool { return h.groups[g] }
+
+// IsLocalAddr reports whether a names this host: an interface address, an
+// extra local address, a joined multicast group, loopback, or a broadcast
+// form.
+func (h *Host) IsLocalAddr(a ip.Addr) bool {
+	if a.IsBroadcast() || a.IsLoopback() || h.localAddrs[a] {
+		return true
+	}
+	if a.IsMulticast() {
+		return h.groups[a]
+	}
+	for _, i := range h.ifaces {
+		if !i.addr.IsUnspecified() && i.addr == a {
+			return true
+		}
+		if i.dev != nil && i.prefix.Bits > 0 && a == i.prefix.BroadcastAddr() {
+			return true
+		}
+	}
+	return false
+}
+
+// RegisterHandler installs the protocol handler for locally delivered
+// packets of protocol p, replacing any previous handler.
+func (h *Host) RegisterHandler(p ip.Protocol, fn ProtocolHandler) {
+	h.handlers[p] = fn
+}
+
+// SetRouteLookup replaces the route-lookup function — the paper's single
+// kernel modification. Passing nil restores the default.
+func (h *Host) SetRouteLookup(fn RouteLookupFunc) {
+	if fn == nil {
+		fn = h.DefaultRouteLookup
+	}
+	h.lookup = fn
+}
+
+// RouteLookup invokes the current route-lookup function.
+func (h *Host) RouteLookup(dst, boundSrc ip.Addr) (RouteDecision, error) {
+	return h.lookup(dst, boundSrc)
+}
+
+// DefaultRouteLookup is the stock lookup: longest-prefix match on the
+// routing table, source address defaulting to the outgoing interface's.
+func (h *Host) DefaultRouteLookup(dst, boundSrc ip.Addr) (RouteDecision, error) {
+	if h.IsLocalAddr(dst) && !dst.IsBroadcast() && !dst.IsMulticast() {
+		src := boundSrc
+		if src.IsUnspecified() {
+			src = dst
+		}
+		return RouteDecision{Iface: h.lo, Src: src, NextHop: dst}, nil
+	}
+	r, ok := h.routes.Lookup(dst)
+	if !ok {
+		return RouteDecision{}, fmt.Errorf("%w: %v", ErrNoRoute, dst)
+	}
+	src := boundSrc
+	if src.IsUnspecified() {
+		src = r.Iface.addr
+	}
+	nh := r.Gateway
+	if nh.IsUnspecified() {
+		nh = dst
+	}
+	return RouteDecision{Iface: r.Iface, Src: src, NextHop: nh}, nil
+}
+
+// NextID returns a fresh IP identification value.
+func (h *Host) NextID() uint16 {
+	h.idSeq++
+	return h.idSeq
+}
+
+// Output routes and transmits a locally originated packet. A zero TTL is
+// replaced with the host default; an unspecified source is filled from the
+// route decision, exactly as the paper describes: packets with a bound
+// source are outside the scope of mobile IP, packets without one get
+// whatever source the (possibly overridden) lookup chooses.
+func (h *Host) Output(pkt *ip.Packet) error {
+	if pkt.TTL == 0 {
+		pkt.TTL = h.cfg.TTL
+	}
+	if pkt.ID == 0 {
+		pkt.ID = h.NextID()
+	}
+	dec, err := h.lookup(pkt.Dst, pkt.Src)
+	if err != nil {
+		h.stats.DropNoRoute++
+		return err
+	}
+	if pkt.Src.IsUnspecified() {
+		pkt.Src = dec.Src
+	}
+	h.stats.Sent++
+	h.loop.Schedule(h.cfg.OutputDelay, func() { dec.Iface.send(pkt, dec.NextHop) })
+	return nil
+}
+
+// OutputVia transmits pkt on a specific interface toward nextHop,
+// bypassing route lookup. DHCP clients (which have no routable address
+// yet) and other link-scoped senders use it.
+func (h *Host) OutputVia(ifc *Iface, pkt *ip.Packet, nextHop ip.Addr) error {
+	if pkt.TTL == 0 {
+		pkt.TTL = h.cfg.TTL
+	}
+	if pkt.ID == 0 {
+		pkt.ID = h.NextID()
+	}
+	h.stats.Sent++
+	h.loop.Schedule(h.cfg.OutputDelay, func() { ifc.send(pkt, nextHop) })
+	return nil
+}
+
+// Input accepts a packet arriving on ifc. The accept/forward/drop decision
+// is made at arrival time — the interrupt path checks the destination
+// against the host's current addresses immediately — while the input
+// processing delay is charged before the packet reaches protocol handlers
+// or the forwarding engine. Decapsulating modules reuse Input to re-inject
+// inner packets.
+func (h *Host) Input(ifc *Iface, pkt *ip.Packet) {
+	h.stats.Received++
+	switch {
+	case h.IsLocalAddr(pkt.Dst):
+		h.loop.Schedule(h.cfg.InputDelay, func() { h.deliver(ifc, pkt) })
+	case h.forwarding && !pkt.Dst.IsMulticast():
+		// Multicast is link-scoped here: unicast routers do not forward
+		// group traffic.
+		h.loop.Schedule(h.cfg.InputDelay, func() { h.forward(ifc, pkt) })
+	default:
+		h.stats.DropNotLocal++
+	}
+}
+
+func (h *Host) deliver(ifc *Iface, pkt *ip.Packet) {
+	// Reassemble fragments destined for us; routers forward fragments
+	// untouched, so this lives only on the local-delivery path.
+	if pkt.IsFragment() {
+		full, done := h.reasm.Add(pkt)
+		if !done {
+			h.armSweep()
+			return
+		}
+		pkt = full
+	}
+	handler, ok := h.handlers[pkt.Protocol]
+	if !ok {
+		if pkt.Protocol == ip.ProtoICMP {
+			h.icmp.input(ifc, pkt)
+			h.stats.Delivered++
+			return
+		}
+		h.stats.DropNoHandler++
+		return
+	}
+	h.stats.Delivered++
+	handler(ifc, pkt)
+}
+
+func (h *Host) forward(in *Iface, pkt *ip.Packet) {
+	if pkt.TTL <= 1 {
+		h.stats.DropTTL++
+		h.icmp.sendError(ip.ICMPTimeExceeded, 0, pkt)
+		return
+	}
+	r, ok := h.routes.Lookup(pkt.Dst)
+	if !ok {
+		h.stats.DropNoRoute++
+		h.icmp.sendError(ip.ICMPDestUnreach, ip.CodeNetUnreach, pkt)
+		return
+	}
+	for _, f := range h.filters {
+		switch f(in, r.Iface, pkt) {
+		case Drop:
+			h.stats.DropFilter++
+			return
+		case Reject:
+			h.stats.DropFilter++
+			h.icmp.sendError(ip.ICMPDestUnreach, ip.CodeAdminProhibited, pkt)
+			return
+		}
+	}
+	// Path-MTU: a DF packet too big for the next hop is bounced with the
+	// ICMP error that path-MTU discovery depends on.
+	if mtu := r.Iface.MTU(); mtu > 0 && pkt.Len() > mtu && pkt.DontFrag {
+		h.stats.DropMTU++
+		h.icmp.sendError(ip.ICMPDestUnreach, ip.CodeFragNeeded, pkt)
+		return
+	}
+	nh := r.Gateway
+	if nh.IsUnspecified() {
+		nh = pkt.Dst
+	}
+	// Forwarding back out the incoming interface to a neighbor on the same
+	// subnet means the sender could have gone direct: send a redirect,
+	// still forwarding the packet (RFC 792 behaviour).
+	if r.Iface == in && in.prefix.Contains(pkt.Src) && !in.pointToPoint {
+		h.icmp.sendRedirect(pkt, nh)
+	}
+	fwd := pkt.Clone()
+	fwd.TTL--
+	h.stats.Forwarded++
+	h.loop.Schedule(h.cfg.ForwardDelay, func() { r.Iface.send(fwd, nh) })
+}

@@ -1,0 +1,204 @@
+package stack
+
+import (
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/sim"
+)
+
+// PingResult reports the outcome of one echo exchange.
+type PingResult struct {
+	Seq      uint16
+	From     ip.Addr
+	RTT      time.Duration
+	TimedOut bool
+	// Unreachable is set when an ICMP error arrived instead of a reply,
+	// with Code holding the unreachable code. A transit-filtered triangle
+	// route surfaces here as CodeAdminProhibited.
+	Unreachable bool
+	Code        uint8
+}
+
+// ICMP is a host's ICMP endpoint. Echo requests addressed to the host are
+// answered automatically — the paper's point that a mobile host must keep
+// answering foreign-network management pings in its local role. Errors and
+// echo replies are matched to outstanding Ping calls.
+type ICMP struct {
+	host    *Host
+	idSeq   uint16
+	pending map[uint32]*pingState // key: id<<16|seq
+
+	// ErrorHook, if set, observes every ICMP error delivered to this host.
+	// The mobile policy layer uses it to learn that a route choice (e.g.
+	// the triangle route through a filtering router) is failing.
+	ErrorHook func(m *ip.ICMP, from ip.Addr)
+
+	// EchoStats counts echo requests answered.
+	EchoRequests uint64
+}
+
+type pingState struct {
+	cb    func(PingResult)
+	sent  sim.Time
+	timer *sim.Timer
+}
+
+func newICMP(h *Host) *ICMP {
+	return &ICMP{host: h, pending: make(map[uint32]*pingState)}
+}
+
+// input handles a locally delivered ICMP packet.
+func (c *ICMP) input(ifc *Iface, pkt *ip.Packet) {
+	m, err := ip.UnmarshalICMP(pkt.Payload)
+	if err != nil {
+		c.host.stats.DropBadPacket++
+		return
+	}
+	switch m.Type {
+	case ip.ICMPEchoRequest:
+		c.EchoRequests++
+		reply := &ip.ICMP{Type: ip.ICMPEchoReply, ID: m.ID, Seq: m.Seq, Body: m.Body}
+		// Reply from the address that was pinged, preserving the
+		// requester's view; a bound source keeps this outside mobile IP
+		// when the pinged address was a local (care-of) one.
+		out := &ip.Packet{
+			Header:  ip.Header{Protocol: ip.ProtoICMP, Src: pkt.Dst, Dst: pkt.Src},
+			Payload: ip.MarshalICMP(reply),
+		}
+		if pkt.Dst.IsBroadcast() {
+			out.Src = ip.Unspecified // let routing pick for broadcast pings
+		}
+		c.host.Output(out)
+	case ip.ICMPEchoReply:
+		key := uint32(m.ID)<<16 | uint32(m.Seq)
+		if st, ok := c.pending[key]; ok {
+			delete(c.pending, key)
+			st.timer.Stop()
+			st.cb(PingResult{Seq: m.Seq, From: pkt.Src, RTT: c.host.loop.Now().Sub(st.sent)})
+		}
+	case ip.ICMPDestUnreach, ip.ICMPTimeExceeded:
+		if c.ErrorHook != nil {
+			c.ErrorHook(m, pkt.Src)
+		}
+		c.matchError(m, pkt.Src)
+	case ip.ICMPRedirect:
+		c.host.stats.RedirectsRcvd++
+		if c.host.installRedirects {
+			if off, err := ip.Unmarshal(paddedHeader(m.Body)); err == nil {
+				c.host.routes.Add(Route{
+					Dst:     ip.Prefix{Addr: off.Dst, Bits: 32},
+					Gateway: m.Gateway(),
+					Iface:   ifc,
+				})
+			}
+		}
+		if c.ErrorHook != nil {
+			c.ErrorHook(m, pkt.Src)
+		}
+	}
+}
+
+// matchError correlates an ICMP error with an outstanding ping by parsing
+// the embedded offending header.
+func (c *ICMP) matchError(m *ip.ICMP, from ip.Addr) {
+	off, err := ip.Unmarshal(paddedHeader(m.Body))
+	if err != nil || off.Protocol != ip.ProtoICMP {
+		return
+	}
+	em, err := ip.UnmarshalICMPLoose(off.Payload)
+	if err != nil || em.Type != ip.ICMPEchoRequest {
+		return
+	}
+	key := uint32(em.ID)<<16 | uint32(em.Seq)
+	if st, ok := c.pending[key]; ok {
+		delete(c.pending, key)
+		st.timer.Stop()
+		st.cb(PingResult{Seq: em.Seq, From: from, Unreachable: true, Code: m.Code})
+	}
+}
+
+// Ping sends an echo request to dst and invokes cb exactly once: with the
+// reply, with an unreachable error, or with a timeout. bound, if not
+// unspecified, is used as the source address (local-role pings). A nil cb
+// is allowed (fire-and-forget).
+func (c *ICMP) Ping(dst, bound ip.Addr, size int, timeout time.Duration, cb func(PingResult)) {
+	if cb == nil {
+		cb = func(PingResult) {}
+	}
+	c.idSeq++
+	id := c.idSeq
+	seq := uint16(1)
+	key := uint32(id)<<16 | uint32(seq)
+	st := &pingState{cb: cb, sent: c.host.loop.Now()}
+	st.timer = c.host.loop.Schedule(timeout, func() {
+		if cur, ok := c.pending[key]; ok && cur == st {
+			delete(c.pending, key)
+			cb(PingResult{Seq: seq, TimedOut: true})
+		}
+	})
+	c.pending[key] = st
+	m := &ip.ICMP{Type: ip.ICMPEchoRequest, ID: id, Seq: seq, Body: make([]byte, size)}
+	pkt := &ip.Packet{
+		Header:  ip.Header{Protocol: ip.ProtoICMP, Src: bound, Dst: dst},
+		Payload: ip.MarshalICMP(m),
+	}
+	if err := c.host.Output(pkt); err != nil {
+		if cur, ok := c.pending[key]; ok && cur == st {
+			delete(c.pending, key)
+			st.timer.Stop()
+			cb(PingResult{Seq: seq, TimedOut: true})
+		}
+	}
+}
+
+// sendError sends an ICMP error about pkt back to its source, observing
+// the usual suppressions (never about ICMP errors, broadcasts, or
+// unspecified sources).
+func (c *ICMP) sendError(typ ip.ICMPType, code uint8, offender *ip.Packet) {
+	if offender.Src.IsUnspecified() || offender.Src.IsBroadcast() || offender.Dst.IsBroadcast() {
+		return
+	}
+	if offender.Protocol == ip.ProtoICMP {
+		if m, err := ip.UnmarshalICMPLoose(offender.Payload); err == nil {
+			if m.Type != ip.ICMPEchoRequest && m.Type != ip.ICMPEchoReply {
+				return // never generate errors about ICMP errors
+			}
+		}
+	}
+	msg := &ip.ICMP{Type: typ, Code: code, Body: ip.ICMPErrorBody(offender)}
+	c.host.Output(&ip.Packet{
+		Header:  ip.Header{Protocol: ip.ProtoICMP, Dst: offender.Src},
+		Payload: ip.MarshalICMP(msg),
+	})
+}
+
+// sendRedirect tells pkt's source there is a better first hop for Dst.
+func (c *ICMP) sendRedirect(pkt *ip.Packet, gateway ip.Addr) {
+	c.host.stats.RedirectsSent++
+	msg := &ip.ICMP{Type: ip.ICMPRedirect, Code: 1 /* host redirect */, Body: ip.ICMPErrorBody(pkt)}
+	msg.SetGateway(gateway)
+	c.host.Output(&ip.Packet{
+		Header:  ip.Header{Protocol: ip.ProtoICMP, Dst: pkt.Src},
+		Payload: ip.MarshalICMP(msg),
+	})
+}
+
+// paddedHeader fixes up a truncated ICMP error body (header + 8 bytes) so
+// ip.Unmarshal's total-length check passes: the embedded header's declared
+// total length usually exceeds the quoted bytes. The quoted payload bytes
+// are preserved; the length field is clamped.
+func paddedHeader(b []byte) []byte {
+	if len(b) < ip.HeaderLen {
+		return b
+	}
+	fixed := append([]byte(nil), b...)
+	fixed[2] = byte(len(fixed) >> 8)
+	fixed[3] = byte(len(fixed))
+	// Recompute the header checksum for the clamped length.
+	fixed[10], fixed[11] = 0, 0
+	ck := ip.Checksum(fixed[:ip.HeaderLen])
+	fixed[10] = byte(ck >> 8)
+	fixed[11] = byte(ck)
+	return fixed
+}

@@ -1,0 +1,137 @@
+package stack
+
+import (
+	"fmt"
+
+	"mosquitonet/internal/arp"
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+)
+
+// TransmitFunc is the send half of a virtual interface: it receives the
+// fully formed packet and the chosen next hop. The tunnel package's VIF is
+// the canonical implementation — it encapsulates the packet and feeds the
+// result back into the host's output path.
+type TransmitFunc func(pkt *ip.Packet, nextHop ip.Addr)
+
+// Iface is a host's network interface: either backed by a link device (with
+// an ARP resolver on broadcast media) or virtual (loopback, VIF).
+type Iface struct {
+	host *Host
+	name string
+
+	addr   ip.Addr
+	prefix ip.Prefix
+
+	dev      *link.Device
+	arp      *arp.Cache
+	transmit TransmitFunc // virtual interfaces only
+
+	// pointToPoint marks device-backed interfaces on media without ARP
+	// (e.g. the radio's Starmode, where the STRIP driver maps addresses
+	// algorithmically). Frames are sent to the link broadcast address and
+	// filtered by IP on receive.
+	pointToPoint bool
+}
+
+// Name returns the interface name, e.g. "eth0", "strip0", "vif0", "lo".
+func (i *Iface) Name() string { return i.name }
+
+// Addr returns the interface's IP address (zero if unconfigured).
+func (i *Iface) Addr() ip.Addr { return i.addr }
+
+// Prefix returns the connected subnet.
+func (i *Iface) Prefix() ip.Prefix { return i.prefix }
+
+// Device returns the backing link device, or nil for virtual interfaces.
+func (i *Iface) Device() *link.Device { return i.dev }
+
+// ARP returns the interface's ARP cache, or nil.
+func (i *Iface) ARP() *arp.Cache { return i.arp }
+
+// Host returns the owning host.
+func (i *Iface) Host() *Host { return i.host }
+
+// Up reports whether the interface can pass traffic.
+func (i *Iface) Up() bool {
+	if i.dev != nil {
+		return i.dev.IsUp()
+	}
+	return true // virtual interfaces are always up
+}
+
+// IsVirtual reports whether the interface has no backing device.
+func (i *Iface) IsVirtual() bool { return i.dev == nil }
+
+func (i *Iface) String() string {
+	return fmt.Sprintf("%s %v/%d", i.name, i.addr, i.prefix.Bits)
+}
+
+// SetAddr reconfigures the interface's address and subnet. This is the
+// "configuring the interface" step of the paper's registration time-line;
+// the caller (the mobile host) charges the configuration latency.
+func (i *Iface) SetAddr(addr ip.Addr, prefix ip.Prefix) {
+	i.addr = addr
+	i.prefix = prefix.Normalize()
+}
+
+// MTU returns the largest packet the interface carries, or 0 (unlimited)
+// for virtual interfaces.
+func (i *Iface) MTU() int {
+	if i.dev == nil || i.dev.Network() == nil {
+		return 0
+	}
+	return i.dev.Network().Medium().MTU
+}
+
+// send emits pkt toward nextHop on this interface, fragmenting when the
+// packet exceeds the medium MTU. DF-marked oversized packets are dropped
+// here; path-MTU signaling happens in the forwarding engine, which has
+// the context to send the ICMP error.
+func (i *Iface) send(pkt *ip.Packet, nextHop ip.Addr) error {
+	if i.transmit != nil {
+		i.transmit(pkt, nextHop)
+		return nil
+	}
+	if mtu := i.MTU(); mtu > 0 && pkt.Len() > mtu {
+		frags, err := ip.Fragment(pkt, mtu)
+		if err != nil {
+			i.host.stats.DropMTU++
+			return err
+		}
+		i.host.stats.FragmentsSent += uint64(len(frags))
+		for _, f := range frags {
+			if err := i.sendOne(f, nextHop); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return i.sendOne(pkt, nextHop)
+}
+
+func (i *Iface) sendOne(pkt *ip.Packet, nextHop ip.Addr) error {
+	raw, err := pkt.Marshal()
+	if err != nil {
+		return err
+	}
+	broadcast := pkt.Dst.IsBroadcast() || pkt.Dst.IsMulticast() ||
+		(i.prefix.Bits > 0 && pkt.Dst == i.prefix.BroadcastAddr())
+	if broadcast || i.pointToPoint || i.arp == nil {
+		i.broadcastRaw(raw)
+		return nil
+	}
+	i.arp.SendIP(nextHop, raw)
+	return nil
+}
+
+// broadcastRaw sends an IPv4 payload to the link broadcast address, used
+// both for genuine broadcasts and for ARP-less (point-to-point/Starmode)
+// media where IP filtering happens at the receiver.
+func (i *Iface) broadcastRaw(raw []byte) {
+	if i.arp != nil {
+		i.arp.SendBroadcastIP(raw)
+		return
+	}
+	i.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeIPv4, Payload: raw})
+}

@@ -1,0 +1,146 @@
+// Package stack implements the per-host IP stack of the simulator: network
+// interfaces, a routing table with longest-prefix match, IP input, output
+// and forwarding paths, protocol demultiplexing, and ICMP.
+//
+// Its single most important design point, copied from the paper, is that
+// every locally originated packet is routed through one replaceable
+// function with the contract of Linux's ip_rt_route(): given a destination
+// and the (possibly unspecified) source the application bound to, return
+// the interface to use, the source address to use, and the next hop. The
+// MosquitoNet mobile-IP layer installs its override of this function — its
+// Mobile Policy Table decisions, home-address source selection, and
+// encapsulating virtual interface all act through this one seam, and
+// nothing else in the stack knows mobility exists.
+package stack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mosquitonet/internal/ip"
+)
+
+// Route is one routing-table entry. A zero Gateway means the destination
+// is directly reachable on Iface's link.
+type Route struct {
+	Dst     ip.Prefix
+	Gateway ip.Addr
+	Iface   *Iface
+	Metric  int
+}
+
+func (r Route) String() string {
+	gw := "direct"
+	if !r.Gateway.IsUnspecified() {
+		gw = "via " + r.Gateway.String()
+	}
+	return fmt.Sprintf("%v %s dev %s metric %d", r.Dst, gw, r.Iface.Name(), r.Metric)
+}
+
+// RouteTable is an ordered routing table with longest-prefix-match lookup.
+// It is deliberately separate from mobility policy: the paper keeps the
+// kernel routing tables unchanged and layers the Mobile Policy Table
+// beside them, and so do we.
+type RouteTable struct {
+	routes []Route
+}
+
+// Add inserts a route. Adding an identical (Dst, Gateway, Iface) tuple
+// replaces the previous entry's metric rather than duplicating it.
+func (t *RouteTable) Add(r Route) {
+	if r.Iface == nil {
+		panic("stack: route with nil interface")
+	}
+	r.Dst = r.Dst.Normalize()
+	for i := range t.routes {
+		e := &t.routes[i]
+		if e.Dst == r.Dst && e.Gateway == r.Gateway && e.Iface == r.Iface {
+			e.Metric = r.Metric
+			return
+		}
+	}
+	t.routes = append(t.routes, r)
+	// Keep longest prefixes first, then lowest metric, for a simple
+	// first-match scan.
+	sort.SliceStable(t.routes, func(i, j int) bool {
+		if t.routes[i].Dst.Bits != t.routes[j].Dst.Bits {
+			return t.routes[i].Dst.Bits > t.routes[j].Dst.Bits
+		}
+		return t.routes[i].Metric < t.routes[j].Metric
+	})
+}
+
+// Delete removes every route exactly matching dst. It reports whether
+// anything was removed.
+func (t *RouteTable) Delete(dst ip.Prefix) bool {
+	dst = dst.Normalize()
+	kept := t.routes[:0]
+	removed := false
+	for _, r := range t.routes {
+		if r.Dst == dst {
+			removed = true
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.routes = kept
+	return removed
+}
+
+// DeleteIface removes every route through ifc, as when a device goes down.
+func (t *RouteTable) DeleteIface(ifc *Iface) int {
+	kept := t.routes[:0]
+	n := 0
+	for _, r := range t.routes {
+		if r.Iface == ifc {
+			n++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.routes = kept
+	return n
+}
+
+// Lookup returns the best (longest-prefix, lowest-metric, up-interface)
+// route for dst.
+func (t *RouteTable) Lookup(dst ip.Addr) (Route, bool) {
+	for _, r := range t.routes {
+		if r.Dst.Contains(dst) && r.Iface.Up() {
+			return r, true
+		}
+	}
+	return Route{}, false
+}
+
+// Routes returns a copy of the table in match order.
+func (t *RouteTable) Routes() []Route { return append([]Route(nil), t.routes...) }
+
+// Len returns the number of entries.
+func (t *RouteTable) Len() int { return len(t.routes) }
+
+// String renders the table one route per line, like "route -n".
+func (t *RouteTable) String() string {
+	var b strings.Builder
+	for _, r := range t.routes {
+		fmt.Fprintln(&b, r)
+	}
+	return b.String()
+}
+
+// RouteDecision is the result of the route-lookup function: which interface
+// to hand the packet to, the source address to stamp on it, and the
+// next-hop address on that interface's link.
+type RouteDecision struct {
+	Iface   *Iface
+	Src     ip.Addr
+	NextHop ip.Addr
+}
+
+// RouteLookupFunc is the ip_rt_route() seam. dst is the packet's
+// destination; boundSrc is the source address the sender bound, or the
+// unspecified address if it left the choice to the stack. Implementations
+// return ErrNoRoute (possibly wrapped) when the destination is
+// unreachable.
+type RouteLookupFunc func(dst, boundSrc ip.Addr) (RouteDecision, error)

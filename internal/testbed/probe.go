@@ -1,0 +1,106 @@
+package testbed
+
+import (
+	"encoding/binary"
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/transport"
+)
+
+// EchoProbe reproduces the paper's measurement workload: a correspondent
+// host sends sequence-numbered UDP packets to the mobile host's home
+// address at a fixed interval, and the mobile host echoes each one back.
+// Loss is counted as sent-but-never-echoed.
+type EchoProbe struct {
+	loop     *sim.Loop
+	src      *transport.UDPSocket
+	dst      ip.Addr
+	port     uint16
+	interval time.Duration
+
+	seq      uint64
+	received uint64
+	seen     map[uint64]bool // dedup: simultaneous bindings duplicate echoes
+	paused   bool
+	stopped  bool
+	echoSock *transport.UDPSocket
+}
+
+// NewEchoProbe installs the echo responder on the mobile host's transport
+// stack (bound to the wildcard address, so it answers via mobile IP) and
+// prepares the sender on from. Call Start to begin transmission.
+func NewEchoProbe(loop *sim.Loop, from, mh *transport.Stack, dst ip.Addr, port uint16, interval time.Duration) (*EchoProbe, error) {
+	p := &EchoProbe{loop: loop, dst: dst, port: port, interval: interval, paused: true, seen: make(map[uint64]bool)}
+	var echo *transport.UDPSocket
+	echo, err := mh.UDP(ip.Unspecified, port, func(d transport.Datagram) {
+		echo.SendTo(d.From, d.FromPort, d.Payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.echoSock = echo
+	src, err := from.UDP(ip.Unspecified, 0, func(d transport.Datagram) {
+		if len(d.Payload) < 8 {
+			return
+		}
+		seq := binary.BigEndian.Uint64(d.Payload)
+		if p.seen[seq] {
+			return // duplicate (e.g. simultaneous bindings)
+		}
+		p.seen[seq] = true
+		p.received++
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.src = src
+	return p, nil
+}
+
+// Start (or resume) transmission.
+func (p *EchoProbe) Start() {
+	if !p.paused || p.stopped {
+		return
+	}
+	p.paused = false
+	p.tick()
+}
+
+// Pause suspends transmission; in-flight echoes still count on arrival.
+func (p *EchoProbe) Pause() { p.paused = true }
+
+// Stop ends the probe permanently and releases its sockets.
+func (p *EchoProbe) Stop() {
+	p.stopped = true
+	p.paused = true
+	p.src.Close()
+	p.echoSock.Close()
+}
+
+// Sent returns the number of probes transmitted.
+func (p *EchoProbe) Sent() uint64 { return p.seq }
+
+// Received returns the number of echoes received.
+func (p *EchoProbe) Received() uint64 { return p.received }
+
+// Snapshot returns (sent, received) counters.
+func (p *EchoProbe) Snapshot() (uint64, uint64) { return p.seq, p.received }
+
+func (p *EchoProbe) tick() {
+	if p.paused || p.stopped {
+		return
+	}
+	p.seq++
+	var payload [8]byte
+	binary.BigEndian.PutUint64(payload[:], p.seq)
+	p.src.SendTo(p.dst, p.port, payload[:])
+	p.loop.Schedule(p.interval, p.tick)
+}
+
+// LossBetween computes packets lost within a window bounded by two
+// snapshots taken while the probe was quiescent (paused and drained).
+func LossBetween(sentBefore, recvBefore, sentAfter, recvAfter uint64) int {
+	return int((sentAfter - sentBefore) - (recvAfter - recvBefore))
+}

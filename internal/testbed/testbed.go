@@ -1,0 +1,239 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"mosquitonet/internal/dhcp"
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+	"mosquitonet/internal/mip"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/stack"
+	"mosquitonet/internal/trace"
+	"mosquitonet/internal/transport"
+)
+
+// Well-known testbed addresses (Figure 5).
+var (
+	HomePrefix   = ip.MustParsePrefix("36.135.0.0/16") // MosquitoNet home subnet
+	DeptPrefix   = ip.MustParsePrefix("36.8.0.0/16")   // CS department subnet
+	RadioPrefix  = ip.MustParsePrefix("36.134.0.0/16") // Metricom radio subnet
+	CampusPrefix = ip.MustParsePrefix("36.22.0.0/16")  // a campus net outside the department
+
+	RouterHomeAddr   = ip.MustParseAddr("36.135.0.1")
+	RouterDeptAddr   = ip.MustParseAddr("36.8.0.1")
+	RouterRadioAddr  = ip.MustParseAddr("36.134.0.1")
+	RouterCampusAddr = ip.MustParseAddr("36.22.0.1")
+
+	MHHomeAddr  = ip.MustParseAddr("36.135.0.7") // the mobile host's permanent address
+	MHRadioAddr = ip.MustParseAddr("36.134.0.7") // its fixed address on the radio subnet
+
+	// SlowPrefix is a remote wired subnet reached across slow, high-latency
+	// infrastructure; the foreign-agent ablation (A2) visits it because
+	// packets in flight toward it take long enough to strand.
+	SlowPrefix     = ip.MustParsePrefix("36.40.0.0/16")
+	RouterSlowAddr = ip.MustParseAddr("36.40.0.1")
+	MHSlowAddr     = ip.MustParseAddr("36.40.0.7") // MH's static address when collocated there
+	FASlowAddr     = ip.MustParseAddr("36.40.0.2") // the foreign agent's address there
+
+	CHAddr       = ip.MustParseAddr("36.8.0.99")  // correspondent on net 36.8
+	CampusCHAddr = ip.MustParseAddr("36.22.0.99") // correspondent elsewhere on campus
+)
+
+// Testbed is the assembled Figure 5 environment.
+type Testbed struct {
+	Loop   *sim.Loop
+	Tracer *trace.Tracer
+
+	HomeNet, DeptNet, RadioNet, CampusNet, SlowNet *link.Network
+
+	// Router is the Pentium 90 connecting the subnets; the home agent and
+	// the department's DHCP server are collocated on it, as in the paper's
+	// usual configuration.
+	Router   *stack.Host
+	RouterTS *transport.Stack
+	HA       *mip.HomeAgent
+	DHCP     *dhcp.Server
+
+	CH       *transport.Stack // correspondent host on 36.8
+	CampusCH *transport.Stack // correspondent host on 36.22
+
+	MH    *mip.MobileHost
+	MHTS  *transport.Stack
+	Eth   *mip.ManagedIface // PCMCIA Ethernet: home subnet or visiting 36.8
+	Strip *mip.ManagedIface // Metricom radio on 36.134
+}
+
+// New assembles the testbed. All devices start down except the
+// infrastructure's; drive the mobile host with ConnectHome / ColdSwitch /
+// etc. on tb.MH.
+func New(seed int64) *Testbed {
+	loop := sim.New(seed)
+	tb := &Testbed{
+		Loop:      loop,
+		Tracer:    trace.New(loop),
+		HomeNet:   link.NewNetwork(loop, "net-36.135", link.Ethernet()),
+		DeptNet:   link.NewNetwork(loop, "net-36.8", link.Ethernet()),
+		RadioNet:  link.NewNetwork(loop, "net-36.134", link.Radio()),
+		CampusNet: link.NewNetwork(loop, "net-36.22", link.Ethernet()),
+		SlowNet:   link.NewNetwork(loop, "net-36.40", slowWired()),
+	}
+
+	// Router (Pentium 90) with an interface per subnet.
+	tb.Router = stack.NewHost(loop, "router", stack.Config{
+		InputDelay:   HAInputDelay,
+		OutputDelay:  HAOutputDelay,
+		ForwardDelay: RouterForwardDelay,
+	})
+	addRouterIface := func(n *link.Network, addr ip.Addr, pfx ip.Prefix, p2p bool) *stack.Iface {
+		d := link.NewDevice(loop, "r-"+n.Name(), 0, 0)
+		d.Attach(n)
+		d.BringUp(nil)
+		ifc := tb.Router.AddIface("r-"+n.Name(), d, addr, pfx, stack.IfaceOpts{PointToPoint: p2p})
+		tb.Router.ConnectRoute(ifc)
+		return ifc
+	}
+	homeIfc := addRouterIface(tb.HomeNet, RouterHomeAddr, HomePrefix, false)
+	addRouterIface(tb.DeptNet, RouterDeptAddr, DeptPrefix, false)
+	addRouterIface(tb.RadioNet, RouterRadioAddr, RadioPrefix, true)
+	addRouterIface(tb.CampusNet, RouterCampusAddr, CampusPrefix, false)
+	addRouterIface(tb.SlowNet, RouterSlowAddr, SlowPrefix, false)
+	tb.Router.SetForwarding(true)
+	tb.RouterTS = transport.NewStack(tb.Router)
+
+	// Home agent, collocated on the router.
+	ha, err := mip.NewHomeAgent(tb.RouterTS, mip.HomeAgentConfig{
+		HomeIface:       homeIfc,
+		HomePrefix:      HomePrefix,
+		ProcessingDelay: HAProcessing,
+		Tracer:          tb.Tracer,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("testbed: home agent: %v", err))
+	}
+	tb.HA = ha
+
+	// DHCP service for visitors to the department subnet.
+	srv, err := dhcp.NewServer(tb.RouterTS, dhcp.ServerConfig{
+		Pool:            DeptPrefix,
+		FirstHost:       100,
+		LastHost:        150,
+		Gateway:         RouterDeptAddr,
+		ProcessingDelay: DHCPProcessing,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("testbed: dhcp: %v", err))
+	}
+	tb.DHCP = srv
+
+	// Correspondent hosts.
+	tb.CH = newEndHost(loop, tb.DeptNet, "ch", CHAddr, DeptPrefix, RouterDeptAddr)
+	tb.CampusCH = newEndHost(loop, tb.CampusNet, "campus-ch", CampusCHAddr, CampusPrefix, RouterCampusAddr)
+
+	// The mobile host: a Gateway Handbook 486.
+	mhHost := stack.NewHost(loop, "mh", stack.Config{
+		InputDelay:  MHProcDelay,
+		OutputDelay: MHProcDelay,
+	})
+	tb.MHTS = transport.NewStack(mhHost)
+	tb.MH = mip.NewMobileHost(tb.MHTS, mip.MobileHostConfig{
+		HomeAddr:         MHHomeAddr,
+		HomePrefix:       HomePrefix,
+		HomeAgent:        RouterHomeAddr,
+		Lifetime:         RegLifetime,
+		ConfigureDelay:   ConfigureDelay,
+		RouteChangeDelay: RouteChangeDelay,
+		Tracer:           tb.Tracer,
+	})
+
+	// The PCMCIA Ethernet card uses the home configuration when attached
+	// at home (ConnectHome) and DHCP when visiting net 36.8.
+	ethDev := link.NewDevice(loop, "mh-eth", EthBringUp, EthBringUpJitter)
+	ethDev.Attach(tb.HomeNet)
+	eth, err := tb.MH.AddInterface("eth0", ethDev, false, nil)
+	if err != nil {
+		panic(err)
+	}
+	tb.Eth = eth
+
+	stripDev := link.NewDevice(loop, "mh-strip", RadioBringUp, RadioBringUpJitter)
+	stripDev.Attach(tb.RadioNet)
+	strip, err := tb.MH.AddInterface("strip0", stripDev, true, &mip.StaticConfig{
+		Addr:    MHRadioAddr,
+		Prefix:  RadioPrefix,
+		Gateway: RouterRadioAddr,
+	})
+	if err != nil {
+		panic(err)
+	}
+	tb.Strip = strip
+
+	loop.RunFor(0)
+	return tb
+}
+
+// slowWired models the remote subnet's slow wired infrastructure: an
+// ARP-capable broadcast medium with high latency and modest bandwidth.
+func slowWired() link.Medium {
+	return link.Medium{
+		Name:          "slow-wired",
+		Latency:       80 * time.Millisecond,
+		LatencyJitter: 5 * time.Millisecond,
+		BitRate:       512_000,
+		MTU:           1500,
+	}
+}
+
+// newEndHost builds an ordinary (non-mobile) host.
+func newEndHost(loop *sim.Loop, n *link.Network, name string, addr ip.Addr, pfx ip.Prefix, gw ip.Addr) *transport.Stack {
+	h := stack.NewHost(loop, name, stack.Config{InputDelay: CHProcDelay, OutputDelay: CHProcDelay})
+	d := link.NewDevice(loop, name+"-eth", 0, 0)
+	d.Attach(n)
+	d.BringUp(nil)
+	ifc := h.AddIface("eth0", d, addr, pfx, stack.IfaceOpts{})
+	h.ConnectRoute(ifc)
+	h.AddDefaultRoute(gw, ifc)
+	loop.RunFor(0)
+	return transport.NewStack(h)
+}
+
+// Run advances the simulation.
+func (tb *Testbed) Run(d time.Duration) { tb.Loop.RunFor(d) }
+
+// MoveEthTo reattaches the PCMCIA Ethernet card to another network
+// (carrying the subnotebook to a different wall jack). The device must be
+// reconnected with a ColdSwitch (or Prepare) afterwards.
+func (tb *Testbed) MoveEthTo(n *link.Network) {
+	tb.Eth.Iface().Device().Detach()
+	tb.Eth.Iface().Device().Attach(n)
+}
+
+// EthIsHome reports whether the Ethernet card is on the home network.
+func (tb *Testbed) EthIsHome() bool {
+	return tb.Eth.Iface().Device().Network() == tb.HomeNet
+}
+
+// MustConnectHome attaches the mobile host at home and fails the
+// simulation on error.
+func (tb *Testbed) MustConnectHome() {
+	var fail error
+	done := false
+	tb.MH.ConnectHome(tb.Eth, RouterHomeAddr, func(err error) { fail, done = err, true })
+	tb.Run(10 * time.Second)
+	if !done || fail != nil {
+		panic(fmt.Sprintf("testbed: ConnectHome: done=%v err=%v", done, fail))
+	}
+}
+
+// MustConnectForeign attaches an interface on a foreign network and fails
+// the simulation on error.
+func (tb *Testbed) MustConnectForeign(mi *mip.ManagedIface) {
+	var fail error
+	done := false
+	tb.MH.ConnectForeign(mi, func(err error) { fail, done = err, true })
+	tb.Run(30 * time.Second)
+	if !done || fail != nil {
+		panic(fmt.Sprintf("testbed: ConnectForeign(%s): done=%v err=%v", mi.Name(), done, fail))
+	}
+}

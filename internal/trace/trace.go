@@ -1,0 +1,103 @@
+// Package trace provides structured event recording for experiments and
+// debugging: timestamped events with a kind, an actor, and free-form
+// detail, filterable after the fact. The registration time-line of the
+// paper's Figure 7 is reconstructed from these events.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"mosquitonet/internal/sim"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     sim.Time
+	Kind   string // e.g. "reg.request.sent", "handoff.start"
+	Actor  string // host name
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12v %-12s %-28s %s", e.At, e.Actor, e.Kind, e.Detail)
+}
+
+// Tracer records events against a simulation clock. A nil Tracer is valid
+// and records nothing, so call sites never need nil checks.
+type Tracer struct {
+	loop   *sim.Loop
+	events []Event
+	// Hook, if set, observes every event as it is recorded.
+	Hook func(Event)
+}
+
+// New creates a tracer on the given clock.
+func New(loop *sim.Loop) *Tracer { return &Tracer{loop: loop} }
+
+// Record appends an event. Detail follows fmt.Sprintf conventions.
+func (t *Tracer) Record(actor, kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	e := Event{At: t.loop.Now(), Kind: kind, Actor: actor, Detail: fmt.Sprintf(format, args...)}
+	t.events = append(t.events, e)
+	if t.Hook != nil {
+		t.Hook(e)
+	}
+}
+
+// Events returns all recorded events in order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return append([]Event(nil), t.events...)
+}
+
+// Find returns events whose kind has the given prefix.
+func (t *Tracer) Find(kindPrefix string) []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range t.events {
+		if strings.HasPrefix(e.Kind, kindPrefix) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Last returns the most recent event with the given kind prefix.
+func (t *Tracer) Last(kindPrefix string) (Event, bool) {
+	if t == nil {
+		return Event{}, false
+	}
+	for i := len(t.events) - 1; i >= 0; i-- {
+		if strings.HasPrefix(t.events[i].Kind, kindPrefix) {
+			return t.events[i], true
+		}
+	}
+	return Event{}, false
+}
+
+// Reset discards recorded events (between experiment iterations).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.events = t.events[:0]
+}
+
+// String renders the full trace, one event per line.
+func (t *Tracer) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range t.events {
+		fmt.Fprintln(&b, e)
+	}
+	return b.String()
+}

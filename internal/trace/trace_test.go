@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mosquitonet/internal/sim"
+)
+
+func TestRecordAndFind(t *testing.T) {
+	loop := sim.New(1)
+	tr := New(loop)
+	loop.Schedule(time.Millisecond, func() { tr.Record("mh", "reg.request.sent", "to %s", "ha") })
+	loop.Schedule(2*time.Millisecond, func() { tr.Record("ha", "reg.reply.sent", "ok") })
+	loop.Schedule(3*time.Millisecond, func() { tr.Record("mh", "reg.reply.received", "") })
+	loop.Run()
+
+	all := tr.Events()
+	if len(all) != 3 {
+		t.Fatalf("events = %d", len(all))
+	}
+	if all[0].At != sim.Time(time.Millisecond) || all[0].Actor != "mh" {
+		t.Fatalf("first event: %+v", all[0])
+	}
+	if all[0].Detail != "to ha" {
+		t.Fatalf("detail: %q", all[0].Detail)
+	}
+
+	reg := tr.Find("reg.")
+	if len(reg) != 3 {
+		t.Fatalf("Find(reg.) = %d", len(reg))
+	}
+	replies := tr.Find("reg.reply")
+	if len(replies) != 2 {
+		t.Fatalf("Find(reg.reply) = %d", len(replies))
+	}
+
+	last, ok := tr.Last("reg.")
+	if !ok || last.Kind != "reg.reply.received" {
+		t.Fatalf("Last = %+v ok=%v", last, ok)
+	}
+	if _, ok := tr.Last("nope"); ok {
+		t.Fatal("Last found a nonexistent kind")
+	}
+}
+
+func TestHook(t *testing.T) {
+	loop := sim.New(1)
+	tr := New(loop)
+	var seen []Event
+	tr.Hook = func(e Event) { seen = append(seen, e) }
+	tr.Record("x", "k", "d")
+	if len(seen) != 1 || seen[0].Kind != "k" {
+		t.Fatalf("hook saw %v", seen)
+	}
+}
+
+func TestReset(t *testing.T) {
+	loop := sim.New(1)
+	tr := New(loop)
+	tr.Record("x", "k", "")
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record("x", "k", "") // must not panic
+	if tr.Events() != nil || tr.String() != "" {
+		t.Fatal("nil tracer misbehaved")
+	}
+	if _, ok := tr.Last("k"); ok {
+		t.Fatal("nil tracer found events")
+	}
+	if tr.Find("k") != nil {
+		t.Fatal("nil tracer found events")
+	}
+	tr.Reset()
+}
+
+func TestString(t *testing.T) {
+	loop := sim.New(1)
+	tr := New(loop)
+	tr.Record("mh", "handoff.start", "eth0 -> strip0")
+	s := tr.String()
+	if !strings.Contains(s, "handoff.start") || !strings.Contains(s, "eth0 -> strip0") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,620 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/stack"
+)
+
+// Stream parameters. There is no congestion control: the paper's
+// experiments are about handoff disruption, not bulk-transfer dynamics,
+// and a fixed window keeps behaviour analyzable. Retransmission and RTT
+// estimation follow the usual (Jacobson/Karn) rules so streams survive the
+// loss bursts a handoff causes.
+const (
+	MSS            = 1000
+	recvWindow     = 16384
+	initialRTO     = time.Second
+	minRTO         = 300 * time.Millisecond
+	maxRTO         = 60 * time.Second
+	maxSynRetries  = 6
+	maxDataRetries = 10
+	oooLimit       = 64 // out-of-order segments buffered per connection
+)
+
+// ConnState is a stream connection's state.
+type ConnState int
+
+// Connection states (a condensed TCP state machine: FinSent covers
+// FIN-WAIT-1/LAST-ACK, and remote closure is tracked separately).
+const (
+	StateSynSent ConnState = iota
+	StateSynRcvd
+	StateEstablished
+	StateFinSent
+	StateClosed
+)
+
+func (s ConnState) String() string {
+	switch s {
+	case StateSynSent:
+		return "syn-sent"
+	case StateSynRcvd:
+		return "syn-rcvd"
+	case StateEstablished:
+		return "established"
+	case StateFinSent:
+		return "fin-sent"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ConnStats counts a connection's activity.
+type ConnStats struct {
+	BytesSent     uint64 // payload bytes transmitted (including retransmits)
+	BytesAcked    uint64
+	BytesReceived uint64
+	Retransmits   uint64
+	DupAcksSent   uint64
+}
+
+// Conn is a reliable byte-stream connection. Callbacks fire from the
+// simulation loop; install them before traffic can arrive.
+type Conn struct {
+	stk   *Stack
+	key   connKey
+	state ConnState
+
+	// Callbacks.
+	OnData        func([]byte) // in-order received payload
+	OnEstablished func()
+	OnRemoteClose func()
+	OnError       func(error)
+
+	// Send state.
+	iss      uint32
+	sndUna   uint32 // oldest unacknowledged sequence
+	sndNxt   uint32 // next sequence to send
+	peerWnd  uint16
+	sndBuf   []byte // bytes [sndUna+pendingSynFin adjustments ...): unacked + unsent
+	sndInUse int    // bytes of sndBuf already transmitted (unacked)
+	closing  bool   // Close() called; send FIN once buffer drains
+	finSent  bool
+	finAcked bool
+
+	// Receive state. ooo holds out-of-order segments awaiting the gap to
+	// fill (bounded by oooLimit entries).
+	rcvNxt       uint32
+	remoteClosed bool
+	ooo          map[uint32][]byte
+
+	// Fast retransmit: three duplicate ACKs for sndUna trigger an
+	// immediate retransmission without waiting out the RTO.
+	dupAcks int
+
+	// recovering marks a timeout-recovery episode: after an RTO
+	// retransmission, each ACK that advances sndUna immediately
+	// retransmits the next outstanding segment (ACK-clocked go-back-N)
+	// instead of waiting out the backed-off RTO again. A handoff blackout
+	// can lose a whole window; without this, recovery would crawl at one
+	// segment per RTO.
+	recovering bool
+
+	// Retransmission.
+	rtxTimer   *sim.Timer
+	rto        time.Duration
+	srtt       time.Duration
+	rttvar     time.Duration
+	retries    int
+	sampleSeq  uint32   // sequence whose RTT is being timed
+	sampleTime sim.Time // send time of sampleSeq
+	sampling   bool
+
+	stats ConnStats
+}
+
+// Listener accepts incoming stream connections on a bound address/port.
+type Listener struct {
+	stk      *Stack
+	key      bindKey
+	onAccept func(*Conn)
+	closed   bool
+}
+
+// Listen binds a listener. A zero bound address accepts connections to any
+// local address, including the home address on a mobile host.
+func (s *Stack) Listen(bound ip.Addr, port uint16, onAccept func(*Conn)) (*Listener, error) {
+	k := bindKey{bound, port}
+	if s.listeners[k] != nil {
+		return nil, ErrPortInUse
+	}
+	l := &Listener{stk: s, key: k, onAccept: onAccept}
+	s.listeners[k] = l
+	return l, nil
+}
+
+// Close stops accepting new connections (existing ones are unaffected).
+func (l *Listener) Close() {
+	if !l.closed {
+		l.closed = true
+		delete(l.stk.listeners, l.key)
+	}
+}
+
+// Connect opens a connection to (dst, dport), bound locally to bound (or
+// the route lookup's recommended source when unspecified — the home
+// address on a mobile host, making the connection move-proof).
+func (s *Stack) Connect(bound, dst ip.Addr, dport uint16) (*Conn, error) {
+	src, err := s.resolveSrc(dst, bound)
+	if err != nil {
+		return nil, err
+	}
+	lport, err := s.ephemeralPort(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		stk:     s,
+		key:     connKey{laddr: src, lport: lport, raddr: dst, rport: dport},
+		state:   StateSynSent,
+		iss:     s.loop.Rand().Uint32(),
+		rto:     initialRTO,
+		peerWnd: recvWindow,
+	}
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1 // SYN consumes one sequence number
+	s.conns[c.key] = c
+	c.sendSegment(ip.TCPSyn, c.iss, 0, nil)
+	c.armTimer()
+	return c, nil
+}
+
+// State returns the connection state.
+func (c *Conn) State() ConnState { return c.state }
+
+// Established reports whether the handshake completed.
+func (c *Conn) Established() bool { return c.state == StateEstablished || c.state == StateFinSent }
+
+// Stats returns a snapshot of the counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// LocalAddr returns the connection's local (bound) address and port.
+func (c *Conn) LocalAddr() (ip.Addr, uint16) { return c.key.laddr, c.key.lport }
+
+// RemoteAddr returns the peer address and port.
+func (c *Conn) RemoteAddr() (ip.Addr, uint16) { return c.key.raddr, c.key.rport }
+
+// Unacked returns the number of bytes sent but not yet acknowledged.
+func (c *Conn) Unacked() int { return c.sndInUse }
+
+// Write queues data for reliable delivery.
+func (c *Conn) Write(data []byte) error {
+	if c.state == StateClosed {
+		return ErrClosed
+	}
+	if c.closing {
+		return ErrClosed
+	}
+	c.sndBuf = append(c.sndBuf, data...)
+	c.trySend()
+	return nil
+}
+
+// Close initiates an orderly shutdown: buffered data is delivered first,
+// then a FIN.
+func (c *Conn) Close() {
+	if c.state == StateClosed || c.closing {
+		return
+	}
+	c.closing = true
+	c.trySend()
+}
+
+// Abort drops the connection immediately, sending a RST.
+func (c *Conn) Abort() {
+	if c.state == StateClosed {
+		return
+	}
+	c.sendSegment(ip.TCPRst, c.sndNxt, c.rcvNxt, nil)
+	c.teardown(nil)
+}
+
+func (c *Conn) teardown(err error) {
+	if c.state == StateClosed {
+		return
+	}
+	c.state = StateClosed
+	if c.rtxTimer != nil {
+		c.rtxTimer.Stop()
+	}
+	delete(c.stk.conns, c.key)
+	if err != nil && c.OnError != nil {
+		c.OnError(err)
+	}
+}
+
+// trySend transmits as much as the peer window allows, plus a FIN when
+// closing with an empty buffer.
+func (c *Conn) trySend() {
+	if c.state != StateEstablished && c.state != StateFinSent {
+		return
+	}
+	for c.sndInUse < len(c.sndBuf) {
+		inflight := int(c.sndNxt - c.sndUna)
+		if inflight >= int(c.peerWnd) {
+			break
+		}
+		n := len(c.sndBuf) - c.sndInUse
+		if n > MSS {
+			n = MSS
+		}
+		if n > int(c.peerWnd)-inflight {
+			n = int(c.peerWnd) - inflight
+		}
+		if n <= 0 {
+			break
+		}
+		seg := c.sndBuf[c.sndInUse : c.sndInUse+n]
+		seq := c.sndNxt
+		c.sendSegment(ip.TCPAck|ip.TCPPsh, seq, c.rcvNxt, seg)
+		c.stats.BytesSent += uint64(n)
+		if !c.sampling {
+			c.sampling = true
+			c.sampleSeq = seq
+			c.sampleTime = c.stk.loop.Now()
+		}
+		c.sndNxt += uint32(n)
+		c.sndInUse += n
+	}
+	if c.closing && c.sndInUse == len(c.sndBuf) && !c.finSent && c.state == StateEstablished {
+		c.finSent = true
+		c.state = StateFinSent
+		c.sendSegment(ip.TCPFin|ip.TCPAck, c.sndNxt, c.rcvNxt, nil)
+		c.sndNxt++ // FIN consumes a sequence number
+	}
+	c.armTimer()
+}
+
+func (c *Conn) sendSegment(flags uint8, seq, ack uint32, payload []byte) {
+	h := ip.TCPHeader{
+		SrcPort: c.key.lport,
+		DstPort: c.key.rport,
+		Seq:     seq,
+		Ack:     ack,
+		Flags:   flags,
+		Window:  recvWindow,
+	}
+	seg := ip.MarshalTCP(c.key.laddr, c.key.raddr, h, payload)
+	pkt := &ip.Packet{
+		Header:  ip.Header{Protocol: ip.ProtoTCP, Src: c.key.laddr, Dst: c.key.raddr},
+		Payload: seg,
+	}
+	c.stk.host.Output(pkt)
+}
+
+// armTimer (re)starts the retransmission timer if anything is in flight.
+func (c *Conn) armTimer() {
+	if c.rtxTimer != nil {
+		c.rtxTimer.Stop()
+		c.rtxTimer = nil
+	}
+	inflight := c.sndNxt != c.sndUna
+	if !inflight || c.state == StateClosed {
+		return
+	}
+	c.rtxTimer = c.stk.loop.Schedule(c.rto, c.retransmit)
+}
+
+func (c *Conn) retransmit() {
+	c.retries++
+	limit := maxDataRetries
+	if c.state == StateSynSent || c.state == StateSynRcvd {
+		limit = maxSynRetries
+	}
+	if c.retries > limit {
+		c.teardown(ErrConnTimeout)
+		return
+	}
+	c.stats.Retransmits++
+	c.sampling = false // Karn: no RTT samples across retransmits
+	switch c.state {
+	case StateSynSent:
+		c.sendSegment(ip.TCPSyn, c.iss, 0, nil)
+	case StateSynRcvd:
+		c.sendSegment(ip.TCPSyn|ip.TCPAck, c.iss, c.rcvNxt, nil)
+	default:
+		if c.sndInUse > 0 {
+			c.recovering = true
+			c.resendHead()
+		} else if c.finSent && !c.finAcked {
+			c.sendSegment(ip.TCPFin|ip.TCPAck, c.sndNxt-1, c.rcvNxt, nil)
+		}
+	}
+	c.rto *= 2
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+	c.armTimer()
+}
+
+// updateRTT feeds a round-trip sample into the Jacobson estimator.
+func (c *Conn) updateRTT(sample time.Duration) {
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		delta := sample - c.srtt
+		if delta < 0 {
+			delta = -delta
+		}
+		c.rttvar = (3*c.rttvar + delta) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < minRTO {
+		c.rto = minRTO
+	}
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+	c.retries = 0
+}
+
+// RTO returns the current retransmission timeout (for tests and traces).
+func (c *Conn) RTO() time.Duration { return c.rto }
+
+// tcpInput demultiplexes a received TCP segment.
+func (s *Stack) tcpInput(ifc *stack.Iface, pkt *ip.Packet) {
+	h, payload, err := ip.UnmarshalTCP(pkt.Src, pkt.Dst, pkt.Payload)
+	if err != nil {
+		s.stats.TCPBadChecksum++
+		return
+	}
+	s.stats.TCPSegments++
+	key := connKey{laddr: pkt.Dst, lport: h.DstPort, raddr: pkt.Src, rport: h.SrcPort}
+	if c, ok := s.conns[key]; ok {
+		c.segment(h, payload)
+		return
+	}
+	// New connection to a listener?
+	if h.Flags&ip.TCPSyn != 0 && h.Flags&ip.TCPAck == 0 {
+		l := s.listeners[bindKey{pkt.Dst, h.DstPort}]
+		if l == nil {
+			l = s.listeners[bindKey{ip.Unspecified, h.DstPort}]
+		}
+		if l != nil {
+			c := &Conn{
+				stk:     s,
+				key:     key,
+				state:   StateSynRcvd,
+				iss:     s.loop.Rand().Uint32(),
+				rto:     initialRTO,
+				peerWnd: h.Window,
+				rcvNxt:  h.Seq + 1,
+			}
+			c.sndUna = c.iss
+			c.sndNxt = c.iss + 1
+			s.conns[key] = c
+			if l.onAccept != nil {
+				l.onAccept(c)
+			}
+			c.sendSegment(ip.TCPSyn|ip.TCPAck, c.iss, c.rcvNxt, nil)
+			c.armTimer()
+			return
+		}
+	}
+	s.stats.TCPNoConn++
+	if h.Flags&ip.TCPRst == 0 {
+		// Refuse with a RST addressed from the targeted address.
+		rst := ip.TCPHeader{
+			SrcPort: h.DstPort, DstPort: h.SrcPort,
+			Seq: h.Ack, Ack: h.Seq + 1, Flags: ip.TCPRst | ip.TCPAck,
+		}
+		seg := ip.MarshalTCP(pkt.Dst, pkt.Src, rst, nil)
+		s.host.Output(&ip.Packet{
+			Header:  ip.Header{Protocol: ip.ProtoTCP, Src: pkt.Dst, Dst: pkt.Src},
+			Payload: seg,
+		})
+	}
+}
+
+// segment runs the per-connection state machine on an arriving segment.
+func (c *Conn) segment(h ip.TCPHeader, payload []byte) {
+	if h.Flags&ip.TCPRst != 0 {
+		c.teardown(ErrConnReset)
+		return
+	}
+	c.peerWnd = h.Window
+	finSeq := h.Seq + uint32(len(payload)) // where a FIN flag would sit
+
+	switch c.state {
+	case StateSynSent:
+		if h.Flags&(ip.TCPSyn|ip.TCPAck) == ip.TCPSyn|ip.TCPAck && h.Ack == c.sndNxt {
+			c.rcvNxt = h.Seq + 1
+			c.sndUna = h.Ack
+			c.state = StateEstablished
+			c.retries = 0
+			c.rtxTimer.Stop()
+			c.sendSegment(ip.TCPAck, c.sndNxt, c.rcvNxt, nil)
+			if c.OnEstablished != nil {
+				c.OnEstablished()
+			}
+			c.trySend()
+		}
+		return
+	case StateSynRcvd:
+		if h.Flags&ip.TCPAck != 0 && h.Ack == c.sndNxt {
+			c.sndUna = h.Ack
+			c.state = StateEstablished
+			c.retries = 0
+			c.armTimer()
+			if c.OnEstablished != nil {
+				c.OnEstablished()
+			}
+		}
+		// Fall through to process any data riding on the ACK.
+	case StateClosed:
+		return
+	}
+	if c.state == StateSynRcvd {
+		return // handshake ACK not yet seen
+	}
+
+	// A retransmitted SYN-ACK means our handshake ACK was lost: repeat it.
+	if h.Flags&ip.TCPSyn != 0 {
+		c.sendACK()
+		return
+	}
+
+	// ACK processing.
+	if h.Flags&ip.TCPAck != 0 && h.Ack == c.sndUna && c.sndNxt != c.sndUna && len(payload) == 0 {
+		// Duplicate ACK while data is outstanding.
+		c.dupAcks++
+		if c.dupAcks == 3 && c.sndInUse > 0 {
+			c.stats.Retransmits++
+			c.sampling = false
+			c.resendHead()
+		}
+	}
+	if h.Flags&ip.TCPAck != 0 && ip.SeqLess(c.sndUna, h.Ack) && ip.SeqLEQ(h.Ack, c.sndNxt) {
+		c.dupAcks = 0
+		acked := h.Ack - c.sndUna
+		dataAcked := int(acked)
+		if c.finSent && h.Ack == c.sndNxt {
+			c.finAcked = true
+			dataAcked-- // the FIN's sequence slot carries no data
+		}
+		if dataAcked > 0 {
+			if dataAcked > c.sndInUse {
+				dataAcked = c.sndInUse
+			}
+			c.sndBuf = c.sndBuf[dataAcked:]
+			c.sndInUse -= dataAcked
+			c.stats.BytesAcked += uint64(dataAcked)
+		}
+		c.sndUna = h.Ack
+		if c.sampling && ip.SeqLess(c.sampleSeq, h.Ack) {
+			c.sampling = false
+			c.updateRTT(c.stk.loop.Now().Sub(c.sampleTime))
+		}
+		c.retries = 0
+		if c.recovering {
+			if c.sndInUse > 0 {
+				// ACK-clocked recovery: the cumulative ACK tells us the
+				// next outstanding segment is still missing; resend it now.
+				c.stats.Retransmits++
+				c.resendHead()
+			} else {
+				c.recovering = false
+			}
+		}
+		c.armTimer()
+		c.trySend()
+	}
+
+	// In-order data processing, with front-trim of partial duplicates.
+	if len(payload) > 0 {
+		if ip.SeqLess(h.Seq, c.rcvNxt) {
+			overlap := c.rcvNxt - h.Seq
+			if int(overlap) >= len(payload) {
+				c.sendACK() // pure duplicate
+				c.stats.DupAcksSent++
+				payload = nil
+			} else {
+				payload = payload[overlap:]
+				h.Seq = c.rcvNxt
+			}
+		}
+		if len(payload) > 0 {
+			if h.Seq == c.rcvNxt {
+				c.consume(payload)
+				c.drainOOO()
+				c.sendACK()
+			} else {
+				// Out of order: buffer it and send a duplicate ACK so the
+				// peer can fast-retransmit the gap.
+				if c.ooo == nil {
+					c.ooo = make(map[uint32][]byte)
+				}
+				if len(c.ooo) < oooLimit {
+					c.ooo[h.Seq] = append([]byte(nil), payload...)
+				}
+				c.sendACK()
+				c.stats.DupAcksSent++
+			}
+		}
+	}
+
+	// FIN processing (only when it arrives in order).
+	if h.Flags&ip.TCPFin != 0 && finSeq == c.rcvNxt && !c.remoteClosed {
+		c.rcvNxt++
+		c.remoteClosed = true
+		c.sendACK()
+		if c.OnRemoteClose != nil {
+			c.OnRemoteClose()
+		}
+		if !c.closing {
+			c.Close() // echo the close (no half-open lingering)
+		}
+	}
+	if c.remoteClosed && c.finSent && c.finAcked {
+		c.teardown(nil)
+	}
+}
+
+func (c *Conn) sendACK() {
+	c.sendSegment(ip.TCPAck, c.sndNxt, c.rcvNxt, nil)
+}
+
+// resendHead retransmits the first outstanding segment.
+func (c *Conn) resendHead() {
+	n := c.sndInUse
+	if n > MSS {
+		n = MSS
+	}
+	c.sendSegment(ip.TCPAck|ip.TCPPsh, c.sndUna, c.rcvNxt, c.sndBuf[:n])
+	c.stats.BytesSent += uint64(n)
+}
+
+// consume delivers in-order payload to the application.
+func (c *Conn) consume(payload []byte) {
+	c.rcvNxt += uint32(len(payload))
+	c.stats.BytesReceived += uint64(len(payload))
+	if c.OnData != nil {
+		c.OnData(payload)
+	}
+}
+
+// drainOOO delivers any buffered segments that have become contiguous.
+func (c *Conn) drainOOO() {
+	for len(c.ooo) > 0 {
+		seg, ok := c.ooo[c.rcvNxt]
+		if ok {
+			delete(c.ooo, c.rcvNxt)
+			c.consume(seg)
+			continue
+		}
+		// Discard stale (already-covered) buffered segments.
+		progressed := false
+		for seq, seg := range c.ooo {
+			if ip.SeqLEQ(seq+uint32(len(seg)), c.rcvNxt) {
+				delete(c.ooo, seq)
+				progressed = true
+			} else if ip.SeqLess(seq, c.rcvNxt) {
+				// Partial overlap: trim and retry.
+				delete(c.ooo, seq)
+				c.ooo[c.rcvNxt] = seg[c.rcvNxt-seq:]
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}

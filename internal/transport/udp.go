@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/stack"
+)
+
+// Datagram is a received UDP datagram with its addressing metadata.
+type Datagram struct {
+	From     ip.Addr
+	FromPort uint16
+	To       ip.Addr // the address the datagram was sent to (home vs local role)
+	ToPort   uint16
+	Payload  []byte
+	Iface    *stack.Iface // interface of arrival (VIF for tunneled traffic)
+}
+
+// UDPSocket is a bound UDP endpoint delivering datagrams to a callback.
+type UDPSocket struct {
+	stk     *Stack
+	bound   ip.Addr
+	port    uint16
+	handler func(Datagram)
+	closed  bool
+
+	// Sent and Received count datagrams through this socket.
+	Sent, Received uint64
+}
+
+// UDP opens a socket bound to (bound, port). A zero port allocates an
+// ephemeral one; an unspecified bound address receives on all local
+// addresses and leaves source selection to the route lookup (i.e. subject
+// to mobile IP on a mobile host).
+func (s *Stack) UDP(bound ip.Addr, port uint16, handler func(Datagram)) (*UDPSocket, error) {
+	if port == 0 {
+		p, err := s.ephemeralPort(bound)
+		if err != nil {
+			return nil, err
+		}
+		port = p
+	}
+	k := bindKey{bound, port}
+	if s.udp[k] != nil {
+		return nil, ErrPortInUse
+	}
+	u := &UDPSocket{stk: s, bound: bound, port: port, handler: handler}
+	s.udp[k] = u
+	return u, nil
+}
+
+// Port returns the socket's local port.
+func (u *UDPSocket) Port() uint16 { return u.port }
+
+// Bound returns the socket's bound address (possibly unspecified).
+func (u *UDPSocket) Bound() ip.Addr { return u.bound }
+
+// Close releases the socket's binding.
+func (u *UDPSocket) Close() {
+	if u.closed {
+		return
+	}
+	u.closed = true
+	delete(u.stk.udp, bindKey{u.bound, u.port})
+}
+
+// SendTo transmits payload to (dst, dport). The pseudo-header checksum is
+// computed against the source address the route lookup recommends, then
+// the packet is handed to IP with that source already stamped — matching
+// the paper's description of transport protocols consulting ip_rt_route().
+func (u *UDPSocket) SendTo(dst ip.Addr, dport uint16, payload []byte) error {
+	if u.closed {
+		return ErrClosed
+	}
+	src, err := u.stk.resolveSrc(dst, u.bound)
+	if err != nil {
+		return err
+	}
+	seg := ip.MarshalUDP(src, dst, ip.UDPHeader{SrcPort: u.port, DstPort: dport}, payload)
+	pkt := &ip.Packet{
+		Header:  ip.Header{Protocol: ip.ProtoUDP, Src: src, Dst: dst},
+		Payload: seg,
+	}
+	u.Sent++
+	return u.stk.host.Output(pkt)
+}
+
+// SendToVia transmits a datagram out a specific interface toward nextHop,
+// bypassing routing. DHCP clients use it before they have an address.
+func (u *UDPSocket) SendToVia(ifc *stack.Iface, nextHop, dst ip.Addr, dport uint16, payload []byte) error {
+	if u.closed {
+		return ErrClosed
+	}
+	src := u.bound
+	seg := ip.MarshalUDP(src, dst, ip.UDPHeader{SrcPort: u.port, DstPort: dport}, payload)
+	pkt := &ip.Packet{
+		Header:  ip.Header{Protocol: ip.ProtoUDP, Src: src, Dst: dst},
+		Payload: seg,
+	}
+	u.Sent++
+	return u.stk.host.OutputVia(ifc, pkt, nextHop)
+}
+
+// udpInput demultiplexes a received UDP packet: exact binding first, then
+// the wildcard binding on the same port.
+func (s *Stack) udpInput(ifc *stack.Iface, pkt *ip.Packet) {
+	h, payload, err := ip.UnmarshalUDP(pkt.Src, pkt.Dst, pkt.Payload)
+	if err != nil {
+		s.stats.UDPBadChecksum++
+		return
+	}
+	sock := s.udp[bindKey{pkt.Dst, h.DstPort}]
+	if sock == nil {
+		sock = s.udp[bindKey{ip.Unspecified, h.DstPort}]
+	}
+	if sock == nil || sock.handler == nil {
+		s.stats.UDPNoSocket++
+		return
+	}
+	s.stats.UDPDelivered++
+	sock.Received++
+	sock.handler(Datagram{
+		From:     pkt.Src,
+		FromPort: h.SrcPort,
+		To:       pkt.Dst,
+		ToPort:   h.DstPort,
+		Payload:  payload,
+		Iface:    ifc,
+	})
+}

@@ -1,0 +1,112 @@
+// Package tunnel implements the paper's fused VIF/IP-in-IP module: a
+// virtual interface that encapsulates packets routed to it, plus the
+// protocol-4 receive handler that decapsulates tunneled packets and
+// re-injects them into the host's IP input path.
+//
+// Both mobile hosts and home agents instantiate one Endpoint. What differs
+// is only the two address callbacks: a mobile host stamps its care-of
+// address as the outer source and its home agent as the outer destination;
+// a home agent stamps its own address and looks the outer destination up
+// in its mobility binding table, per packet.
+//
+// The outer source is always a specific physical address, never left
+// unspecified. That is the paper's loop-prevention rule: a packet emitted
+// by the VIF re-enters IP output, and because its source is bound, the
+// (mobility-aware) route lookup classifies it as outside the scope of
+// mobile IP and never hands it back to the VIF.
+package tunnel
+
+import (
+	"errors"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/stack"
+)
+
+// Stats counts tunnel activity.
+type Stats struct {
+	Encapsulated uint64
+	Decapsulated uint64
+	DropNoDst    uint64 // no tunnel destination for the inner packet
+	DropNoSrc    uint64 // no usable outer source (no connectivity)
+	DropBadInner uint64 // inner packet failed to parse
+	DropPeer     uint64 // outer source rejected by the peer check
+	DropOutput   uint64 // outer packet unroutable
+}
+
+// ErrNoTunnelDst is recorded when the destination callback declines a
+// packet.
+var ErrNoTunnelDst = errors.New("tunnel: no destination for packet")
+
+// Endpoint is one host's VIF/IPIP module.
+type Endpoint struct {
+	host *stack.Host
+	vif  *stack.Iface
+
+	outerSrc func() (ip.Addr, bool)
+	outerDst func(inner *ip.Packet) (ip.Addr, bool)
+
+	// AllowPeer, if set, filters decapsulation by outer source address.
+	// The paper implements no authentication (Section 2 defers security),
+	// so the default accepts any peer.
+	AllowPeer func(outer ip.Addr) bool
+
+	stats Stats
+}
+
+// New creates the endpoint, adds its virtual interface named name to the
+// host, and installs the IPIP protocol handler. outerSrc supplies the
+// physical (care-of) address for outgoing encapsulation; outerDst supplies
+// the remote tunnel endpoint for a given inner packet.
+func New(host *stack.Host, name string, outerSrc func() (ip.Addr, bool), outerDst func(*ip.Packet) (ip.Addr, bool)) *Endpoint {
+	e := &Endpoint{host: host, outerSrc: outerSrc, outerDst: outerDst}
+	e.vif = host.AddVirtualIface(name, e.transmit)
+	host.RegisterHandler(ip.ProtoIPIP, e.receive)
+	return e
+}
+
+// Iface returns the endpoint's virtual interface, for use in routes and
+// route-lookup decisions.
+func (e *Endpoint) Iface() *stack.Iface { return e.vif }
+
+// Stats returns a snapshot of the counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// transmit is the VIF's send function: encapsulate and re-enter IP output.
+func (e *Endpoint) transmit(inner *ip.Packet, _ ip.Addr) {
+	dst, ok := e.outerDst(inner)
+	if !ok {
+		e.stats.DropNoDst++
+		return
+	}
+	src, ok := e.outerSrc()
+	if !ok {
+		e.stats.DropNoSrc++
+		return
+	}
+	outer, err := ip.Encapsulate(src, dst, ip.DefaultTTL, e.host.NextID(), inner)
+	if err != nil {
+		e.stats.DropBadInner++
+		return
+	}
+	e.stats.Encapsulated++
+	if err := e.host.Output(outer); err != nil {
+		e.stats.DropOutput++
+	}
+}
+
+// receive is the protocol-4 handler: strip the outer header, validate the
+// inner packet, and re-inject it as if it had arrived on the VIF.
+func (e *Endpoint) receive(_ *stack.Iface, outer *ip.Packet) {
+	if e.AllowPeer != nil && !e.AllowPeer(outer.Src) {
+		e.stats.DropPeer++
+		return
+	}
+	inner, err := ip.Decapsulate(outer)
+	if err != nil {
+		e.stats.DropBadInner++
+		return
+	}
+	e.stats.Decapsulated++
+	e.host.Input(e.vif, inner)
+}

@@ -1,0 +1,256 @@
+// Package mosquitonet is a from-scratch reproduction of "Supporting
+// Mobility in MosquitoNet" (Baker, Zhao, Cheshire, Stone — USENIX 1996):
+// a mobile-IP system in which mobile hosts require no foreign agents, only
+// basic connectivity and a temporary care-of address, on top of a
+// deterministic discrete-event network simulator with real wire formats.
+//
+// The package is a façade over the internal packages:
+//
+//   - sim: the deterministic event loop and virtual clock;
+//   - ip, link, arp, stack, tunnel, dhcp, transport: the network substrate
+//     (IPv4 with real checksums, Ethernet/radio media, ARP with proxy and
+//     gratuitous support, per-host IP stacks with a pluggable route
+//     lookup, the VIF/IP-in-IP module, DHCP, UDP and a TCP-like stream);
+//   - mip: the paper's contribution — MobileHost, HomeAgent, the Mobile
+//     Policy Table, the registration protocol, and the optional
+//     ForeignAgent extension;
+//   - testbed: the paper's Figure 5 environment and every experiment in
+//     its evaluation.
+//
+// Use NewWorld to assemble custom topologies, or testbed-level entry
+// points (NewTestbed, RunE1, RunF6, RunF7, ...) to regenerate the paper's
+// results.
+package mosquitonet
+
+import (
+	"mosquitonet/internal/capture"
+	"mosquitonet/internal/dhcp"
+	"mosquitonet/internal/dns"
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+	"mosquitonet/internal/mip"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/stack"
+	"mosquitonet/internal/testbed"
+	"mosquitonet/internal/trace"
+	"mosquitonet/internal/transport"
+	"mosquitonet/internal/tunnel"
+)
+
+// Core simulation types.
+type (
+	// Loop is the deterministic discrete-event simulation loop.
+	Loop = sim.Loop
+	// Time is an instant in virtual time.
+	Time = sim.Time
+	// Timer is a cancellable scheduled event.
+	Timer = sim.Timer
+	// Tracer records structured simulation events.
+	Tracer = trace.Tracer
+)
+
+// Addressing and packet types.
+type (
+	// Addr is an IPv4 address.
+	Addr = ip.Addr
+	// IPPrefix is an IPv4 CIDR prefix.
+	IPPrefix = ip.Prefix
+	// Packet is an IPv4 packet.
+	Packet = ip.Packet
+)
+
+// Link-layer types.
+type (
+	// Network is a broadcast domain with a medium model.
+	Network = link.Network
+	// Device is a network interface device with an up/down state machine.
+	Device = link.Device
+	// Medium describes latency/bandwidth/loss/MTU of a network.
+	Medium = link.Medium
+	// HWAddr is a MAC-style hardware address.
+	HWAddr = link.HWAddr
+)
+
+// Host-stack and transport types.
+type (
+	// Host is a simulated IP host.
+	Host = stack.Host
+	// Iface is a host's network interface.
+	Iface = stack.Iface
+	// RouteDecision is a route lookup result (the ip_rt_route contract).
+	RouteDecision = stack.RouteDecision
+	// PingResult reports an ICMP echo outcome.
+	PingResult = stack.PingResult
+	// Transport multiplexes UDP sockets and stream connections on a host.
+	Transport = transport.Stack
+	// UDPSocket is a bound UDP endpoint.
+	UDPSocket = transport.UDPSocket
+	// Datagram is a received UDP datagram.
+	Datagram = transport.Datagram
+	// Conn is a reliable byte-stream connection (TCP-like).
+	Conn = transport.Conn
+	// Listener accepts stream connections.
+	Listener = transport.Listener
+	// TunnelEndpoint is a VIF/IP-in-IP module instance.
+	TunnelEndpoint = tunnel.Endpoint
+)
+
+// Mobile-IP types (the paper's contribution).
+type (
+	// MobileHost is the mobile side of the protocol.
+	MobileHost = mip.MobileHost
+	// MobileHostConfig configures a MobileHost.
+	MobileHostConfig = mip.MobileHostConfig
+	// ManagedIface is an interface under mobility management.
+	ManagedIface = mip.ManagedIface
+	// StaticConfig is a fixed foreign-interface configuration.
+	StaticConfig = mip.StaticConfig
+	// HomeAgent serves a home subnet's mobile hosts.
+	HomeAgent = mip.HomeAgent
+	// HomeAgentConfig configures a HomeAgent.
+	HomeAgentConfig = mip.HomeAgentConfig
+	// ForeignAgent is the optional visited-network agent extension.
+	ForeignAgent = mip.ForeignAgent
+	// ForeignAgentConfig configures a ForeignAgent.
+	ForeignAgentConfig = mip.ForeignAgentConfig
+	// Policy is a Mobile Policy Table verdict.
+	Policy = mip.Policy
+	// PolicyTable is the Mobile Policy Table.
+	PolicyTable = mip.PolicyTable
+	// LinkChange notifies upper layers of connectivity changes.
+	LinkChange = mip.LinkChange
+	// Binding is a home agent's mobility binding.
+	Binding = mip.Binding
+	// Roamer automates switch decisions (the paper's Section 6 item).
+	Roamer = mip.Roamer
+	// RoamerConfig tunes the Roamer.
+	RoamerConfig = mip.RoamerConfig
+	// Candidate is one interface a Roamer may switch to.
+	Candidate = mip.Candidate
+	// DiscoveredAgent is a foreign agent heard advertising on a link.
+	DiscoveredAgent = mip.DiscoveredAgent
+)
+
+// DHCP types.
+type (
+	// DHCPServer leases addresses on a subnet.
+	DHCPServer = dhcp.Server
+	// DHCPServerConfig configures a DHCPServer.
+	DHCPServerConfig = dhcp.ServerConfig
+	// DHCPClient acquires and renews a lease on one interface.
+	DHCPClient = dhcp.Client
+	// Lease is a granted DHCP binding.
+	Lease = dhcp.Lease
+)
+
+// DNS types (the "extended DNS" of the paper's release notes).
+type (
+	// DNSServer answers A queries and dynamic updates.
+	DNSServer = dns.Server
+	// DNSServerConfig configures a DNSServer.
+	DNSServerConfig = dns.ServerConfig
+	// DNSResolver issues queries and updates with retry.
+	DNSResolver = dns.Resolver
+	// DNSResolverConfig tunes the resolver.
+	DNSResolverConfig = dns.ResolverConfig
+)
+
+// Testbed types (the paper's Figure 5 environment and experiments).
+type (
+	// Testbed is the assembled paper environment.
+	Testbed = testbed.Testbed
+	// EchoProbe is the paper's UDP echo measurement workload.
+	EchoProbe = testbed.EchoProbe
+)
+
+// Mobile Policy Table policies.
+const (
+	PolicyTunnel      = mip.PolicyTunnel
+	PolicyTriangle    = mip.PolicyTriangle
+	PolicyEncapDirect = mip.PolicyEncapDirect
+	PolicyDirect      = mip.PolicyDirect
+)
+
+// Re-exported constructors and helpers.
+var (
+	// NewLoop creates a deterministic simulation loop.
+	NewLoop = sim.New
+	// NewTracer creates an event tracer.
+	NewTracer = trace.New
+
+	// ParseAddr, MustParseAddr, ParsePrefix and MustParsePrefix handle
+	// dotted-quad and CIDR notation.
+	ParseAddr       = ip.ParseAddr
+	MustParseAddr   = ip.MustParseAddr
+	ParsePrefix     = ip.ParsePrefix
+	MustParsePrefix = ip.MustParsePrefix
+
+	// Ethernet, Radio and Serial are the calibrated media of the paper's
+	// testbed.
+	Ethernet = link.Ethernet
+	Radio    = link.Radio
+	Serial   = link.Serial
+
+	// NewNetwork creates a broadcast domain; NewDevice a network device.
+	NewNetwork = link.NewNetwork
+	NewDevice  = link.NewDevice
+
+	// NewHost creates an IP host; NewTransport its UDP/stream transport.
+	NewHost      = stack.NewHost
+	NewTransport = transport.NewStack
+
+	// NewMobileHost, NewHomeAgent and NewForeignAgent build the protocol
+	// entities.
+	NewMobileHost   = mip.NewMobileHost
+	NewHomeAgent    = mip.NewHomeAgent
+	NewForeignAgent = mip.NewForeignAgent
+	// MakeSmartCorrespondent gives an ordinary host transparent IP-in-IP
+	// decapsulation for the encapsulated-direct optimization.
+	MakeSmartCorrespondent = mip.MakeSmartCorrespondent
+
+	// NewDHCPServer and NewDHCPClient build the address-assignment
+	// service mobile hosts rely on in foreign networks.
+	NewDHCPServer = dhcp.NewServer
+	NewDHCPClient = dhcp.NewClient
+
+	// NewDNSServer and NewDNSResolver provide naming: with MosquitoNet a
+	// mobile host's name resolves to its permanent home address and stays
+	// valid through every move.
+	NewDNSServer   = dns.NewServer
+	NewDNSResolver = dns.NewResolver
+
+	// NewRoamer builds the automatic switch-decision monitor.
+	NewRoamer = mip.NewRoamer
+
+	// NewTestbed assembles the paper's Figure 5 environment; the Run*
+	// functions regenerate its evaluation (see DESIGN.md for the index).
+	NewTestbed    = testbed.New
+	NewEchoProbe  = testbed.NewEchoProbe
+	RunE1         = testbed.RunE1
+	RunF6         = testbed.RunF6
+	RunF7         = testbed.RunF7
+	RunRTT        = testbed.RunRTT
+	RunA1         = testbed.RunA1
+	RunA2         = testbed.RunA2
+	RunA3         = testbed.RunA3
+	RunA4         = testbed.RunA4
+	RunThroughput = testbed.RunThroughput
+
+	// NewCapture builds the packet-capture facility (the simulator's
+	// tcpdump); FormatFrame and FormatPacket decode individual frames.
+	NewCapture   = capture.New
+	FormatFrame  = capture.FormatFrame
+	FormatPacket = capture.FormatPacket
+)
+
+// Capture types.
+type (
+	// PacketCapture taps networks and decodes frames.
+	PacketCapture = capture.Capture
+	// CaptureEntry is one decoded frame.
+	CaptureEntry = capture.Entry
+)
+
+// Unspecified is the zero IPv4 address; sockets bound to it are subject to
+// mobile IP on a mobile host.
+var Unspecified = ip.Unspecified
