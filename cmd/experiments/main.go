@@ -3,18 +3,28 @@
 // the paper's own presentation (loss histograms per Figure 6, mean (std
 // dev) rows per Figure 7).
 //
+// Alongside the human-readable output, each experiment writes a
+// machine-readable export — BENCH_<exp>.json with the seed and the
+// per-scenario metrics snapshots (registration latency histograms, tunnel
+// encap/decap counters, per-device link statistics, ...) — and F7
+// additionally writes BENCH_f7_timeline.jsonl, its registration timeline
+// as one JSON event per line. Exports are byte-identical across runs with
+// the same seed.
+//
 // Usage:
 //
-//	experiments [-seed N] [-exp all|e1|f6|f7|rtt|a1|a2|a3] [-samples N]
+//	experiments [-seed N] [-exp all|e1|f6|f7|rtt|a1|a2|a3] [-samples N] [-json dir]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	mosquitonet "mosquitonet"
+	"mosquitonet/internal/testbed"
 )
 
 func main() {
@@ -23,6 +33,7 @@ func main() {
 	samples := flag.Int("samples", 20, "samples for RTT/A1 measurements")
 	a2iters := flag.Int("a2-iterations", 5, "handoffs per A2 variant")
 	fleets := flag.String("a3-fleets", "1,8,32,64", "comma-separated fleet sizes for A3")
+	jsonDir := flag.String("json", "bench", "directory for BENCH_*.json exports (empty to disable)")
 	flag.Parse()
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -33,48 +44,57 @@ func main() {
 		res, err := mosquitonet.RunE1(*seed)
 		exitOn(err)
 		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
 	}
 	if want("f6") {
 		ran = true
 		res, err := mosquitonet.RunF6(*seed)
 		exitOn(err)
 		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
 	}
 	if want("f7") {
 		ran = true
 		res, err := mosquitonet.RunF7(*seed)
 		exitOn(err)
 		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
+		writeTimeline(*jsonDir, "BENCH_f7_timeline.jsonl", res)
 	}
 	if want("rtt") {
 		ran = true
 		res, err := mosquitonet.RunRTT(*seed, *samples)
 		exitOn(err)
 		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
 	}
 	if want("tput") {
 		ran = true
 		res, err := mosquitonet.RunThroughput(*seed, 50, 1000)
 		exitOn(err)
 		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
 	}
 	if want("a1") {
 		ran = true
 		res, err := mosquitonet.RunA1(*seed, *samples)
 		exitOn(err)
 		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
 	}
 	if want("a2") {
 		ran = true
 		res, err := mosquitonet.RunA2(*seed, *a2iters)
 		exitOn(err)
 		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
 	}
 	if want("a4") {
 		ran = true
 		res, err := mosquitonet.RunA4(*seed, *a2iters)
 		exitOn(err)
 		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
 	}
 	if want("a3") {
 		ran = true
@@ -89,11 +109,46 @@ func main() {
 		res, err := mosquitonet.RunA3(*seed, sizes)
 		exitOn(err)
 		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f6, f7, rtt, a1, a2, a3, a4)\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// writeExport serializes one experiment's export as BENCH_<name>.json.
+func writeExport(dir string, e *testbed.Export) {
+	if dir == "" || e == nil {
+		return
+	}
+	exitOn(os.MkdirAll(dir, 0o755))
+	path := filepath.Join(dir, "BENCH_"+e.Experiment+".json")
+	f, err := os.Create(path)
+	exitOn(err)
+	if err := e.WriteJSON(f); err != nil {
+		f.Close()
+		exitOn(err)
+	}
+	exitOn(f.Close())
+	fmt.Printf("wrote %s\n\n", path)
+}
+
+// writeTimeline serializes F7's registration timeline as JSONL.
+func writeTimeline(dir, name string, res *testbed.F7Result) {
+	if dir == "" || res.Timeline == nil {
+		return
+	}
+	exitOn(os.MkdirAll(dir, 0o755))
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	exitOn(err)
+	if err := res.Timeline.WriteJSONL(f); err != nil {
+		f.Close()
+		exitOn(err)
+	}
+	exitOn(f.Close())
+	fmt.Printf("wrote %s\n\n", path)
 }
 
 func exitOn(err error) {

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	mnet [-seed N] [-trace] [-interval 250ms]
+//	mnet [-seed N] [-trace] [-interval 250ms] [-metrics 5s]
 package main
 
 import (
@@ -29,9 +29,18 @@ func main() {
 	showTrace := flag.Bool("trace", false, "print every protocol trace event")
 	dump := flag.Bool("dump", false, "print a tcpdump-style decode of every frame on every network")
 	interval := flag.Duration("interval", 250*time.Millisecond, "correspondent stream interval")
+	metricsEvery := flag.Duration("metrics", 0, "print the telemetry table every interval of virtual time (0 = only at the end)")
 	flag.Parse()
 
 	tb := testbed.New(*seed)
+	if *metricsEvery > 0 {
+		var tick func()
+		tick = func() {
+			fmt.Printf("[%v] %s\n", tb.Loop.Now(), tb.Metrics.Snapshot().Table())
+			tb.Loop.Schedule(*metricsEvery, tick)
+		}
+		tb.Loop.Schedule(*metricsEvery, tick)
+	}
 	if *showTrace {
 		tb.Tracer.Hook = func(e trace.Event) { fmt.Println("   ", e) }
 	}
@@ -133,4 +142,5 @@ func main() {
 	fmt.Printf("== done: %d probes sent, %d echoed, %d lost across 4 moves ==\n", sent, recv, sent-recv)
 	fmt.Printf("mobile host stats: %+v\n", tb.MH.Stats())
 	fmt.Printf("home agent stats:  %+v\n", tb.HA.Stats())
+	fmt.Printf("\nfinal %s", tb.Metrics.Snapshot().Table())
 }

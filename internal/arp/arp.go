@@ -124,8 +124,15 @@ type entry struct {
 	expires sim.Time
 }
 
+// queued is one packet waiting for address resolution: the marshaled IP
+// payload plus its lifecycle trace ID, so the trace survives the queue.
+type queued struct {
+	payload []byte
+	trace   uint64
+}
+
 type pending struct {
-	payloads [][]byte
+	payloads []queued
 	tries    int
 	timer    *sim.Timer
 }
@@ -195,10 +202,11 @@ func (c *Cache) Published(a ip.Addr) bool { return c.published[a] }
 // SendIP transmits an IPv4 payload to dst, resolving its hardware address
 // first if necessary. Packets to unresolved addresses are queued (up to
 // MaxPending) and flushed when the reply arrives; if resolution fails after
-// MaxRetries requests, they are dropped.
-func (c *Cache) SendIP(dst ip.Addr, payload []byte) {
+// MaxRetries requests, they are dropped. trace is the packet's lifecycle
+// trace ID (zero if untraced), carried onto the resulting frame.
+func (c *Cache) SendIP(dst ip.Addr, payload []byte, trace uint64) {
 	if hw, ok := c.Lookup(dst); ok {
-		c.dev.Send(&link.Frame{Dst: hw, Type: link.EtherTypeIPv4, Payload: payload})
+		c.dev.Send(&link.Frame{Dst: hw, Type: link.EtherTypeIPv4, Payload: payload, Trace: trace})
 		return
 	}
 	p := c.pend[dst]
@@ -211,12 +219,12 @@ func (c *Cache) SendIP(dst ip.Addr, payload []byte) {
 		c.stats.PacketsDropped++
 		return
 	}
-	p.payloads = append(p.payloads, payload)
+	p.payloads = append(p.payloads, queued{payload: payload, trace: trace})
 }
 
 // SendBroadcastIP transmits an IPv4 payload to the link broadcast address.
-func (c *Cache) SendBroadcastIP(payload []byte) {
-	c.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeIPv4, Payload: payload})
+func (c *Cache) SendBroadcastIP(payload []byte, trace uint64) {
+	c.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeIPv4, Payload: payload, Trace: trace})
 }
 
 func (c *Cache) sendRequest(dst ip.Addr, p *pending) {
@@ -284,8 +292,8 @@ func (c *Cache) HandleFrame(f *link.Frame) {
 		p.timer.Stop()
 		delete(c.pend, m.SenderIP)
 		c.learn(m.SenderIP, m.SenderHW)
-		for _, payload := range p.payloads {
-			c.dev.Send(&link.Frame{Dst: m.SenderHW, Type: link.EtherTypeIPv4, Payload: payload})
+		for _, q := range p.payloads {
+			c.dev.Send(&link.Frame{Dst: m.SenderHW, Type: link.EtherTypeIPv4, Payload: q.payload, Trace: q.trace})
 		}
 	}
 	if m.Op != OpRequest || m.IsGratuitous() {

@@ -84,7 +84,7 @@ func TestResolveAndDeliver(t *testing.T) {
 	a := newHost(t, loop, n, "a", "10.0.0.1", Config{})
 	b := newHost(t, loop, n, "b", "10.0.0.2", Config{})
 
-	a.cache.SendIP(ip.MustParseAddr("10.0.0.2"), []byte("payload"))
+	a.cache.SendIP(ip.MustParseAddr("10.0.0.2"), []byte("payload"), 0)
 	loop.RunFor(time.Second)
 
 	if len(b.rxIP) != 1 || string(b.rxIP[0]) != "payload" {
@@ -104,10 +104,10 @@ func TestCachedSendSkipsRequest(t *testing.T) {
 	n := link.NewNetwork(loop, "net", link.Ethernet())
 	a := newHost(t, loop, n, "a", "10.0.0.1", Config{})
 	b := newHost(t, loop, n, "b", "10.0.0.2", Config{})
-	a.cache.SendIP(b.addrs[0], []byte("1"))
+	a.cache.SendIP(b.addrs[0], []byte("1"), 0)
 	loop.RunFor(time.Second)
 	before := a.cache.Stats().RequestsSent
-	a.cache.SendIP(b.addrs[0], []byte("2"))
+	a.cache.SendIP(b.addrs[0], []byte("2"), 0)
 	loop.RunFor(time.Second)
 	if a.cache.Stats().RequestsSent != before {
 		t.Fatal("second send issued another request")
@@ -123,7 +123,7 @@ func TestQueueMultipleWhileResolving(t *testing.T) {
 	a := newHost(t, loop, n, "a", "10.0.0.1", Config{})
 	b := newHost(t, loop, n, "b", "10.0.0.2", Config{})
 	for i := 0; i < 3; i++ {
-		a.cache.SendIP(b.addrs[0], []byte{byte('0' + i)})
+		a.cache.SendIP(b.addrs[0], []byte{byte('0' + i)}, 0)
 	}
 	loop.RunFor(time.Second)
 	if len(b.rxIP) != 3 {
@@ -139,7 +139,7 @@ func TestPendingOverflowDrops(t *testing.T) {
 	n := link.NewNetwork(loop, "net", link.Ethernet())
 	a := newHost(t, loop, n, "a", "10.0.0.1", Config{MaxPending: 2})
 	for i := 0; i < 5; i++ {
-		a.cache.SendIP(ip.MustParseAddr("10.0.0.99"), []byte{byte(i)}) // no such host
+		a.cache.SendIP(ip.MustParseAddr("10.0.0.99"), []byte{byte(i)}, 0) // no such host
 	}
 	if a.cache.Stats().PacketsDropped != 3 {
 		t.Fatalf("dropped = %d, want 3 overflow drops", a.cache.Stats().PacketsDropped)
@@ -150,7 +150,7 @@ func TestResolutionFailureAfterRetries(t *testing.T) {
 	loop := sim.New(1)
 	n := link.NewNetwork(loop, "net", link.Ethernet())
 	a := newHost(t, loop, n, "a", "10.0.0.1", Config{RequestTimeout: 100 * time.Millisecond, MaxRetries: 3})
-	a.cache.SendIP(ip.MustParseAddr("10.0.0.99"), []byte("lost"))
+	a.cache.SendIP(ip.MustParseAddr("10.0.0.99"), []byte("lost"), 0)
 	loop.RunFor(time.Second)
 	st := a.cache.Stats()
 	if st.RequestsSent != 3 {
@@ -161,7 +161,7 @@ func TestResolutionFailureAfterRetries(t *testing.T) {
 	}
 	// A host that appears later must be resolvable afresh.
 	b := newHost(t, loop, n, "b", "10.0.0.99", Config{})
-	a.cache.SendIP(b.addrs[0], []byte("now"))
+	a.cache.SendIP(b.addrs[0], []byte("now"), 0)
 	loop.RunFor(time.Second)
 	if len(b.rxIP) != 1 {
 		t.Fatal("later resolution failed")
@@ -173,7 +173,7 @@ func TestEntryExpiry(t *testing.T) {
 	n := link.NewNetwork(loop, "net", link.Ethernet())
 	a := newHost(t, loop, n, "a", "10.0.0.1", Config{EntryTTL: time.Second})
 	b := newHost(t, loop, n, "b", "10.0.0.2", Config{})
-	a.cache.SendIP(b.addrs[0], []byte("x"))
+	a.cache.SendIP(b.addrs[0], []byte("x"), 0)
 	loop.RunFor(500 * time.Millisecond)
 	if _, ok := a.cache.Lookup(b.addrs[0]); !ok {
 		t.Fatal("entry missing before TTL")
@@ -195,7 +195,7 @@ func TestProxyARP(t *testing.T) {
 	if !ha.cache.Published(mobile) {
 		t.Fatal("Published() false after Publish")
 	}
-	a.cache.SendIP(mobile, []byte("for the mobile host"))
+	a.cache.SendIP(mobile, []byte("for the mobile host"), 0)
 	loop.RunFor(time.Second)
 
 	// The proxy answered with its own hardware address, so the packet
@@ -212,7 +212,7 @@ func TestProxyARP(t *testing.T) {
 
 	ha.cache.Unpublish(mobile)
 	a.cache.Delete(mobile)
-	a.cache.SendIP(mobile, []byte("after unpublish"))
+	a.cache.SendIP(mobile, []byte("after unpublish"), 0)
 	loop.RunFor(2 * time.Second)
 	if len(ha.rxIP) != 1 {
 		t.Fatal("proxy still answering after Unpublish")
@@ -231,7 +231,7 @@ func TestGratuitousARPVoidsStaleEntries(t *testing.T) {
 	ha := newHost(t, loop, n, "ha", "10.0.0.250", Config{})
 
 	// Correspondent talks to the mobile host directly while it is home.
-	ch.cache.SendIP(mh.addrs[0], []byte("direct"))
+	ch.cache.SendIP(mh.addrs[0], []byte("direct"), 0)
 	loop.RunFor(time.Second)
 	if hw, _ := ch.cache.Lookup(mh.addrs[0]); hw != mh.dev.HW() {
 		t.Fatal("setup: ch should map mh to mh's hardware")
@@ -246,7 +246,7 @@ func TestGratuitousARPVoidsStaleEntries(t *testing.T) {
 	if hw, ok := ch.cache.Lookup(mh.addrs[0]); !ok || hw != ha.dev.HW() {
 		t.Fatalf("stale entry not voided: %v %v", hw, ok)
 	}
-	ch.cache.SendIP(mh.addrs[0], []byte("via proxy"))
+	ch.cache.SendIP(mh.addrs[0], []byte("via proxy"), 0)
 	loop.RunFor(time.Second)
 	if len(ha.rxIP) != 1 {
 		t.Fatal("packet did not reach the home agent after gratuitous ARP")
@@ -291,7 +291,7 @@ func TestRequestForOtherHostIgnored(t *testing.T) {
 	b := newHost(t, loop, n, "b", "10.0.0.2", Config{})
 	_ = b
 	c := newHost(t, loop, n, "c", "10.0.0.3", Config{})
-	a.cache.SendIP(b.addrs[0], []byte("x"))
+	a.cache.SendIP(b.addrs[0], []byte("x"), 0)
 	loop.RunFor(time.Second)
 	if c.cache.Stats().RepliesSent != 0 {
 		t.Fatal("c answered a request for b")
@@ -304,7 +304,7 @@ func TestBroadcastIP(t *testing.T) {
 	a := newHost(t, loop, n, "a", "10.0.0.1", Config{})
 	b := newHost(t, loop, n, "b", "10.0.0.2", Config{})
 	c := newHost(t, loop, n, "c", "10.0.0.3", Config{})
-	a.cache.SendBroadcastIP([]byte("dhcp discover"))
+	a.cache.SendBroadcastIP([]byte("dhcp discover"), 0)
 	loop.RunFor(time.Second)
 	if len(b.rxIP) != 1 || len(c.rxIP) != 1 {
 		t.Fatalf("broadcast reached b=%d c=%d", len(b.rxIP), len(c.rxIP))
@@ -336,7 +336,7 @@ func TestAddressTakeover(t *testing.T) {
 
 	newAddr := ip.MustParseAddr("10.0.0.8")
 	mh.addrs = []ip.Addr{newAddr} // rebind
-	ch.cache.SendIP(newAddr, []byte("to the new address"))
+	ch.cache.SendIP(newAddr, []byte("to the new address"), 0)
 	loop.RunFor(time.Second)
 	if len(mh.rxIP) != 1 {
 		t.Fatalf("mh received %d packets at its new address", len(mh.rxIP))

@@ -64,6 +64,13 @@ type Header struct {
 type Packet struct {
 	Header
 	Payload []byte
+
+	// Trace is the packet's lifecycle trace ID: simulator metadata, never
+	// part of the wire format. Zero means unassigned; the stack assigns one
+	// from sim.Loop.NextSerial when the packet is first injected, and every
+	// layer (link frames, ARP queues, tunnel encapsulation) carries it so a
+	// packet's hops can be replayed as one causal timeline.
+	Trace uint64
 }
 
 // Len returns the marshaled length of the packet in bytes.
@@ -224,6 +231,7 @@ func Encapsulate(outerSrc, outerDst Addr, ttl uint8, id uint16, inner *Packet) (
 			Dst:      outerDst,
 		},
 		Payload: body,
+		Trace:   inner.Trace,
 	}, nil
 }
 
@@ -237,5 +245,10 @@ func Decapsulate(p *Packet) (*Packet, error) {
 	if p.Protocol != ProtoIPIP {
 		return nil, ErrNotEncapsulated
 	}
-	return Unmarshal(p.Payload)
+	inner, err := Unmarshal(p.Payload)
+	if err != nil {
+		return nil, err
+	}
+	inner.Trace = p.Trace
+	return inner, nil
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/sim"
 )
 
@@ -58,6 +59,11 @@ type Frame struct {
 	Src, Dst HWAddr
 	Type     EtherType
 	Payload  []byte
+
+	// Trace is the lifecycle trace ID of the IP packet the frame carries
+	// (simulator metadata, not on the wire). Zero for un-traced frames
+	// such as raw ARP requests.
+	Trace uint64
 }
 
 // frameOverhead approximates Ethernet framing overhead (header + FCS) for
@@ -126,20 +132,49 @@ type Device struct {
 
 	recv        func(*Frame)
 	promiscuous bool
-	stats       DeviceStats
 	upSince     sim.Time
+
+	// Traffic counters live in the loop's metrics registry (detached
+	// handles when telemetry is disabled); DeviceStats is a read-through
+	// view assembled by Stats. Handles are never shared between devices:
+	// same-named devices on different hosts aggregate at snapshot time.
+	ctr    deviceCounters
+	pktlog *metrics.PacketLog
+}
+
+type deviceCounters struct {
+	sent, received   *metrics.Counter
+	txBytes, rxBytes *metrics.Counter
+	dropDown         *metrics.Counter
+	dropNoNet        *metrics.Counter
+	dropMTU          *metrics.Counter
+	dropFilter       *metrics.Counter
 }
 
 // NewDevice creates a device named name with a fresh hardware address.
 // bringUpDelay (±jitter) is the simulated initialization time.
 func NewDevice(loop *sim.Loop, name string, bringUpDelay, jitter time.Duration) *Device {
-	return &Device{
+	d := &Device{
 		name:          name,
 		hw:            NextHWAddr(),
 		loop:          loop,
 		bringUpDelay:  bringUpDelay,
 		bringUpJitter: jitter,
+		pktlog:        metrics.PacketsFor(loop),
 	}
+	reg := metrics.For(loop)
+	dev := metrics.L("dev", name)
+	d.ctr = deviceCounters{
+		sent:       reg.Counter("link.device.tx_packets", dev),
+		received:   reg.Counter("link.device.rx_packets", dev),
+		txBytes:    reg.Counter("link.device.tx_bytes", dev),
+		rxBytes:    reg.Counter("link.device.rx_bytes", dev),
+		dropDown:   reg.Counter("link.device.drop_down", dev),
+		dropNoNet:  reg.Counter("link.device.drop_no_net", dev),
+		dropMTU:    reg.Counter("link.device.drop_mtu", dev),
+		dropFilter: reg.Counter("link.device.drop_filter", dev),
+	}
+	return d
 }
 
 // Name returns the device name, e.g. "eth0" or "strip0".
@@ -157,8 +192,18 @@ func (d *Device) IsUp() bool { return d.state == StateUp }
 // Network returns the attached broadcast domain, or nil.
 func (d *Device) Network() *Network { return d.net }
 
-// Stats returns a snapshot of the device counters.
-func (d *Device) Stats() DeviceStats { return d.stats }
+// Stats returns a snapshot of the device counters, assembled from the
+// registry-backed handles.
+func (d *Device) Stats() DeviceStats {
+	return DeviceStats{
+		Sent:          d.ctr.sent.Value(),
+		Received:      d.ctr.received.Value(),
+		DroppedDown:   d.ctr.dropDown.Value(),
+		DroppedNoNet:  d.ctr.dropNoNet.Value(),
+		DroppedMTU:    d.ctr.dropMTU.Value(),
+		DroppedFilter: d.ctr.dropFilter.Value(),
+	}
+}
 
 // SetReceiver installs the host-stack callback for delivered frames.
 func (d *Device) SetReceiver(fn func(*Frame)) { d.recv = fn }
@@ -224,18 +269,23 @@ func (d *Device) UpSince() sim.Time { return d.upSince }
 func (d *Device) Send(f *Frame) error {
 	f.Src = d.hw
 	if d.state != StateUp {
-		d.stats.DroppedDown++
+		d.ctr.dropDown.Inc()
+		d.pktlog.Record(f.Trace, d.name, "link.drop", "device down")
 		return ErrDeviceDown
 	}
 	if d.net == nil {
-		d.stats.DroppedNoNet++
+		d.ctr.dropNoNet.Inc()
+		d.pktlog.Record(f.Trace, d.name, "link.drop", "no network")
 		return ErrNoNetwork
 	}
 	if len(f.Payload) > d.net.medium.MTU {
-		d.stats.DroppedMTU++
+		d.ctr.dropMTU.Inc()
+		d.pktlog.Record(f.Trace, d.name, "link.drop", "exceeds MTU")
 		return ErrFrameTooBig
 	}
-	d.stats.Sent++
+	d.ctr.sent.Inc()
+	d.ctr.txBytes.Add(uint64(f.Len()))
+	d.pktlog.Record(f.Trace, d.name, "link.tx", "dst="+f.Dst.String())
 	d.net.transmit(d, f)
 	return nil
 }
@@ -244,14 +294,17 @@ func (d *Device) Send(f *Frame) error {
 // the destination filter and up/down state.
 func (d *Device) deliver(f *Frame) {
 	if d.state != StateUp {
-		d.stats.DroppedDown++
+		d.ctr.dropDown.Inc()
+		d.pktlog.Record(f.Trace, d.name, "link.drop", "device down on rx")
 		return
 	}
 	if !d.promiscuous && !f.Dst.IsBroadcast() && f.Dst != d.hw {
-		d.stats.DroppedFilter++
+		d.ctr.dropFilter.Inc()
 		return
 	}
-	d.stats.Received++
+	d.ctr.received.Inc()
+	d.ctr.rxBytes.Add(uint64(f.Len()))
+	d.pktlog.Record(f.Trace, d.name, "link.rx", "src="+f.Src.String())
 	if d.recv != nil {
 		d.recv(f)
 	}

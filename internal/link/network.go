@@ -3,6 +3,7 @@ package link
 import (
 	"time"
 
+	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/sim"
 )
 
@@ -93,6 +94,7 @@ type Network struct {
 	medium  Medium
 	devices []*Device
 	stats   NetworkStats
+	pktlog  *metrics.PacketLog
 
 	// busyUntil models the shared half-duplex channel: a frame cannot
 	// start clocking out before the previous one finished.
@@ -114,7 +116,14 @@ func (n *Network) AddTap(fn func(from *Device, f *Frame)) {
 
 // NewNetwork creates a broadcast domain over the given medium.
 func NewNetwork(loop *sim.Loop, name string, m Medium) *Network {
-	return &Network{name: name, loop: loop, medium: m}
+	n := &Network{name: name, loop: loop, medium: m, pktlog: metrics.PacketsFor(loop)}
+	if reg := metrics.For(loop); reg != nil {
+		lbl := metrics.L("net", name)
+		reg.CounterFunc("link.network.transmitted", func() uint64 { return n.stats.Transmitted }, lbl)
+		reg.CounterFunc("link.network.delivered", func() uint64 { return n.stats.Delivered }, lbl)
+		reg.CounterFunc("link.network.lost_medium", func() uint64 { return n.stats.LostMedium }, lbl)
+	}
+	return n
 }
 
 // Name returns the network name, e.g. "net-36.135".
@@ -167,10 +176,11 @@ func (n *Network) transmit(from *Device, f *Frame) {
 		}
 		if n.medium.LossProb > 0 && n.loop.Rand().Float64() < n.medium.LossProb {
 			n.stats.LostMedium++
+			n.pktlog.Record(f.Trace, n.name, "link.lost", "medium loss toward "+d.name)
 			continue
 		}
 		d := d
-		cp := &Frame{Src: f.Src, Dst: f.Dst, Type: f.Type, Payload: append([]byte(nil), f.Payload...)}
+		cp := &Frame{Src: f.Src, Dst: f.Dst, Type: f.Type, Payload: append([]byte(nil), f.Payload...), Trace: f.Trace}
 		n.loop.At(arrival, func() {
 			n.stats.Delivered++
 			d.deliver(cp)

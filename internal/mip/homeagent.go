@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mosquitonet/internal/ip"
+	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
 	"mosquitonet/internal/trace"
@@ -112,6 +113,23 @@ func NewHomeAgent(ts *transport.Stack, cfg HomeAgentConfig) (*HomeAgent, error) 
 	}
 	ha.sock = sock
 	ha.host.SetForwarding(true)
+	if reg := metrics.For(ha.host.Loop()); reg != nil {
+		host := metrics.L("host", ha.host.Name())
+		for _, c := range []struct {
+			name string
+			fn   func() uint64
+		}{
+			{"mip.ha.requests", func() uint64 { return ha.stats.Requests }},
+			{"mip.ha.accepted", func() uint64 { return ha.stats.Accepted }},
+			{"mip.ha.denied", func() uint64 { return ha.stats.Denied }},
+			{"mip.ha.deregistrations", func() uint64 { return ha.stats.Deregistrations }},
+			{"mip.ha.expired", func() uint64 { return ha.stats.Expired }},
+			{"mip.ha.duplicated", func() uint64 { return ha.stats.Duplicated }},
+		} {
+			reg.CounterFunc(c.name, c.fn, host)
+		}
+		reg.GaugeFunc("mip.ha.bindings", func() int64 { return int64(len(ha.bindings)) }, host)
+	}
 	return ha, nil
 }
 

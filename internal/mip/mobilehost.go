@@ -8,6 +8,7 @@ import (
 	"mosquitonet/internal/dhcp"
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/link"
+	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
 	"mosquitonet/internal/trace"
@@ -58,6 +59,8 @@ type MobileHostStats struct {
 	Renewals        uint64
 	Deregistrations uint64
 	RegTimeouts     uint64
+	RegRequestsSent uint64 // registration requests transmitted (incl. retries)
+	RegRetransmits  uint64 // transmissions beyond the first per attempt
 	ColdSwitches    uint64
 	HotSwitches     uint64
 	AddressSwitches uint64
@@ -152,13 +155,18 @@ type MobileHost struct {
 	OnDeregistered func()
 
 	stats MobileHostStats
+
+	// regLatency observes the time from an attempt's first transmission
+	// to its accepted reply — the paper's Figure 7 headline number.
+	regLatency *metrics.Histogram
 }
 
 type regAttempt struct {
-	req   *RegRequest
-	dst   ip.Addr // where to send; zero means the home agent
-	tries int
-	done  func(error)
+	req       *RegRequest
+	dst       ip.Addr // where to send; zero means the home agent
+	tries     int
+	firstSent sim.Time
+	done      func(error)
 }
 
 // NewMobileHost wraps ts's host with mobility support: it installs the
@@ -183,7 +191,39 @@ func NewMobileHost(ts *transport.Stack, cfg MobileHostConfig) *MobileHost {
 		func(*ip.Packet) (ip.Addr, bool) { return m.cfg.HomeAgent, true })
 	m.host.AddLocalAddr(m.cfg.HomeAddr)
 	m.host.SetRouteLookup(m.routeLookup)
+	m.registerMetrics(metrics.For(m.host.Loop()))
 	return m
+}
+
+// registerMetrics exposes the mobile host's counters, the policy table's
+// hit rate, and the registration-latency histogram in the loop's registry.
+func (m *MobileHost) registerMetrics(reg *metrics.Registry) {
+	host := metrics.L("host", m.host.Name())
+	m.regLatency = reg.Histogram("mip.mh.registration_latency", host)
+	if reg == nil {
+		return
+	}
+	for _, c := range []struct {
+		name string
+		fn   func() uint64
+	}{
+		{"mip.mh.registrations", func() uint64 { return m.stats.Registrations }},
+		{"mip.mh.renewals", func() uint64 { return m.stats.Renewals }},
+		{"mip.mh.deregistrations", func() uint64 { return m.stats.Deregistrations }},
+		{"mip.mh.reg_timeouts", func() uint64 { return m.stats.RegTimeouts }},
+		{"mip.mh.reg_requests_sent", func() uint64 { return m.stats.RegRequestsSent }},
+		{"mip.mh.reg_retransmits", func() uint64 { return m.stats.RegRetransmits }},
+		{"mip.mh.cold_switches", func() uint64 { return m.stats.ColdSwitches }},
+		{"mip.mh.hot_switches", func() uint64 { return m.stats.HotSwitches }},
+		{"mip.mh.address_switches", func() uint64 { return m.stats.AddressSwitches }},
+		{"mip.mh.handoffs", func() uint64 {
+			return m.stats.ColdSwitches + m.stats.HotSwitches + m.stats.AddressSwitches
+		}},
+		{"mip.policy.lookups", func() uint64 { return m.policy.Lookups() }},
+		{"mip.policy.hits", func() uint64 { return m.policy.Hits() }},
+	} {
+		reg.CounterFunc(c.name, c.fn, host)
+	}
 }
 
 // Host returns the underlying stack host.
@@ -591,7 +631,11 @@ func (m *MobileHost) sendPending() {
 	if p.tries > 1 {
 		m.regID++
 		p.req.ID = m.regID
+		m.stats.RegRetransmits++
+	} else {
+		p.firstSent = m.host.Loop().Now()
 	}
+	m.stats.RegRequestsSent++
 	kind := "reg.request.sent"
 	if p.req.IsDeregistration() {
 		kind = "reg.dereg.sent"
@@ -643,6 +687,7 @@ func (m *MobileHost) regInput(d transport.Datagram) {
 		wasRenewal := m.registered
 		m.registered = true
 		m.stats.Registrations++
+		m.regLatency.Observe(m.host.Loop().Now().Sub(p.firstSent))
 		if wasRenewal {
 			m.stats.Renewals++
 		}
@@ -860,7 +905,9 @@ func (m *MobileHost) oneShotExchange(req *RegRequest, bound ip.Addr, done func(e
 			// Fresh identification per transmission (see sendPending).
 			m.regID++
 			req.ID = m.regID
+			m.stats.RegRetransmits++
 		}
+		m.stats.RegRequestsSent++
 		m.trace("reg.request.sent", "careof=%v id=%d try=%d simultaneous=%v", req.CareOf, req.ID, tries, req.Simultaneous())
 		sock.SendTo(m.cfg.HomeAgent, Port, req.Marshal())
 		timer = m.host.Loop().Schedule(m.cfg.RegRetryInterval, attempt)

@@ -59,6 +59,9 @@ type policyEntry struct {
 type PolicyTable struct {
 	entries []policyEntry
 	def     Policy
+
+	lookups uint64
+	hits    uint64 // lookups resolved by an explicit entry (not the default)
 }
 
 // NewPolicyTable creates a table whose default policy is def.
@@ -108,13 +111,22 @@ func (t *PolicyTable) Delete(prefix ip.Prefix) bool {
 // Lookup returns the policy for dst: the longest matching prefix, or the
 // default.
 func (t *PolicyTable) Lookup(dst ip.Addr) Policy {
+	t.lookups++
 	for _, e := range t.entries {
 		if e.prefix.Contains(dst) {
+			t.hits++
 			return e.policy
 		}
 	}
 	return t.def
 }
+
+// Lookups returns the total number of Lookup calls.
+func (t *PolicyTable) Lookups() uint64 { return t.lookups }
+
+// Hits returns how many lookups matched an explicit entry rather than
+// falling through to the default policy.
+func (t *PolicyTable) Hits() uint64 { return t.hits }
 
 // Len returns the number of explicit entries.
 func (t *PolicyTable) Len() int { return len(t.entries) }

@@ -105,6 +105,8 @@ type Loop struct {
 	rng      *rand.Rand
 	executed uint64
 	stopped  bool
+	serial   uint64
+	maxQueue int
 }
 
 // New returns a loop whose clock reads zero and whose random source is
@@ -124,6 +126,17 @@ func (l *Loop) Len() int { return len(l.pq) }
 
 // Executed returns the number of events run so far.
 func (l *Loop) Executed() uint64 { return l.executed }
+
+// QueueHighWater returns the largest event-queue depth observed so far.
+func (l *Loop) QueueHighWater() int { return l.maxQueue }
+
+// NextSerial returns the next value of a monotonic per-loop counter,
+// starting at 1. It is the allocator for packet trace IDs: deterministic,
+// never zero, and shared by every layer of one simulation.
+func (l *Loop) NextSerial() uint64 {
+	l.serial++
+	return l.serial
+}
 
 // Schedule runs fn after delay d of virtual time. A negative delay is
 // treated as zero: the event runs at the current instant, after any events
@@ -147,6 +160,9 @@ func (l *Loop) At(t Time, fn func()) *Timer {
 	ev := &event{at: t, seq: l.seq, fn: fn}
 	l.seq++
 	heap.Push(&l.pq, ev)
+	if len(l.pq) > l.maxQueue {
+		l.maxQueue = len(l.pq)
+	}
 	return &Timer{ev: ev}
 }
 

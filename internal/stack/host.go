@@ -8,6 +8,7 @@ import (
 	"mosquitonet/internal/arp"
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/link"
+	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/sim"
 )
 
@@ -103,6 +104,7 @@ type Host struct {
 	sweepArmed       bool
 	stats            Stats
 	idSeq            uint16
+	pktlog           *metrics.PacketLog
 }
 
 // reassemblySweepInterval drives partial-fragment expiry; with MaxAge 2
@@ -127,7 +129,42 @@ func NewHost(loop *sim.Loop, name string, cfg Config) *Host {
 	h.ifaces = append(h.ifaces, h.lo)
 	h.icmp = newICMP(h)
 	h.reasm = ip.NewReassembler()
+	h.pktlog = metrics.PacketsFor(loop)
+	h.registerMetrics(metrics.For(loop))
 	return h
+}
+
+// registerMetrics exposes the host's counters in the loop's registry as
+// polled views; the Stats struct stays the source of truth.
+func (h *Host) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	host := metrics.L("host", h.name)
+	for _, m := range []struct {
+		name string
+		fn   func() uint64
+	}{
+		{"stack.host.sent", func() uint64 { return h.stats.Sent }},
+		{"stack.host.received", func() uint64 { return h.stats.Received }},
+		{"stack.host.delivered", func() uint64 { return h.stats.Delivered }},
+		{"stack.host.forwarded", func() uint64 { return h.stats.Forwarded }},
+		{"stack.host.drop_no_route", func() uint64 { return h.stats.DropNoRoute }},
+		{"stack.host.drop_ttl", func() uint64 { return h.stats.DropTTL }},
+		{"stack.host.drop_filter", func() uint64 { return h.stats.DropFilter }},
+		{"stack.host.drop_bad_packet", func() uint64 { return h.stats.DropBadPacket }},
+		{"stack.host.drop_not_local", func() uint64 { return h.stats.DropNotLocal }},
+		{"stack.host.drop_no_handler", func() uint64 { return h.stats.DropNoHandler }},
+		{"stack.host.drop_mtu", func() uint64 { return h.stats.DropMTU }},
+		{"stack.host.fragments_sent", func() uint64 { return h.stats.FragmentsSent }},
+		{"stack.host.redirects_sent", func() uint64 { return h.stats.RedirectsSent }},
+		{"stack.host.redirects_rcvd", func() uint64 { return h.stats.RedirectsRcvd }},
+		{"stack.icmp.sent", func() uint64 { return h.icmp.Sent }},
+		{"stack.icmp.received", func() uint64 { return h.icmp.Received }},
+		{"stack.icmp.echo_requests", func() uint64 { return h.icmp.EchoRequests }},
+	} {
+		reg.CounterFunc(m.name, m.fn, host)
+	}
 }
 
 // armSweep keeps a reassembly-expiry sweep scheduled while partial
@@ -222,8 +259,10 @@ func (h *Host) AddIface(name string, dev *link.Device, addr ip.Addr, prefix ip.P
 			pkt, err := ip.Unmarshal(f.Payload)
 			if err != nil {
 				h.stats.DropBadPacket++
+				h.pktlog.Record(f.Trace, h.name, "ip.drop", "bad packet")
 				return
 			}
+			pkt.Trace = f.Trace
 			h.Input(ifc, pkt)
 		}
 	})
@@ -369,15 +408,20 @@ func (h *Host) Output(pkt *ip.Packet) error {
 	if pkt.ID == 0 {
 		pkt.ID = h.NextID()
 	}
+	if pkt.Trace == 0 {
+		pkt.Trace = h.loop.NextSerial()
+	}
 	dec, err := h.lookup(pkt.Dst, pkt.Src)
 	if err != nil {
 		h.stats.DropNoRoute++
+		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no route to "+pkt.Dst.String())
 		return err
 	}
 	if pkt.Src.IsUnspecified() {
 		pkt.Src = dec.Src
 	}
 	h.stats.Sent++
+	h.pktlog.Record(pkt.Trace, h.name, "ip.output", pkt.String()+" via "+dec.Iface.name)
 	h.loop.Schedule(h.cfg.OutputDelay, func() { dec.Iface.send(pkt, dec.NextHop) })
 	return nil
 }
@@ -392,7 +436,11 @@ func (h *Host) OutputVia(ifc *Iface, pkt *ip.Packet, nextHop ip.Addr) error {
 	if pkt.ID == 0 {
 		pkt.ID = h.NextID()
 	}
+	if pkt.Trace == 0 {
+		pkt.Trace = h.loop.NextSerial()
+	}
 	h.stats.Sent++
+	h.pktlog.Record(pkt.Trace, h.name, "ip.output", pkt.String()+" via "+ifc.name)
 	h.loop.Schedule(h.cfg.OutputDelay, func() { ifc.send(pkt, nextHop) })
 	return nil
 }
@@ -404,6 +452,9 @@ func (h *Host) OutputVia(ifc *Iface, pkt *ip.Packet, nextHop ip.Addr) error {
 // or the forwarding engine. Decapsulating modules reuse Input to re-inject
 // inner packets.
 func (h *Host) Input(ifc *Iface, pkt *ip.Packet) {
+	if pkt.Trace == 0 {
+		pkt.Trace = h.loop.NextSerial()
+	}
 	h.stats.Received++
 	switch {
 	case h.IsLocalAddr(pkt.Dst):
@@ -414,6 +465,7 @@ func (h *Host) Input(ifc *Iface, pkt *ip.Packet) {
 		h.loop.Schedule(h.cfg.InputDelay, func() { h.forward(ifc, pkt) })
 	default:
 		h.stats.DropNotLocal++
+		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "not local: dst="+pkt.Dst.String())
 	}
 }
 
@@ -433,24 +485,29 @@ func (h *Host) deliver(ifc *Iface, pkt *ip.Packet) {
 		if pkt.Protocol == ip.ProtoICMP {
 			h.icmp.input(ifc, pkt)
 			h.stats.Delivered++
+			h.pktlog.Record(pkt.Trace, h.name, "ip.deliver", "icmp")
 			return
 		}
 		h.stats.DropNoHandler++
+		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no handler for "+pkt.Protocol.String())
 		return
 	}
 	h.stats.Delivered++
+	h.pktlog.Record(pkt.Trace, h.name, "ip.deliver", pkt.Protocol.String())
 	handler(ifc, pkt)
 }
 
 func (h *Host) forward(in *Iface, pkt *ip.Packet) {
 	if pkt.TTL <= 1 {
 		h.stats.DropTTL++
+		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "ttl expired")
 		h.icmp.sendError(ip.ICMPTimeExceeded, 0, pkt)
 		return
 	}
 	r, ok := h.routes.Lookup(pkt.Dst)
 	if !ok {
 		h.stats.DropNoRoute++
+		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no route to "+pkt.Dst.String())
 		h.icmp.sendError(ip.ICMPDestUnreach, ip.CodeNetUnreach, pkt)
 		return
 	}
@@ -458,9 +515,11 @@ func (h *Host) forward(in *Iface, pkt *ip.Packet) {
 		switch f(in, r.Iface, pkt) {
 		case Drop:
 			h.stats.DropFilter++
+			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "filtered")
 			return
 		case Reject:
 			h.stats.DropFilter++
+			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "filtered (reject)")
 			h.icmp.sendError(ip.ICMPDestUnreach, ip.CodeAdminProhibited, pkt)
 			return
 		}
@@ -469,6 +528,7 @@ func (h *Host) forward(in *Iface, pkt *ip.Packet) {
 	// ICMP error that path-MTU discovery depends on.
 	if mtu := r.Iface.MTU(); mtu > 0 && pkt.Len() > mtu && pkt.DontFrag {
 		h.stats.DropMTU++
+		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "df packet exceeds mtu")
 		h.icmp.sendError(ip.ICMPDestUnreach, ip.CodeFragNeeded, pkt)
 		return
 	}
@@ -485,5 +545,6 @@ func (h *Host) forward(in *Iface, pkt *ip.Packet) {
 	fwd := pkt.Clone()
 	fwd.TTL--
 	h.stats.Forwarded++
+	h.pktlog.Record(pkt.Trace, h.name, "ip.forward", "next hop "+nh.String()+" via "+r.Iface.name)
 	h.loop.Schedule(h.cfg.ForwardDelay, func() { r.Iface.send(fwd, nh) })
 }

@@ -36,6 +36,11 @@ type ICMP struct {
 
 	// EchoStats counts echo requests answered.
 	EchoRequests uint64
+
+	// Sent and Received count all ICMP messages originated by and
+	// delivered to this endpoint.
+	Sent     uint64
+	Received uint64
 }
 
 type pingState struct {
@@ -55,6 +60,7 @@ func (c *ICMP) input(ifc *Iface, pkt *ip.Packet) {
 		c.host.stats.DropBadPacket++
 		return
 	}
+	c.Received++
 	switch m.Type {
 	case ip.ICMPEchoRequest:
 		c.EchoRequests++
@@ -69,6 +75,7 @@ func (c *ICMP) input(ifc *Iface, pkt *ip.Packet) {
 		if pkt.Dst.IsBroadcast() {
 			out.Src = ip.Unspecified // let routing pick for broadcast pings
 		}
+		c.Sent++
 		c.host.Output(out)
 	case ip.ICMPEchoReply:
 		key := uint32(m.ID)<<16 | uint32(m.Seq)
@@ -143,6 +150,7 @@ func (c *ICMP) Ping(dst, bound ip.Addr, size int, timeout time.Duration, cb func
 		Header:  ip.Header{Protocol: ip.ProtoICMP, Src: bound, Dst: dst},
 		Payload: ip.MarshalICMP(m),
 	}
+	c.Sent++
 	if err := c.host.Output(pkt); err != nil {
 		if cur, ok := c.pending[key]; ok && cur == st {
 			delete(c.pending, key)
@@ -167,6 +175,7 @@ func (c *ICMP) sendError(typ ip.ICMPType, code uint8, offender *ip.Packet) {
 		}
 	}
 	msg := &ip.ICMP{Type: typ, Code: code, Body: ip.ICMPErrorBody(offender)}
+	c.Sent++
 	c.host.Output(&ip.Packet{
 		Header:  ip.Header{Protocol: ip.ProtoICMP, Dst: offender.Src},
 		Payload: ip.MarshalICMP(msg),
@@ -178,6 +187,7 @@ func (c *ICMP) sendRedirect(pkt *ip.Packet, gateway ip.Addr) {
 	c.host.stats.RedirectsSent++
 	msg := &ip.ICMP{Type: ip.ICMPRedirect, Code: 1 /* host redirect */, Body: ip.ICMPErrorBody(pkt)}
 	msg.SetGateway(gateway)
+	c.Sent++
 	c.host.Output(&ip.Packet{
 		Header:  ip.Header{Protocol: ip.ProtoICMP, Dst: pkt.Src},
 		Payload: ip.MarshalICMP(msg),

@@ -101,6 +101,7 @@ func (i *Iface) send(pkt *ip.Packet, nextHop ip.Addr) error {
 		}
 		i.host.stats.FragmentsSent += uint64(len(frags))
 		for _, f := range frags {
+			f.Trace = pkt.Trace
 			if err := i.sendOne(f, nextHop); err != nil {
 				return err
 			}
@@ -118,20 +119,20 @@ func (i *Iface) sendOne(pkt *ip.Packet, nextHop ip.Addr) error {
 	broadcast := pkt.Dst.IsBroadcast() || pkt.Dst.IsMulticast() ||
 		(i.prefix.Bits > 0 && pkt.Dst == i.prefix.BroadcastAddr())
 	if broadcast || i.pointToPoint || i.arp == nil {
-		i.broadcastRaw(raw)
+		i.broadcastRaw(raw, pkt.Trace)
 		return nil
 	}
-	i.arp.SendIP(nextHop, raw)
+	i.arp.SendIP(nextHop, raw, pkt.Trace)
 	return nil
 }
 
 // broadcastRaw sends an IPv4 payload to the link broadcast address, used
 // both for genuine broadcasts and for ARP-less (point-to-point/Starmode)
 // media where IP filtering happens at the receiver.
-func (i *Iface) broadcastRaw(raw []byte) {
+func (i *Iface) broadcastRaw(raw []byte, trace uint64) {
 	if i.arp != nil {
-		i.arp.SendBroadcastIP(raw)
+		i.arp.SendBroadcastIP(raw, trace)
 		return
 	}
-	i.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeIPv4, Payload: raw})
+	i.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeIPv4, Payload: raw, Trace: trace})
 }

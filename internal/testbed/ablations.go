@@ -7,6 +7,7 @@ import (
 
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/link"
+	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/mip"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
@@ -34,6 +35,9 @@ type A1Result struct {
 	FilteredTriangleSent      int
 	FallbackDelivered         int
 	FallbackSent              int
+
+	// Export holds snapshots for the main and transit-filter testbeds.
+	Export *Export
 }
 
 func (r *A1Result) String() string {
@@ -59,6 +63,7 @@ func RunA1(seed int64, samples int) (*A1Result, error) {
 		EncapOverhead:     ip.HeaderLen,
 	}
 	tb := New(seed)
+	defer tb.Close()
 	tb.MoveEthTo(tb.DeptNet)
 	tb.MustConnectForeign(tb.Eth)
 
@@ -89,6 +94,7 @@ func RunA1(seed int64, samples int) (*A1Result, error) {
 
 	// Transit-filter scenario, on a fresh testbed.
 	tb2 := New(seed + 1)
+	defer tb2.Close()
 	tb2.Router.AddFilter(func(in, out *stack.Iface, pkt *ip.Packet) stack.Verdict {
 		if in.Prefix() == DeptPrefix && !DeptPrefix.Contains(pkt.Src) {
 			return stack.Drop // forbid transit traffic from the visited net
@@ -121,6 +127,9 @@ func RunA1(seed int64, samples int) (*A1Result, error) {
 		tb2.Run(500 * time.Millisecond)
 	}
 	res.FallbackDelivered = *served - before
+	res.Export = &Export{Experiment: "a1", Seed: seed, Snapshots: []*metrics.Snapshot{
+		tb.SnapshotMetrics("routing"), tb2.SnapshotMetrics("transit-filter"),
+	}}
 	return res, nil
 }
 
@@ -171,6 +180,8 @@ type A2Result struct {
 	WithoutFA *stats.LossHistogram
 	WithFA    *stats.LossHistogram
 	Forwarded uint64 // stragglers the FA re-tunneled across all iterations
+	// Export holds one snapshot per variant.
+	Export *Export
 }
 
 func (r *A2Result) String() string {
@@ -195,6 +206,7 @@ func RunA2(seed int64, iterations int) (*A2Result, error) {
 	res := &A2Result{
 		WithoutFA: stats.NewLossHistogram("cold slow-net->wired, collocated care-of"),
 		WithFA:    stats.NewLossHistogram("cold slow-net->wired, foreign agent on old net"),
+		Export:    &Export{Experiment: "a2", Seed: seed},
 	}
 	const probeInterval = 50 * time.Millisecond
 
@@ -243,6 +255,8 @@ func RunA2(seed int64, iterations int) (*A2Result, error) {
 			}
 		}
 		probe.Stop()
+		res.Export.Snapshots = append(res.Export.Snapshots, tb.SnapshotMetrics("collocated"))
+		tb.Close()
 	}
 
 	// With FA on the slow net.
@@ -303,6 +317,8 @@ func RunA2(seed int64, iterations int) (*A2Result, error) {
 		}
 		probe.Stop()
 		res.Forwarded = fa.Stats().Forwarded
+		res.Export.Snapshots = append(res.Export.Snapshots, tb.SnapshotMetrics("foreign-agent"))
+		tb.Close()
 	}
 	return res, nil
 }
@@ -341,6 +357,8 @@ type A3Row struct {
 // to deal with a large number of mobile hosts simultaneously".
 type A3Result struct {
 	Rows []A3Row
+	// Export holds one snapshot per fleet size.
+	Export *Export
 }
 
 func (r *A3Result) String() string {
@@ -359,19 +377,21 @@ func (r *A3Result) String() string {
 
 // RunA3 registers fleets of visiting mobile hosts against one home agent.
 func RunA3(seed int64, fleets []int) (*A3Result, error) {
-	res := &A3Result{}
+	res := &A3Result{Export: &Export{Experiment: "a3", Seed: seed}}
 	for _, n := range fleets {
-		row, err := runA3Fleet(seed, n)
+		row, snap, err := runA3Fleet(seed, n)
 		if err != nil {
 			return nil, err
 		}
 		res.Rows = append(res.Rows, row)
+		res.Export.Snapshots = append(res.Export.Snapshots, snap)
 	}
 	return res, nil
 }
 
-func runA3Fleet(seed int64, n int) (A3Row, error) {
+func runA3Fleet(seed int64, n int) (A3Row, *metrics.Snapshot, error) {
 	tb := New(seed + int64(n))
+	defer tb.Close()
 	row := A3Row{MobileHosts: n, Latency: stats.NewSeries(fmt.Sprintf("reg latency n=%d", n))}
 
 	tracer := trace.New(tb.Loop)
@@ -401,7 +421,7 @@ func runA3Fleet(seed int64, n int) (A3Row, error) {
 			Gateway: RouterDeptAddr,
 		})
 		if err != nil {
-			return row, err
+			return row, nil, err
 		}
 		fleet = append(fleet, fleetMH{m, mi})
 	}
@@ -434,7 +454,7 @@ func runA3Fleet(seed int64, n int) (A3Row, error) {
 	for _, e := range tracer.Find("reg.reply.received") {
 		row.Latency.Add(e.At.Sub(matchRequest(sent, e).At))
 	}
-	return row, nil
+	return row, tb.SnapshotMetrics(fmt.Sprintf("fleet-%d", n)), nil
 }
 
 // matchRequest pairs a reply event with its request by registration id.
@@ -473,6 +493,8 @@ type A4Result struct {
 	Hot          *stats.LossHistogram
 	Simultaneous *stats.LossHistogram
 	Duplicated   uint64 // copies the HA emitted during overlaps
+	// Export holds one snapshot per strategy.
+	Export *Export
 }
 
 func (r *A4Result) String() string {
@@ -497,11 +519,13 @@ func RunA4(seed int64, iterations int) (*A4Result, error) {
 		Cold:         stats.NewLossHistogram("cold switch"),
 		Hot:          stats.NewLossHistogram("hot switch"),
 		Simultaneous: stats.NewLossHistogram("hot switch with simultaneous bindings"),
+		Export:       &Export{Experiment: "a4", Seed: seed},
 	}
 	const probeInterval = 50 * time.Millisecond
 
 	run := func(strategy string, hist *stats.LossHistogram) error {
 		tb := New(seed + int64(len(strategy)))
+		defer tb.Close()
 		tb.MoveEthTo(tb.DeptNet)
 		tb.MustConnectForeign(tb.Strip) // start on the radio
 		probe, err := NewEchoProbe(tb.Loop, tb.CH, tb.MHTS, MHHomeAddr, 7, probeInterval)
@@ -572,6 +596,7 @@ func RunA4(seed int64, iterations int) (*A4Result, error) {
 			tb.Run(time.Second)
 		}
 		probe.Stop()
+		res.Export.Snapshots = append(res.Export.Snapshots, tb.SnapshotMetrics(strategy))
 		return nil
 	}
 	if err := run("cold", res.Cold); err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mosquitonet/internal/ip"
+	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
 	"mosquitonet/internal/stats"
@@ -31,6 +32,8 @@ type E1Result struct {
 	// moment the old address stops accepting packets to the home agent
 	// installing the new binding.
 	Window *stats.Series
+	// Export is the machine-readable record of the run.
+	Export *Export
 }
 
 func (r *E1Result) String() string {
@@ -46,6 +49,7 @@ func (r *E1Result) String() string {
 // RunE1 performs the same-subnet switch experiment.
 func RunE1(seed int64) (*E1Result, error) {
 	tb := New(seed)
+	defer tb.Close()
 	tb.MoveEthTo(tb.DeptNet)
 	tb.MustConnectForeign(tb.Eth)
 
@@ -83,6 +87,7 @@ func RunE1(seed int64) (*E1Result, error) {
 		res.Histogram.Record(LossBetween(sentBefore, recvBefore, sentAfter, recvAfter))
 	}
 	probe.Stop()
+	res.Export = &Export{Experiment: "e1", Seed: seed, Snapshots: []*metrics.Snapshot{tb.SnapshotMetrics("e1")}}
 	return res, nil
 }
 
@@ -152,6 +157,8 @@ type F6Result struct {
 	// Blackout records the registration-complete-to-switch-start interval
 	// per cold iteration, the analogue of the paper's <1.25 s bound.
 	Blackout *stats.Series
+	// Export holds one metrics snapshot per scenario.
+	Export *Export
 }
 
 func (r *F6Result) String() string {
@@ -172,19 +179,22 @@ func RunF6(seed int64) (*F6Result, error) {
 	res := &F6Result{
 		Histograms: make(map[F6Scenario]*stats.LossHistogram),
 		Blackout:   stats.NewSeries("cold blackout"),
+		Export:     &Export{Experiment: "f6", Seed: seed},
 	}
 	for _, sc := range []F6Scenario{ColdWiredToWireless, ColdWirelessToWired, HotWiredToWireless, HotWirelessToWired} {
-		h, err := runF6Scenario(seed, sc, res.Blackout)
+		h, snap, err := runF6Scenario(seed, sc, res.Blackout)
 		if err != nil {
 			return nil, fmt.Errorf("F6 %v: %w", sc, err)
 		}
 		res.Histograms[sc] = h
+		res.Export.Snapshots = append(res.Export.Snapshots, snap)
 	}
 	return res, nil
 }
 
-func runF6Scenario(seed int64, sc F6Scenario, blackout *stats.Series) (*stats.LossHistogram, error) {
+func runF6Scenario(seed int64, sc F6Scenario, blackout *stats.Series) (*stats.LossHistogram, *metrics.Snapshot, error) {
 	tb := New(seed + int64(sc))
+	defer tb.Close()
 	hist := stats.NewLossHistogram(sc.String())
 
 	// The mobile host visits net 36.8 on the wired card and net 36.134 on
@@ -201,7 +211,7 @@ func runF6Scenario(seed int64, sc F6Scenario, blackout *stats.Series) (*stats.Lo
 
 	probe, err := NewEchoProbe(tb.Loop, tb.CH, tb.MHTS, MHHomeAddr, 7, F6SendInterval)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i := 0; i < F6Iterations; i++ {
 		probe.Start()
@@ -231,7 +241,7 @@ func runF6Scenario(seed int64, sc F6Scenario, blackout *stats.Series) (*stats.Lo
 			tb.MH.ColdSwitch(to, finish)
 		}
 		if !runUntilDone(tb, &done, 30*time.Second) || swErr != nil {
-			return nil, fmt.Errorf("iteration %d: done=%v err=%v", i, done, swErr)
+			return nil, nil, fmt.Errorf("iteration %d: done=%v err=%v", i, done, swErr)
 		}
 		if !hot {
 			blackout.Add(doneAt.Sub(switchStart))
@@ -252,7 +262,7 @@ func runF6Scenario(seed int64, sc F6Scenario, blackout *stats.Series) (*stats.Lo
 			tb.MH.ColdSwitch(from, func(error) { restoreDone = true })
 		}
 		if !runUntilDone(tb, &restoreDone, 30*time.Second) {
-			return nil, fmt.Errorf("iteration %d: restore failed", i)
+			return nil, nil, fmt.Errorf("iteration %d: restore failed", i)
 		}
 		if hot {
 			tb.MH.Disconnect(to)
@@ -260,7 +270,7 @@ func runF6Scenario(seed int64, sc F6Scenario, blackout *stats.Series) (*stats.Lo
 		}
 	}
 	probe.Stop()
-	return hist, nil
+	return hist, tb.SnapshotMetrics(sc.String()), nil
 }
 
 // --- F7: registration time-line ------------------------------------------
@@ -275,6 +285,13 @@ type F7Result struct {
 	RequestReply *stats.Series // registration request -> reply at the MH
 	HATurnaround *stats.Series // request received -> reply sent at the HA
 	Total        *stats.Series // start of switch -> reply received
+	// Timeline is the last iteration's registration timeline (the
+	// addrswitch/reg/binding events), detached from the live trace so it
+	// can be exported as JSONL after the run.
+	Timeline *trace.Tracer
+	// Export is the machine-readable record of the run; its Timeline field
+	// carries the same events as Timeline above.
+	Export *Export
 }
 
 func (r *F7Result) String() string {
@@ -290,6 +307,7 @@ func (r *F7Result) String() string {
 // RunF7 performs the registration time-line experiment.
 func RunF7(seed int64) (*F7Result, error) {
 	tb := New(seed)
+	defer tb.Close()
 	tb.MoveEthTo(tb.DeptNet)
 	tb.MustConnectForeign(tb.Eth)
 
@@ -323,7 +341,16 @@ func RunF7(seed int64) (*F7Result, error) {
 		res.RequestReply.Add(tRepRx.At.Sub(tReq.At))
 		res.HATurnaround.Add(tRepTx.At.Sub(tReqRx.At))
 		res.Total.Add(tRepRx.At.Sub(tStart.At))
+		if i == F7Iterations-1 {
+			res.Timeline = tr.Filter("addrswitch.", "reg.", "binding.")
+		}
 		tb.Run(time.Second)
+	}
+	res.Export = &Export{
+		Experiment: "f7",
+		Seed:       seed,
+		Snapshots:  []*metrics.Snapshot{tb.SnapshotMetrics("f7")},
+		Timeline:   res.Timeline.Events(),
 	}
 	return res, nil
 }
@@ -336,6 +363,8 @@ func RunF7(seed int64) (*F7Result, error) {
 type RTTResult struct {
 	RadioRTT *stats.Series // MH <-> router over the radio
 	WiredRTT *stats.Series // MH <-> router over visited Ethernet
+	// Export holds one metrics snapshot per medium.
+	Export *Export
 }
 
 func (r *RTTResult) String() string {
@@ -357,14 +386,19 @@ func RunRTT(seed int64, samples int) (*RTTResult, error) {
 
 	// Radio: MH on 36.134 pinging its router.
 	tb := New(seed)
+	defer tb.Close()
 	tb.MustConnectForeign(tb.Strip)
 	collectPings(tb, RouterRadioAddr, MHRadioAddr, samples, res.RadioRTT)
 
 	// Wired: MH visiting 36.8 pinging its router.
 	tb2 := New(seed + 1)
+	defer tb2.Close()
 	tb2.MoveEthTo(tb2.DeptNet)
 	tb2.MustConnectForeign(tb2.Eth)
 	collectPings(tb2, RouterDeptAddr, tb2.MH.CareOf(), samples, res.WiredRTT)
+	res.Export = &Export{Experiment: "rtt", Seed: seed, Snapshots: []*metrics.Snapshot{
+		tb.SnapshotMetrics("radio"), tb2.SnapshotMetrics("wired"),
+	}}
 	return res, nil
 }
 
@@ -388,6 +422,8 @@ type ThroughputResult struct {
 	Kbits         float64
 	BytesReceived int
 	Span          time.Duration
+	// Export is the machine-readable record of the run.
+	Export *Export
 }
 
 func (r *ThroughputResult) String() string {
@@ -399,6 +435,7 @@ func (r *ThroughputResult) String() string {
 // the radio subnet to the correspondent, through the reverse tunnel.
 func RunThroughput(seed int64, datagrams, size int) (*ThroughputResult, error) {
 	tb := New(seed)
+	defer tb.Close()
 	tb.MustConnectForeign(tb.Strip)
 
 	res := &ThroughputResult{}
@@ -424,5 +461,6 @@ func RunThroughput(seed int64, datagrams, size int) (*ThroughputResult, error) {
 	if res.Span > 0 {
 		res.Kbits = float64(res.BytesReceived*8) / res.Span.Seconds() / 1000
 	}
+	res.Export = &Export{Experiment: "tput", Seed: seed, Snapshots: []*metrics.Snapshot{tb.SnapshotMetrics("tput")}}
 	return res, nil
 }

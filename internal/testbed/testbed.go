@@ -7,6 +7,7 @@ import (
 	"mosquitonet/internal/dhcp"
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/link"
+	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/mip"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
@@ -46,6 +47,12 @@ type Testbed struct {
 	Loop   *sim.Loop
 	Tracer *trace.Tracer
 
+	// Metrics is the simulation's telemetry registry and Packets its
+	// packet-lifecycle log; both are enabled before any host or device is
+	// built, so every layer registers itself.
+	Metrics *metrics.Registry
+	Packets *metrics.PacketLog
+
 	HomeNet, DeptNet, RadioNet, CampusNet, SlowNet *link.Network
 
 	// Router is the Pentium 90 connecting the subnets; the home agent and
@@ -73,6 +80,8 @@ func New(seed int64) *Testbed {
 	tb := &Testbed{
 		Loop:      loop,
 		Tracer:    trace.New(loop),
+		Metrics:   metrics.Enable(loop),
+		Packets:   metrics.TracePackets(loop, 0),
 		HomeNet:   link.NewNetwork(loop, "net-36.135", link.Ethernet()),
 		DeptNet:   link.NewNetwork(loop, "net-36.8", link.Ethernet()),
 		RadioNet:  link.NewNetwork(loop, "net-36.134", link.Radio()),

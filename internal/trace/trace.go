@@ -5,7 +5,9 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"mosquitonet/internal/sim"
@@ -13,10 +15,10 @@ import (
 
 // Event is one recorded occurrence.
 type Event struct {
-	At     sim.Time
-	Kind   string // e.g. "reg.request.sent", "handoff.start"
-	Actor  string // host name
-	Detail string
+	At     sim.Time `json:"at_ns"`
+	Kind   string   `json:"kind"`  // e.g. "reg.request.sent", "handoff.start"
+	Actor  string   `json:"actor"` // host name
+	Detail string   `json:"detail,omitempty"`
 }
 
 func (e Event) String() string {
@@ -80,6 +82,52 @@ func (t *Tracer) Last(kindPrefix string) (Event, bool) {
 		}
 	}
 	return Event{}, false
+}
+
+// Filter returns a new detached Tracer holding only the events whose kind
+// matches one of the given prefixes (all events when none are given),
+// preserving order. The result shares the parent's clock, so further
+// Records work, but it starts with its own event slice — useful for
+// exporting one protocol's timeline (e.g. "reg.", "addrswitch.") without
+// disturbing the full trace.
+func (t *Tracer) Filter(kindPrefixes ...string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	out := &Tracer{loop: t.loop}
+	for _, e := range t.events {
+		if len(kindPrefixes) == 0 {
+			out.events = append(out.events, e)
+			continue
+		}
+		for _, p := range kindPrefixes {
+			if strings.HasPrefix(e.Kind, p) {
+				out.events = append(out.events, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes the recorded events as one JSON object per line, the
+// machine-readable export external tooling (e.g. a Figure 7 timeline
+// plotter) consumes.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	for _, e := range t.events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Reset discards recorded events (between experiment iterations).

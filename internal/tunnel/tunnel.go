@@ -20,6 +20,7 @@ import (
 	"errors"
 
 	"mosquitonet/internal/ip"
+	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/stack"
 )
 
@@ -52,6 +53,9 @@ type Endpoint struct {
 	AllowPeer func(outer ip.Addr) bool
 
 	stats Stats
+
+	encapBytes, decapBytes *metrics.Counter
+	pktlog                 *metrics.PacketLog
 }
 
 // New creates the endpoint, adds its virtual interface named name to the
@@ -62,6 +66,27 @@ func New(host *stack.Host, name string, outerSrc func() (ip.Addr, bool), outerDs
 	e := &Endpoint{host: host, outerSrc: outerSrc, outerDst: outerDst}
 	e.vif = host.AddVirtualIface(name, e.transmit)
 	host.RegisterHandler(ip.ProtoIPIP, e.receive)
+	e.pktlog = metrics.PacketsFor(host.Loop())
+	reg := metrics.For(host.Loop())
+	lbls := []metrics.Label{metrics.L("host", host.Name()), metrics.L("vif", name)}
+	e.encapBytes = reg.Counter("tunnel.endpoint.encap_bytes", lbls...)
+	e.decapBytes = reg.Counter("tunnel.endpoint.decap_bytes", lbls...)
+	if reg != nil {
+		for _, m := range []struct {
+			name string
+			fn   func() uint64
+		}{
+			{"tunnel.endpoint.encapsulated", func() uint64 { return e.stats.Encapsulated }},
+			{"tunnel.endpoint.decapsulated", func() uint64 { return e.stats.Decapsulated }},
+			{"tunnel.endpoint.drop_no_dst", func() uint64 { return e.stats.DropNoDst }},
+			{"tunnel.endpoint.drop_no_src", func() uint64 { return e.stats.DropNoSrc }},
+			{"tunnel.endpoint.drop_bad_inner", func() uint64 { return e.stats.DropBadInner }},
+			{"tunnel.endpoint.drop_peer", func() uint64 { return e.stats.DropPeer }},
+			{"tunnel.endpoint.drop_output", func() uint64 { return e.stats.DropOutput }},
+		} {
+			reg.CounterFunc(m.name, m.fn, lbls...)
+		}
+	}
 	return e
 }
 
@@ -74,39 +99,51 @@ func (e *Endpoint) Stats() Stats { return e.stats }
 
 // transmit is the VIF's send function: encapsulate and re-enter IP output.
 func (e *Endpoint) transmit(inner *ip.Packet, _ ip.Addr) {
+	name := e.host.Name()
 	dst, ok := e.outerDst(inner)
 	if !ok {
 		e.stats.DropNoDst++
+		e.pktlog.Record(inner.Trace, name, "tunnel.drop", "no tunnel destination")
 		return
 	}
 	src, ok := e.outerSrc()
 	if !ok {
 		e.stats.DropNoSrc++
+		e.pktlog.Record(inner.Trace, name, "tunnel.drop", "no outer source")
 		return
 	}
 	outer, err := ip.Encapsulate(src, dst, ip.DefaultTTL, e.host.NextID(), inner)
 	if err != nil {
 		e.stats.DropBadInner++
+		e.pktlog.Record(inner.Trace, name, "tunnel.drop", "encapsulation failed")
 		return
 	}
 	e.stats.Encapsulated++
+	e.encapBytes.Add(uint64(outer.Len()))
+	e.pktlog.Record(outer.Trace, name, "tunnel.encap", outer.Src.String()+"->"+outer.Dst.String())
 	if err := e.host.Output(outer); err != nil {
 		e.stats.DropOutput++
+		e.pktlog.Record(outer.Trace, name, "tunnel.drop", "outer packet unroutable")
 	}
 }
 
 // receive is the protocol-4 handler: strip the outer header, validate the
 // inner packet, and re-inject it as if it had arrived on the VIF.
 func (e *Endpoint) receive(_ *stack.Iface, outer *ip.Packet) {
+	name := e.host.Name()
 	if e.AllowPeer != nil && !e.AllowPeer(outer.Src) {
 		e.stats.DropPeer++
+		e.pktlog.Record(outer.Trace, name, "tunnel.drop", "peer rejected: "+outer.Src.String())
 		return
 	}
 	inner, err := ip.Decapsulate(outer)
 	if err != nil {
 		e.stats.DropBadInner++
+		e.pktlog.Record(outer.Trace, name, "tunnel.drop", "bad inner packet")
 		return
 	}
 	e.stats.Decapsulated++
+	e.decapBytes.Add(uint64(outer.Len()))
+	e.pktlog.Record(inner.Trace, name, "tunnel.decap", inner.String())
 	e.host.Input(e.vif, inner)
 }

@@ -28,6 +28,7 @@ import (
 	"mosquitonet/internal/dns"
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/link"
+	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/mip"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
@@ -153,6 +154,46 @@ type (
 	DNSResolver = dns.Resolver
 	// DNSResolverConfig tunes the resolver.
 	DNSResolverConfig = dns.ResolverConfig
+)
+
+// Telemetry types. Every simulation layer registers its counters with the
+// per-loop registry (enabled automatically by NewWorld and NewTestbed);
+// Snapshot renders a deterministic table or JSON document, and the
+// PacketLog reconstructs one packet's hop-by-hop lifecycle.
+type (
+	// MetricsRegistry holds a simulation's labeled counters, gauges and
+	// histograms, keyed `layer.object.event`.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time, deterministically-ordered
+	// rendering of a registry.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricLabel is one key=value dimension of a metric.
+	MetricLabel = metrics.Label
+	// PacketLog records packet-lifecycle events keyed by trace ID.
+	PacketLog = metrics.PacketLog
+	// PacketEvent is one hop in a packet's lifecycle.
+	PacketEvent = metrics.PacketEvent
+	// ExperimentExport is the machine-readable record of one experiment
+	// run (seed, metrics snapshots, timeline).
+	ExperimentExport = testbed.Export
+)
+
+// Re-exported telemetry helpers.
+var (
+	// EnableMetrics associates a registry with a loop; call it before
+	// building devices and hosts so their constructors find it.
+	EnableMetrics = metrics.Enable
+	// MetricsFor returns the loop's registry, or nil.
+	MetricsFor = metrics.For
+	// TracePacketLifecycles associates a packet log with a loop (limit 0
+	// means the default ring size).
+	TracePacketLifecycles = metrics.TracePackets
+	// PacketLogFor returns the loop's packet log, or nil.
+	PacketLogFor = metrics.PacketsFor
+	// ReleaseMetrics drops a loop's registry and packet-log associations.
+	ReleaseMetrics = metrics.Release
+	// Label constructs a metric label.
+	Label = metrics.L
 )
 
 // Testbed types (the paper's Figure 5 environment and experiments).

@@ -6,6 +6,7 @@ import (
 
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/link"
+	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/mip"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
@@ -22,6 +23,12 @@ type World struct {
 	// Loop drives the simulation; Tracer records protocol events.
 	Loop   *Loop
 	Tracer *Tracer
+
+	// Metrics is the world's telemetry registry and Packets its
+	// packet-lifecycle log; both are enabled before the router is built so
+	// every layer registers its counters.
+	Metrics *MetricsRegistry
+	Packets *PacketLog
 
 	// Router is the backbone router joining all subnets.
 	Router *Host
@@ -61,6 +68,8 @@ func NewWorld(seed int64) *World {
 	w := &World{
 		Loop:    loop,
 		Tracer:  trace.New(loop),
+		Metrics: metrics.Enable(loop),
+		Packets: metrics.TracePackets(loop, 0),
 		subnets: make(map[string]*Subnet),
 	}
 	w.Router = stack.NewHost(loop, "router", stack.Config{})
