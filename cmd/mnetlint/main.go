@@ -1,0 +1,138 @@
+// Command mnetlint runs the repository's determinism and accounting
+// analyzers (internal/analysis) over Go packages, multichecker style.
+//
+// Usage:
+//
+//	go run ./cmd/mnetlint ./...
+//	go run ./cmd/mnetlint -json ./internal/mip ./internal/stack
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+// Findings are suppressed by a `//lint:allow <analyzer> <reason>` comment
+// on the same line or the line above; the reason is mandatory and
+// directives missing one are themselves reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mosquitonet/internal/analysis"
+	"mosquitonet/internal/analysis/framework"
+)
+
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := framework.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var findings []finding
+	for _, pkg := range pkgs {
+		if len(pkg.Files) == 0 {
+			continue
+		}
+		for _, broken := range pkg.BrokenDirectives() {
+			pos := pkg.Fset.Position(broken.Pos)
+			findings = append(findings, finding{
+				File: rel(loader, pos.Filename), Line: pos.Line, Col: pos.Column,
+				Analyzer: "lintdirective",
+				Message:  "//lint:allow directive without a reason: write //lint:allow <analyzer> <why the invariant holds anyway>",
+			})
+		}
+		for _, a := range suite {
+			diags, err := pkg.Run(a)
+			if err != nil {
+				fatal(err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{
+					File: rel(loader, pos.Filename), Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message,
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Printf("mnetlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// rel shortens absolute paths to module-relative for stable output.
+func rel(l *framework.Loader, path string) string {
+	if r, ok := strings.CutPrefix(path, l.ModRoot()+string(os.PathSeparator)); ok {
+		return r
+	}
+	return path
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mnetlint:", err)
+	os.Exit(2)
+}

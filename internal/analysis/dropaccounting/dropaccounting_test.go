@@ -1,0 +1,12 @@
+package dropaccounting_test
+
+import (
+	"testing"
+
+	"mosquitonet/internal/analysis/dropaccounting"
+	"mosquitonet/internal/analysis/framework/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/dropaccounting", dropaccounting.Analyzer)
+}

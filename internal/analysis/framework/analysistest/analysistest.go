@@ -1,0 +1,102 @@
+// Package analysistest runs a framework.Analyzer over a fixture package
+// and checks its diagnostics against expectations embedded in the fixture,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a comment of the form
+//
+//	// want "substring or (regexp)"
+//
+// placed on the line the diagnostic is reported on. Every diagnostic must
+// match a want on its line and every want must be matched by exactly one
+// diagnostic. The fixture may also carry //lint:allow directives; suppressed
+// diagnostics must NOT have a want — fixtures thereby double as tests of
+// the escape hatch.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mosquitonet/internal/analysis/framework"
+)
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package in dir and checks analyzer a against the
+// // want expectations in its files.
+func Run(t *testing.T, dir string, a *framework.Analyzer) {
+	t.Helper()
+	loader, err := framework.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+	diags, err := pkg.Run(a)
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if w := matchWant(wants, pos.Filename, pos.Line, d.Message); w == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *framework.Package) []*want {
+	t.Helper()
+	var wants []*want
+	files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want ") {
+						t.Errorf("malformed want comment: %s", c.Text)
+					}
+					continue
+				}
+				pat, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: pat})
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}

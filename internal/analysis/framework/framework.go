@@ -1,0 +1,247 @@
+// Package framework is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, built only on the standard library's
+// go/ast, go/parser, and go/types. The repository vendors no third-party
+// code, so the mnetlint analyzers (see the sibling analyzer packages and
+// cmd/mnetlint) run against this framework instead of x/tools; the API
+// mirrors x/tools closely enough that an analyzer written here ports to a
+// real multichecker by changing one import.
+//
+// Two deliberate extensions over x/tools:
+//
+//   - Pass.TestFiles carries the package's _test.go files (parsed, not
+//     type-checked), because the wireroundtrip analyzer must see tests to
+//     verify that every Marshal/Unmarshal pair has a round-trip test.
+//
+//   - Suppression: a diagnostic is discarded when the line it is reported
+//     on, or the line immediately above it, carries a comment of the form
+//
+//     //lint:allow <analyzer> <reason>
+//
+//     The reason is mandatory; an allow directive without one is ignored
+//     (and surfaced by the driver), so every escape hatch in the tree
+//     documents why the invariant does not apply.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc states the invariant the analyzer enforces.
+	Doc string
+	// Run reports diagnostics for one package through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is the reporting analyzer's name, filled by Package.Run.
+	Analyzer string
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test sources, type-checked.
+	Files []*ast.File
+	// TestFiles are the package's _test.go sources, parsed but not
+	// type-checked (they may belong to an external _test package).
+	TestFiles []*ast.File
+	// PkgPath is the package import path.
+	PkgPath string
+	// Pkg is the type-checked package. It is non-nil even when type
+	// checking was partial; analyzers must tolerate incomplete info.
+	Pkg *types.Package
+	// TypesInfo holds expression types and identifier uses, best effort.
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// MapType reports whether the expression's type is (or points at) a map,
+// using the pass's type information. Unknown types report false, keeping
+// analyzers quiet rather than noisy when inference is partial.
+func (p *Pass) MapType(e ast.Expr) bool {
+	if p.TypesInfo == nil {
+		return false
+	}
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type.Underlying()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem().Underlying()
+	}
+	_, isMap := t.(*types.Map)
+	return isMap
+}
+
+// PkgIdent reports whether ident names the package imported under path in
+// the file containing it. Type information is consulted first; when it is
+// unavailable the file's import table decides, which is exact for this
+// repository's style (no shadowed package identifiers).
+func (p *Pass) PkgIdent(file *ast.File, ident *ast.Ident, path string) bool {
+	if p.TypesInfo != nil {
+		if obj, ok := p.TypesInfo.Uses[ident]; ok {
+			pn, ok := obj.(*types.PkgName)
+			return ok && pn.Imported().Path() == path
+		}
+	}
+	name, ok := importName(file, path)
+	return ok && ident.Name == name
+}
+
+// importName returns the local identifier a file binds path to, if the
+// file imports it (skipping blank and dot imports).
+func importName(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name == nil {
+			if i := strings.LastIndex(path, "/"); i >= 0 {
+				return path[i+1:], true
+			}
+			return path, true
+		}
+		if imp.Name.Name == "_" || imp.Name.Name == "." {
+			return "", false
+		}
+		return imp.Name.Name, true
+	}
+	return "", false
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	line     int
+	analyzer string
+	reason   string
+}
+
+// BrokenDirective is an allow directive missing its mandatory reason.
+type BrokenDirective struct {
+	Pos token.Pos
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllows extracts allow directives from a file's comments.
+func parseAllows(fset *token.FileSet, f *ast.File) (allows []allowDirective, broken []BrokenDirective) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				// Analyzer name without a reason (or nothing at all):
+				// the directive does not suppress.
+				broken = append(broken, BrokenDirective{Pos: c.Pos()})
+				continue
+			}
+			allows = append(allows, allowDirective{
+				line:     fset.Position(c.Pos()).Line,
+				analyzer: fields[0],
+				reason:   strings.Join(fields[1:], " "),
+			})
+		}
+	}
+	return allows, broken
+}
+
+// Run executes the analyzer over the package and returns its diagnostics
+// with suppression applied, sorted by position.
+func (pkg *Package) Run(a *Analyzer) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		TestFiles: pkg.TestFiles,
+		PkgPath:   pkg.PkgPath,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	kept := pkg.filterSuppressed(a.Name, pass.diags)
+	for i := range kept {
+		kept[i].Analyzer = a.Name
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// filterSuppressed drops diagnostics covered by an allow directive for the
+// analyzer (or for "all") on the same line or the line above.
+func (pkg *Package) filterSuppressed(analyzer string, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return nil
+	}
+	// filename -> line -> suppressing analyzers present on that line.
+	byFile := make(map[string]map[int]map[string]bool)
+	for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
+		allows, _ := parseAllows(pkg.Fset, f)
+		if len(allows) == 0 {
+			continue
+		}
+		name := pkg.Fset.Position(f.Pos()).Filename
+		lines := byFile[name]
+		if lines == nil {
+			lines = make(map[int]map[string]bool)
+			byFile[name] = lines
+		}
+		for _, a := range allows {
+			if lines[a.line] == nil {
+				lines[a.line] = make(map[string]bool)
+			}
+			lines[a.line][a.analyzer] = true
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		lines := byFile[pos.Filename]
+		suppressed := false
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			if as, ok := lines[line]; ok && (as[analyzer] || as["all"]) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// BrokenDirectives returns allow directives in the package that are
+// missing their mandatory reason, for the driver to surface.
+func (pkg *Package) BrokenDirectives() []BrokenDirective {
+	var out []BrokenDirective
+	for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
+		_, broken := parseAllows(pkg.Fset, f)
+		out = append(out, broken...)
+	}
+	return out
+}

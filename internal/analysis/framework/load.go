@@ -1,0 +1,265 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and (leniently) type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	// Files are the non-test sources; TestFiles the _test.go sources.
+	Files     []*ast.File
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+	// TypeErrors collects type-checker complaints. Analysis proceeds on
+	// partial information, but the driver can surface these in -debug runs.
+	TypeErrors []error
+}
+
+// Loader loads packages of one module, resolving module-internal imports
+// from source and everything else through the compiler's importer. All
+// packages share one FileSet so positions interoperate.
+type Loader struct {
+	Fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.ImporterFrom
+	source  types.Importer
+	loaded  map[string]*Package // by import path, non-test typecheck memo
+}
+
+// NewLoader creates a loader for the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		modRoot: root,
+		modPath: path,
+		loaded:  make(map[string]*Package),
+	}
+	if imp, ok := importer.Default().(types.ImporterFrom); ok {
+		l.std = imp
+	}
+	l.source = importer.ForCompiler(fset, "source", nil)
+	return l, nil
+}
+
+// ModRoot returns the module's root directory.
+func (l *Loader) ModRoot() string { return l.modRoot }
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("framework: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("framework: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadPatterns resolves go-style package patterns ("./...", "./internal/ip",
+// "dir/...") relative to the module root and loads each matching package.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	dirSet := make(map[string]bool)
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "/...")
+		if base == "." || base == "" {
+			base = l.modRoot
+		} else if !filepath.IsAbs(base) {
+			base = filepath.Join(l.modRoot, base)
+		}
+		if !recursive {
+			dirSet[filepath.Clean(base)] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				dirSet[p] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") && !strings.HasPrefix(e.Name(), "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads the package in dir, including its test files. Directories
+// outside the module's import space (testdata fixtures) are given a
+// synthetic import path derived from their location.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := l.importPathFor(dir)
+	if pkg, ok := l.loaded[pkgPath]; ok {
+		return pkg, nil
+	}
+	return l.load(pkgPath, dir)
+}
+
+// importPathFor maps a directory inside the module to its import path; a
+// testdata directory gets a synthetic path so it never collides.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "external/" + filepath.ToSlash(dir)
+	}
+	if rel == "." {
+		return l.modPath
+	}
+	slash := filepath.ToSlash(rel)
+	if strings.Contains("/"+slash+"/", "/testdata/") {
+		return "fixture/" + slash
+	}
+	return l.modPath + "/" + slash
+}
+
+// load parses and type-checks one directory.
+func (l *Loader) load(pkgPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{PkgPath: pkgPath, Dir: dir, Fset: l.Fset}
+	// Memoize before type-checking so recursive imports terminate; Go
+	// forbids import cycles, so the partially filled entry is never
+	// observed by a well-formed tree.
+	l.loaded[pkgPath] = pkg
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("framework: parsing %s: %w", filepath.Join(dir, n), err)
+		}
+		if strings.HasSuffix(n, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer:    &moduleImporter{l: l},
+		FakeImportC: true,
+		// Lenient: record every checkable expression, keep going past
+		// errors. Analyzers are written to tolerate partial info.
+		Error: func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check ignores the returned error: Info is filled best effort and
+	// conf.Error already captured the details.
+	pkg.Types, _ = conf.Check(pkgPath, l.Fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+// moduleImporter resolves module-internal imports from source and defers
+// the rest to the gc importer (falling back to the source importer, which
+// compiles the standard library from GOROOT and needs no export data).
+type moduleImporter struct{ l *Loader }
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := m.l
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.modRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("framework: type-checking %s failed", path)
+		}
+		return pkg.Types, nil
+	}
+	if l.std != nil {
+		if p, err := l.std.ImportFrom(path, l.modRoot, 0); err == nil {
+			return p, nil
+		}
+	}
+	return l.source.Import(path)
+}

@@ -1,0 +1,58 @@
+// Package nowallclock forbids reading the wall clock in simulator code.
+//
+// Every instant in this repository is virtual time (sim.Time) read from
+// sim.Loop.Now; a single time.Now or time.Sleep smuggled into a protocol
+// path silently breaks same-seed byte-identical replay — the property the
+// paper's handoff-loss and registration-latency numbers depend on. The
+// time package's types (Duration, and the arithmetic on them) remain fine;
+// only the functions that consult or wait on the real clock are banned.
+// Test files are exempt: wall-clock timeouts in tests do not influence
+// simulated behaviour.
+package nowallclock
+
+import (
+	"go/ast"
+
+	"mosquitonet/internal/analysis/framework"
+)
+
+// forbidden are the time-package functions that read or wait on the wall
+// clock.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid wall-clock access (time.Now, time.Sleep, ...) in simulator code; all time is sim.Time",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !forbidden[sel.Sel.Name] {
+				return true
+			}
+			if pass.PkgIdent(f, x, "time") {
+				pass.Reportf(sel.Pos(), "wall clock access: time.%s is forbidden in simulator code; use the sim.Loop clock (Now/Schedule/RunFor)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+// Package seededrand forbids randomness that bypasses the simulation's
+// seeded source.
+//
+// All randomness must flow through sim.Loop.Rand (or helpers built on it,
+// like Loop.Jitter): the global math/rand functions draw from a shared
+// process-wide source and rand.New outside internal/sim creates a second
+// stream whose interleaving with the loop's source depends on call order
+// across unrelated subsystems. Either breaks same-seed reproducibility.
+// Referring to the *rand.Rand and rand.Source types stays legal — that is
+// how the seeded source is passed around — and test files are exempt
+// (tests construct their own seeded sources deliberately).
+package seededrand
+
+import (
+	"go/ast"
+
+	"mosquitonet/internal/analysis/framework"
+)
+
+// randPaths are the package paths whose use is policed.
+var randPaths = []string{"math/rand", "math/rand/v2"}
+
+// typeNames are identifiers that denote types (not functions) in math/rand
+// and math/rand/v2; referencing them never draws randomness.
+var typeNames = map[string]bool{
+	"Rand":     true,
+	"Source":   true,
+	"Source64": true,
+	"Zipf":     true,
+	"PCG":      true,
+	"ChaCha8":  true,
+}
+
+// constructorNames may be used only by the simulation loop itself, which
+// owns the one seeded source per run.
+var constructorNames = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewPCG":    true,
+	"NewZipf":   true,
+}
+
+// loopPackage is the only package allowed to construct a source.
+const loopPackage = "mosquitonet/internal/sim"
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand functions and stray rand.New outside internal/sim; randomness flows through sim.Loop.Rand",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if typeNames[name] {
+				return true
+			}
+			for _, path := range randPaths {
+				if !pass.PkgIdent(f, x, path) {
+					continue
+				}
+				if constructorNames[name] {
+					if pass.PkgPath != loopPackage {
+						pass.Reportf(sel.Pos(), "rand.%s outside internal/sim creates an unseeded second stream; draw from sim.Loop.Rand() instead", name)
+					}
+					return true
+				}
+				pass.Reportf(sel.Pos(), "global rand.%s bypasses the loop's seeded source; draw from sim.Loop.Rand() instead", name)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"mosquitonet/internal/analysis/framework/analysistest"
+	"mosquitonet/internal/analysis/seededrand"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/seededrand", seededrand.Analyzer)
+}

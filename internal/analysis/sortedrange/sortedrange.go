@@ -1,0 +1,187 @@
+// Package sortedrange flags map iteration whose order can leak into
+// serialized output.
+//
+// Go map iteration order is deliberately randomized, so a `range` over a
+// map that appends to a slice or writes to a stream produces a different
+// ordering every run — which is exactly how nondeterminism sneaks into
+// trace JSONL, metric snapshots, and wire bytes that must be byte-identical
+// across same-seed runs. Order-insensitive bodies (deleting keys, writing
+// into another map, accumulating sums or counts) are fine and not flagged.
+//
+// The exemption is coarse on purpose: a function that sorts anywhere —
+// sorted keys before the loop, or collect-then-sort after it — is trusted,
+// because both idioms neutralize map order. What the analyzer hunts is the
+// function that never sorts at all.
+package sortedrange
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"mosquitonet/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "sortedrange",
+	Doc:  "flag range-over-map feeding ordered output (appends, writes) in functions that never sort",
+	Run:  run,
+}
+
+// emitNames are method names that write to an ordered sink: an io.Writer,
+// a builder, an encoder, or an event log.
+var emitNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Printf": true, "Println": true, "Print": true,
+	"Encode": true, "Record": true, "Observe": true,
+	"WriteJSON": true, "WriteJSONL": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if functionSorts(fn.Body) {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// functionSorts reports whether the function body calls into sort/slices
+// anywhere — before the loop (sorted keys) or after it (collect-then-sort).
+func functionSorts(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch x.Name {
+		case "sort":
+			found = true
+		case "slices":
+			if strings.HasPrefix(sel.Sel.Name, "Sort") || sel.Sel.Name == "Sorted" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !pass.MapType(rng.X) {
+			return true
+		}
+		if why, pos := orderDependent(pass, rng); why != "" {
+			pass.Reportf(pos, "map iteration order reaches ordered output (%s); sort the keys first, or sort the result before serializing", why)
+		}
+		return true
+	})
+}
+
+// orderDependent reports how the loop body lets map order escape, if it
+// does: appending to state declared outside the loop, or emitting to an
+// ordered sink.
+func orderDependent(pass *framework.Pass, rng *ast.RangeStmt) (string, token.Pos) {
+	declared := localDecls(rng.Body)
+	var why string
+	var at token.Pos
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fun, ok := call.Fun.(*ast.Ident)
+				if !ok || fun.Name != "append" || i >= len(n.Lhs) {
+					continue
+				}
+				if target, ok := rootIdent(n.Lhs[i]); ok && declared[target] {
+					continue // scratch local to one iteration
+				}
+				why, at = "append into outer slice", n.Pos()
+				return false
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if ok && emitNames[sel.Sel.Name] {
+				why, at = "call to "+sel.Sel.Name, n.Pos()
+				return false
+			}
+			if fun, ok := n.Fun.(*ast.Ident); ok && emitNames[fun.Name] {
+				why, at = "call to "+fun.Name, n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return why, at
+}
+
+// localDecls collects names declared inside the loop body (via := or var);
+// appends into those reset every iteration and cannot carry map order out.
+func localDecls(body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootIdent unwraps selectors/indexes to the base identifier of an
+// assignable expression.
+func rootIdent(e ast.Expr) (string, bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v.Name, true
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return "", false
+		}
+	}
+}

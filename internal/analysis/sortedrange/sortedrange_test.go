@@ -1,0 +1,12 @@
+package sortedrange_test
+
+import (
+	"testing"
+
+	"mosquitonet/internal/analysis/framework/analysistest"
+	"mosquitonet/internal/analysis/sortedrange"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/sortedrange", sortedrange.Analyzer)
+}

@@ -1,0 +1,116 @@
+// Package fixture exercises the dropaccounting analyzer: silent packet
+// discards are flagged; counted, recorded, and error-propagating paths are
+// not; retention (not a drop) uses the escape hatch.
+package fixture
+
+import "errors"
+
+type Packet struct{ TTL int }
+
+type Frame struct{ Len int }
+
+type stats struct {
+	DropTTL int
+	Seen    int
+}
+
+type pktlog struct{}
+
+func (pktlog) Record(args ...any) {}
+
+type counter struct{}
+
+func (counter) Inc() {}
+
+type dev struct {
+	stats   stats
+	log     pktlog
+	dropMTU counter
+}
+
+var errTTL = errors.New("ttl exceeded")
+
+func (d *dev) silent(p *Packet) {
+	if p.TTL == 0 {
+		return // want "packet discarded without accounting"
+	}
+	d.stats.Seen++
+}
+
+func (d *dev) counted(p *Packet) {
+	if p.TTL == 0 {
+		d.stats.DropTTL++
+		return
+	}
+	d.stats.Seen++
+}
+
+func (d *dev) recorded(p *Packet) {
+	if p.TTL == 0 {
+		d.log.Record("p", "drop", "ttl")
+		return
+	}
+	d.stats.Seen++
+}
+
+func (d *dev) counterInc(p *Packet) {
+	if p.TTL == 0 {
+		d.dropMTU.Inc()
+		return
+	}
+	d.stats.Seen++
+}
+
+// propagates hands responsibility back via a non-nil error: not a discard.
+func propagates(p *Packet) error {
+	if p.TTL == 0 {
+		return errTTL
+	}
+	return nil
+}
+
+func zeroReturn(p *Packet) (*Packet, bool) {
+	if p.TTL == 0 {
+		return nil, false // want "packet discarded without accounting"
+	}
+	return p, true
+}
+
+func frameDrop(f *Frame) {
+	if f.Len == 0 {
+		return // want "packet discarded without accounting"
+	}
+}
+
+// closures over packets are checked too.
+func viaClosure() func(*Frame) {
+	return func(f *Frame) {
+		if f.Len > 1500 {
+			return // want "packet discarded without accounting"
+		}
+	}
+}
+
+type sender struct{}
+
+func (sender) SendTo(p *Packet) {}
+
+// answered hands the packet onward (a reply, a relay): not a discard.
+func (d *dev) answered(s sender, p *Packet) {
+	if p.TTL == 0 {
+		s.SendTo(p)
+		return
+	}
+	d.stats.Seen++
+}
+
+// retained parks the packet in a buffer — conservation holds, so the
+// directive documents why and suppresses the finding.
+func retained(p *Packet, buf map[int]*Packet) {
+	if p.TTL > 0 {
+		buf[p.TTL] = p
+		//lint:allow dropaccounting packet retained in reassembly buffer, not dropped
+		return
+	}
+	p.TTL++
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the nowallclock analyzer: wall-clock reads are
+// flagged, time-package types and arithmetic are not, and the
+// //lint:allow escape hatch suppresses with a reason.
+package fixture
+
+import "time"
+
+type event struct {
+	at  time.Time
+	gap time.Duration
+}
+
+func bad() {
+	_ = time.Now()                         // want "wall clock access: time.Now is forbidden"
+	time.Sleep(10 * time.Millisecond)      // want "wall clock access: time.Sleep is forbidden"
+	_ = time.Since(time.Time{})            // want "wall clock access: time.Since is forbidden"
+	_ = time.After(time.Second)            // want "wall clock access: time.After is forbidden"
+	_ = time.NewTimer(time.Second)         // want "wall clock access: time.NewTimer is forbidden"
+	time.AfterFunc(time.Second, func() {}) // want "wall clock access: time.AfterFunc is forbidden"
+}
+
+func fine(e event) time.Duration {
+	// Duration arithmetic and time.Time values never consult the clock.
+	d := e.gap * 2
+	d += 3 * time.Millisecond
+	return d.Round(time.Millisecond)
+}
+
+func suppressed() {
+	//lint:allow nowallclock harness measures real elapsed time outside the simulation
+	_ = time.Now()
+}

@@ -1,0 +1,33 @@
+// Package fixture exercises the seededrand analyzer: global math/rand
+// draws and stray constructors are flagged, type references are not.
+package fixture
+
+import "math/rand"
+
+// Type references are how the seeded source is passed around; legal.
+type jitterer struct {
+	rng *rand.Rand
+	src rand.Source
+}
+
+func globals() int {
+	n := rand.Intn(10) // want "global rand.Intn bypasses the loop's seeded source"
+	f := rand.Float64() // want "global rand.Float64 bypasses the loop's seeded source"
+	rand.Shuffle(n, func(i, j int) {}) // want "global rand.Shuffle bypasses the loop's seeded source"
+	return n + int(f)
+}
+
+func construct() *rand.Rand {
+	src := rand.NewSource(1) // want "rand.NewSource outside internal/sim creates an unseeded second stream"
+	return rand.New(src)     // want "rand.New outside internal/sim creates an unseeded second stream"
+}
+
+func drawsFromSeeded(j *jitterer) int {
+	// Drawing from an injected *rand.Rand is the sanctioned pattern.
+	return j.rng.Intn(100)
+}
+
+func suppressed() float64 {
+	//lint:allow seededrand fixture demonstrates the escape hatch
+	return rand.Float64()
+}

@@ -1,0 +1,88 @@
+// Package fixture exercises the sortedrange analyzer: map ranges that let
+// iteration order reach ordered output are flagged unless the function
+// sorts; order-insensitive bodies are left alone.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func leakAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map iteration order reaches ordered output .append into outer slice."
+	}
+	return out
+}
+
+func leakEmit(m map[string]int, w *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "map iteration order reaches ordered output .call to Fprintf."
+	}
+}
+
+// sortedKeys neutralizes map order by sorting the keys before use.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectThenSort neutralizes map order after the loop; also fine.
+func collectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// orderInsensitive accumulates a sum: commutative, never flagged.
+func orderInsensitive(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// intoMap writes into another map: order cannot escape.
+func intoMap(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// scratchLocal appends into a slice scoped to one iteration; order resets
+// every pass and cannot leak out.
+func scratchLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		tmp := []int{}
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// sliceRange iterates a slice, not a map: inherently ordered.
+func sliceRange(xs []string, w *strings.Builder) {
+	for _, x := range xs {
+		w.WriteString(x)
+	}
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:allow sortedrange caller sorts before comparing
+		out = append(out, k)
+	}
+	return out
+}

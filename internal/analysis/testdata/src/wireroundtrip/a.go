@@ -1,0 +1,57 @@
+// Package fixture exercises the wireroundtrip analyzer: a Marshal without
+// its Unmarshal is flagged, a pair without a round-trip test is flagged,
+// and tested pairs pass.
+package fixture
+
+import "errors"
+
+var errShort = errors.New("short buffer")
+
+// Orphan has no inverse at all.
+type Orphan struct{ V byte }
+
+func (o *Orphan) Marshal() []byte { // want "has no matching Unmarshal or UnmarshalOrphan"
+	return []byte{o.V}
+}
+
+// Pair round-trips and its test exercises both directions.
+type Pair struct{ V byte }
+
+func (p *Pair) Marshal() []byte { return []byte{p.V} }
+
+func UnmarshalPair(b []byte) (*Pair, error) {
+	if len(b) < 1 {
+		return nil, errShort
+	}
+	return &Pair{V: b[0]}, nil
+}
+
+// MarshalThing / UnmarshalThing: function-style pair, tested.
+func MarshalThing(v byte) []byte { return []byte{v} }
+
+func UnmarshalThing(b []byte) (byte, error) {
+	if len(b) < 1 {
+		return 0, errShort
+	}
+	return b[0], nil
+}
+
+// MarshalUntested has its inverse but no test references the pair.
+func MarshalUntested(v byte) []byte { // want "MarshalUntested/UnmarshalUntested has no round-trip test"
+	return []byte{v}
+}
+
+func UnmarshalUntested(b []byte) (byte, error) {
+	if len(b) < 1 {
+		return 0, errShort
+	}
+	return b[0], nil
+}
+
+// MarshalBeacon is deliberately one-way; the directive documents why.
+//
+//lint:allow wireroundtrip one-way beacon format, the receiver side lives in fixture hardware
+func MarshalBeacon(v byte) []byte { return []byte{v} }
+
+// marshalInternal is unexported: out of scope.
+func marshalInternal(v byte) []byte { return []byte{v} }

@@ -1,0 +1,18 @@
+package fixture
+
+import "testing"
+
+func TestPairRoundTrip(t *testing.T) {
+	p := &Pair{V: 7}
+	got, err := UnmarshalPair(p.Marshal())
+	if err != nil || got.V != p.V {
+		t.Fatalf("round trip: got %v, %v", got, err)
+	}
+}
+
+func TestThingRoundTrip(t *testing.T) {
+	got, err := UnmarshalThing(MarshalThing(9))
+	if err != nil || got != 9 {
+		t.Fatalf("round trip: got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package wireroundtrip enforces that wire formats parse back.
+//
+// Every exported Marshal in a wire-format package must have a matching
+// exported Unmarshal in the same package, and the package's tests must
+// exercise the pair together (a round-trip or fuzz test that references
+// both names). A Marshal without its inverse is a format nothing can
+// validate; a pair without a round-trip test is a format free to drift.
+//
+// Matching rules:
+//
+//	func (m *Message) Marshal()   ->  Unmarshal or UnmarshalMessage
+//	func MarshalUDP(...)          ->  UnmarshalUDP
+//
+// Packages with no exported Marshal are ignored, so the check activates
+// only where a wire format lives.
+package wireroundtrip
+
+import (
+	"go/ast"
+	"strings"
+	"unicode"
+
+	"mosquitonet/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "wireroundtrip",
+	Doc:  "every exported Marshal* needs a matching Unmarshal* and a round-trip test in the same package",
+	Run:  run,
+}
+
+// marshalFunc is one exported marshaler found in the package.
+type marshalFunc struct {
+	decl *ast.FuncDecl
+	name string // display name, e.g. "(*RegRequest).Marshal" or "MarshalUDP"
+	// counterparts are the acceptable Unmarshal names, first match wins.
+	counterparts []string
+}
+
+func run(pass *framework.Pass) error {
+	var marshals []marshalFunc
+	declared := make(map[string]bool)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() {
+				continue
+			}
+			declared[fn.Name.Name] = true
+			if m, ok := classify(fn); ok {
+				marshals = append(marshals, m)
+			}
+		}
+	}
+	if len(marshals) == 0 {
+		return nil
+	}
+
+	// refs[name] holds the test functions referencing each identifier.
+	testRefs := collectTestRefs(pass.TestFiles)
+
+	for _, m := range marshals {
+		counterpart := ""
+		for _, c := range m.counterparts {
+			if declared[c] {
+				counterpart = c
+				break
+			}
+		}
+		if counterpart == "" {
+			pass.Reportf(m.decl.Name.Pos(), "wire format %s has no matching %s in this package; formats must parse back", m.name, strings.Join(m.counterparts, " or "))
+			continue
+		}
+		if !hasRoundTripTest(testRefs, counterpart) {
+			pass.Reportf(m.decl.Name.Pos(), "wire format %s/%s has no round-trip test: no Test or Fuzz function references both %s and a Marshal", m.name, counterpart, counterpart)
+		}
+	}
+	return nil
+}
+
+// classify recognizes exported marshalers and derives their acceptable
+// counterpart names.
+func classify(fn *ast.FuncDecl) (marshalFunc, bool) {
+	name := fn.Name.Name
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if name != "Marshal" {
+			return marshalFunc{}, false
+		}
+		recv := receiverTypeName(fn.Recv.List[0].Type)
+		return marshalFunc{
+			decl:         fn,
+			name:         "(*" + recv + ").Marshal",
+			counterparts: []string{"Unmarshal", "Unmarshal" + recv},
+		}, true
+	}
+	suffix, ok := strings.CutPrefix(name, "Marshal")
+	if !ok || suffix == "" || !unicode.IsUpper(rune(suffix[0])) {
+		return marshalFunc{}, false
+	}
+	return marshalFunc{
+		decl:         fn,
+		name:         name,
+		counterparts: []string{"Unmarshal" + suffix},
+	}, true
+}
+
+func receiverTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+// testRef records which identifiers a test function touches and whether it
+// calls any marshaler.
+type testRef struct {
+	idents     map[string]bool
+	hasMarshal bool
+}
+
+// collectTestRefs indexes Test*/Fuzz* functions by the identifiers and
+// method names their bodies reference.
+func collectTestRefs(testFiles []*ast.File) []testRef {
+	var refs []testRef
+	for _, f := range testFiles {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv != nil {
+				continue
+			}
+			if !strings.HasPrefix(fn.Name.Name, "Test") && !strings.HasPrefix(fn.Name.Name, "Fuzz") {
+				continue
+			}
+			r := testRef{idents: make(map[string]bool)}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.Ident:
+					r.idents[v.Name] = true
+					if strings.HasPrefix(v.Name, "Marshal") || v.Name == "Marshal" {
+						r.hasMarshal = true
+					}
+				case *ast.SelectorExpr:
+					r.idents[v.Sel.Name] = true
+					if strings.HasPrefix(v.Sel.Name, "Marshal") {
+						r.hasMarshal = true
+					}
+				}
+				return true
+			})
+			refs = append(refs, r)
+		}
+	}
+	return refs
+}
+
+// hasRoundTripTest reports whether some test references the counterpart
+// and also touches a marshaler — the shape of a round-trip assertion.
+func hasRoundTripTest(refs []testRef, counterpart string) bool {
+	for _, r := range refs {
+		if r.idents[counterpart] && r.hasMarshal {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package wireroundtrip_test
+
+import (
+	"testing"
+
+	"mosquitonet/internal/analysis/framework/analysistest"
+	"mosquitonet/internal/analysis/wireroundtrip"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/wireroundtrip", wireroundtrip.Analyzer)
+}

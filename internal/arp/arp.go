@@ -117,6 +117,7 @@ type Stats struct {
 	ResolveFailures uint64 // addresses given up on after retries
 	PacketsDropped  uint64 // queued packets dropped (failure or overflow)
 	GratuitousSent  uint64
+	DropMalformed   uint64 // received ARP frames that failed to parse
 }
 
 type entry struct {
@@ -276,6 +277,7 @@ func (c *Cache) Gratuitous(a ip.Addr, hw link.HWAddr) {
 func (c *Cache) HandleFrame(f *link.Frame) {
 	m, err := Unmarshal(f.Payload)
 	if err != nil {
+		c.stats.DropMalformed++
 		return
 	}
 	// Merge/update (RFC 826 flavored): refresh an existing mapping for the
@@ -297,6 +299,7 @@ func (c *Cache) HandleFrame(f *link.Frame) {
 		}
 	}
 	if m.Op != OpRequest || m.IsGratuitous() {
+		//lint:allow dropaccounting frame fully consumed by the cache merge above; replies are only owed to requests
 		return
 	}
 	switch {

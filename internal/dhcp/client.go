@@ -225,6 +225,7 @@ func (c *Client) sendRequest() {
 func (c *Client) input(d transport.Datagram) {
 	m, err := Unmarshal(d.Payload)
 	if err != nil || m.ClientHW != c.hw || m.XID != c.xid {
+		//lint:allow dropaccounting broadcast replies addressed to other clients are filtered here, not lost
 		return
 	}
 	switch {

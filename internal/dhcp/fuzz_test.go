@@ -1,0 +1,39 @@
+package dhcp
+
+import (
+	"testing"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+)
+
+// FuzzUnmarshal asserts the DHCP parser never panics and accepted
+// messages survive a Marshal∘Unmarshal round trip unchanged.
+func FuzzUnmarshal(f *testing.F) {
+	offer := &Message{
+		Type:       Offer,
+		XID:        0xdeadbeef,
+		ClientHW:   link.HWAddr{2, 0, 0, 0, 0, 9},
+		YourAddr:   ip.Addr{10, 0, 0, 40},
+		ServerAddr: ip.Addr{10, 0, 0, 1},
+		PrefixBits: 24,
+		Gateway:    ip.Addr{10, 0, 0, 1},
+		LeaseSecs:  3600,
+	}
+	f.Add(offer.Marshal())
+	f.Add((&Message{Type: Discover, XID: 1}).Marshal())
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		m2, err := Unmarshal(m.Marshal())
+		if err != nil {
+			t.Fatalf("re-marshaled message failed to parse: %v", err)
+		}
+		if *m2 != *m {
+			t.Fatalf("round trip changed message: %+v -> %+v", m, m2)
+		}
+	})
+}

@@ -32,8 +32,9 @@ type ServerStats struct {
 	Requests  uint64
 	Acks      uint64
 	Naks      uint64
-	Releases  uint64
-	Exhausted uint64 // DISCOVERs dropped because the pool was empty
+	Releases      uint64
+	Exhausted     uint64 // DISCOVERs dropped because the pool was empty
+	DropMalformed uint64 // datagrams that failed to parse
 }
 
 type serverLease struct {
@@ -103,6 +104,7 @@ func (s *Server) LeaseFor(hw link.HWAddr) (ip.Addr, bool) {
 func (s *Server) input(d transport.Datagram) {
 	m, err := Unmarshal(d.Payload)
 	if err != nil {
+		s.stats.DropMalformed++
 		return
 	}
 	handle := func() {

@@ -106,6 +106,7 @@ func (r *Resolver) exchange(msg *Message, wantOp uint8, done func(*Message, erro
 	sock, err = r.ts.UDP(ip.Unspecified, 0, func(d transport.Datagram) {
 		resp, err := Unmarshal(d.Payload)
 		if err != nil || resp.ID != msg.ID || resp.Op != wantOp {
+			//lint:allow dropaccounting duplicate or foreign responses after retransmission are expected; real loss surfaces as ErrTimeout
 			return
 		}
 		finish(resp, nil)

@@ -1,0 +1,55 @@
+package dns
+
+import (
+	"bytes"
+	"testing"
+
+	"mosquitonet/internal/ip"
+)
+
+// FuzzUnmarshal asserts the DNS parser never panics, and that whenever a
+// parsed message re-marshals, the result parses back to the same message
+// modulo name normalization and stays byte-stable from then on.
+func FuzzUnmarshal(f *testing.F) {
+	q := &Message{ID: 7, Op: OpQuery, Name: "mh.mosquitonet.example"}
+	raw, err := q.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	r := &Message{ID: 7, Op: OpResponse, Name: "mh.mosquitonet.example", Addr: ip.Addr{10, 0, 1, 40}}
+	raw, err = r.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte{0, 1, 0, 0, 1, 'a', 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		// A parsed name can still sit past ValidName's stricter length
+		// bound; Marshal declining such a message is fine, but when it
+		// accepts, the round trip must be stable.
+		b1, err := m.Marshal()
+		if err != nil {
+			return
+		}
+		m2, err := Unmarshal(b1)
+		if err != nil {
+			t.Fatalf("re-marshaled message failed to parse: %v", err)
+		}
+		if m2.ID != m.ID || m2.Op != m.Op || m2.Rcode != m.Rcode || m2.Addr != m.Addr ||
+			m2.Name != NormalizeName(m.Name) {
+			t.Fatalf("round trip changed message: %+v -> %+v", m, m2)
+		}
+		b2, err := m2.Marshal()
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("round trip unstable:\n b1=%x\n b2=%x", b1, b2)
+		}
+	})
+}

@@ -26,6 +26,8 @@ type ServerStats struct {
 	NXDomain       uint64
 	Updates        uint64
 	UpdatesRefused uint64
+	DropMalformed  uint64 // datagrams that failed to parse
+	DropBadReply   uint64 // responses discarded because they failed to marshal
 }
 
 // Server answers A queries from its zone on UDP port 53.
@@ -68,6 +70,7 @@ func (s *Server) SetRecord(name string, addr ip.Addr) {
 func (s *Server) input(d transport.Datagram) {
 	m, err := Unmarshal(d.Payload)
 	if err != nil {
+		s.stats.DropMalformed++
 		return
 	}
 	respond := func() {
@@ -105,6 +108,7 @@ func (s *Server) input(d transport.Datagram) {
 func (s *Server) reply(d transport.Datagram, m *Message) {
 	raw, err := m.Marshal()
 	if err != nil {
+		s.stats.DropBadReply++
 		return
 	}
 	s.sock.SendTo(d.From, d.FromPort, raw)

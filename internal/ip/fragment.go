@@ -123,6 +123,7 @@ func (r *Reassembler) Add(p *Packet) (*Packet, bool) {
 	}
 	full, done := assemble(buf.pieces)
 	if !done {
+		//lint:allow dropaccounting fragment retained in the partial buffer awaiting the rest; Sweep accounts expiry
 		return nil, false
 	}
 	delete(r.partial, key)

@@ -138,6 +138,7 @@ func UnmarshalICMPLoose(b []byte) (*ICMP, error) {
 func ICMPErrorBody(offender *Packet) []byte {
 	raw, err := offender.Marshal()
 	if err != nil {
+		//lint:allow dropaccounting only the error body is elided; the offending packet was already accounted by the caller
 		return nil
 	}
 	n := HeaderLen + 8

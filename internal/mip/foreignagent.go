@@ -49,6 +49,9 @@ type ForeignAgentStats struct {
 	RepliesRelayed  uint64
 	VisitorsActive  int
 	Forwarded       uint64 // straggler packets re-tunneled after departure
+	DropMalformed   uint64 // control datagrams that failed to parse
+	DropNotOurs     uint64 // registration requests not addressed through this agent
+	DropUnmatched   uint64 // replies and notifications with no matching state
 }
 
 type visitorEntry struct {
@@ -147,6 +150,7 @@ func (fa *ForeignAgent) advertise() {
 func (fa *ForeignAgent) tunnelDst(inner *ip.Packet) (ip.Addr, bool) {
 	v, ok := fa.visitors[inner.Dst]
 	if !ok {
+		//lint:allow dropaccounting the tunnel VIF accounts drop_no_dst when the resolver declines
 		return ip.Addr{}, false
 	}
 	if !v.forwardTo.IsUnspecified() {
@@ -156,12 +160,14 @@ func (fa *ForeignAgent) tunnelDst(inner *ip.Packet) (ip.Addr, bool) {
 	if v.buffering && len(v.queue) < visitorQueueLimit {
 		v.queue = append(v.queue, inner.Clone())
 	}
+	//lint:allow dropaccounting packet was buffered above, or the tunnel VIF accounts drop_no_dst
 	return ip.Addr{}, false
 }
 
 func (fa *ForeignAgent) input(d transport.Datagram) {
 	typ, err := MessageType(d.Payload)
 	if err != nil {
+		fa.stats.DropMalformed++
 		return
 	}
 	handle := func() {
@@ -186,10 +192,12 @@ func (fa *ForeignAgent) input(d transport.Datagram) {
 func (fa *ForeignAgent) relayRequest(d transport.Datagram) {
 	req, err := UnmarshalRegRequest(d.Payload)
 	if err != nil {
+		fa.stats.DropMalformed++
 		return
 	}
 	if req.CareOf != fa.Addr() && !req.IsDeregistration() {
-		return // not addressed through this agent
+		fa.stats.DropNotOurs++
+		return
 	}
 	if max := uint16(fa.cfg.MaxLifetime / time.Second); req.Lifetime > max {
 		req.Lifetime = max
@@ -205,10 +213,12 @@ func (fa *ForeignAgent) relayRequest(d transport.Datagram) {
 func (fa *ForeignAgent) relayReply(d transport.Datagram) {
 	reply, err := UnmarshalRegReply(d.Payload)
 	if err != nil {
+		fa.stats.DropMalformed++
 		return
 	}
 	home, ok := fa.pending[reply.ID]
 	if !ok {
+		fa.stats.DropUnmatched++
 		return
 	}
 	delete(fa.pending, reply.ID)
@@ -266,10 +276,12 @@ func (fa *ForeignAgent) removeVisitor(home ip.Addr) {
 func (fa *ForeignAgent) handlePFANotify(d transport.Datagram) {
 	n, err := UnmarshalPFANotify(d.Payload)
 	if err != nil {
+		fa.stats.DropMalformed++
 		return
 	}
 	v, ok := fa.visitors[n.HomeAddr]
 	if !ok {
+		fa.stats.DropUnmatched++
 		return
 	}
 	// Steer the home address into the re-encapsulating VIF instead of
@@ -379,10 +391,12 @@ func (m *MobileHost) DiscoverForeignAgent(mi *ManagedIface, timeout time.Duratio
 		s, err := m.ts.UDP(ip.Unspecified, Port, func(d transport.Datagram) {
 			typ, err := MessageType(d.Payload)
 			if err != nil || typ != TypeAgentAdvert {
+				//lint:allow dropaccounting other control traffic on the discovery socket is not for this listener
 				return
 			}
 			adv, err := UnmarshalAgentAdvert(d.Payload)
 			if err != nil {
+				m.stats.DropMalformed++
 				return
 			}
 			m.trace("fa.discovered", "agent=%v seq=%d", adv.Agent, adv.Seq)

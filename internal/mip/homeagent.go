@@ -3,6 +3,7 @@ package mip
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"mosquitonet/internal/ip"
@@ -43,6 +44,7 @@ type HomeAgentStats struct {
 	Deregistrations uint64
 	Expired         uint64
 	Duplicated      uint64 // packet copies emitted for simultaneous bindings
+	DropMalformed   uint64 // control datagrams that failed to parse
 }
 
 // Binding is one mobility binding: a mobile host's current location.
@@ -151,12 +153,14 @@ func (ha *HomeAgent) Binding(home ip.Addr) (Binding, bool) {
 	return b.Binding, true
 }
 
-// Bindings returns all active bindings.
+// Bindings returns all active bindings, ordered by home address so the
+// result is stable across runs regardless of map iteration order.
 func (ha *HomeAgent) Bindings() []Binding {
 	out := make([]Binding, 0, len(ha.bindings))
 	for _, b := range ha.bindings {
 		out = append(out, b.Binding)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].HomeAddr.Less(out[j].HomeAddr) })
 	return out
 }
 
@@ -167,6 +171,7 @@ func (ha *HomeAgent) Bindings() []Binding {
 func (ha *HomeAgent) tunnelDst(inner *ip.Packet) (ip.Addr, bool) {
 	b, ok := ha.bindings[inner.Dst]
 	if !ok {
+		//lint:allow dropaccounting the tunnel VIF accounts drop_no_dst when the resolver declines
 		return ip.Addr{}, false
 	}
 	for _, extra := range b.Extras {
@@ -182,10 +187,12 @@ func (ha *HomeAgent) tunnelDst(inner *ip.Packet) (ip.Addr, bool) {
 func (ha *HomeAgent) input(d transport.Datagram) {
 	typ, err := MessageType(d.Payload)
 	if err != nil || typ != TypeRegRequest {
+		ha.stats.DropMalformed++
 		return
 	}
 	req, err := UnmarshalRegRequest(d.Payload)
 	if err != nil {
+		ha.stats.DropMalformed++
 		return
 	}
 	ha.stats.Requests++

@@ -64,6 +64,9 @@ type MobileHostStats struct {
 	ColdSwitches    uint64
 	HotSwitches     uint64
 	AddressSwitches uint64
+	RegDenied       uint64 // registration replies carrying a denial code
+	DropMalformed   uint64 // control datagrams that failed to parse
+	DropStaleReply  uint64 // replies for a request no longer pending
 }
 
 // LinkChange describes a connectivity change, delivered to OnLinkChange.
@@ -656,15 +659,18 @@ func (m *MobileHost) sendPending() {
 func (m *MobileHost) regInput(d transport.Datagram) {
 	typ, err := MessageType(d.Payload)
 	if err != nil || typ != TypeRegReply {
+		m.stats.DropMalformed++
 		return
 	}
 	reply, err := UnmarshalRegReply(d.Payload)
 	if err != nil {
+		m.stats.DropMalformed++
 		return
 	}
 	p := m.pending
 	if p == nil || reply.ID != p.req.ID {
-		return // stale or duplicate reply
+		m.stats.DropStaleReply++
+		return
 	}
 	m.pending = nil
 	if m.regTimer != nil {
@@ -672,6 +678,7 @@ func (m *MobileHost) regInput(d transport.Datagram) {
 	}
 	m.trace("reg.reply.received", "%s lifetime=%ds id=%d", CodeString(reply.Code), reply.Lifetime, reply.ID)
 	if !reply.Accepted() {
+		m.stats.RegDenied++
 		if p.done != nil {
 			p.done(fmt.Errorf("%w: %s", ErrRegistrationDenied, CodeString(reply.Code)))
 		}
@@ -873,14 +880,17 @@ func (m *MobileHost) oneShotExchange(req *RegRequest, bound ip.Addr, done func(e
 	sock, err := m.ts.UDP(bound, Port, func(d transport.Datagram) {
 		typ, err := MessageType(d.Payload)
 		if err != nil || typ != TypeRegReply {
+			m.stats.DropMalformed++
 			return
 		}
 		reply, err := UnmarshalRegReply(d.Payload)
 		if err != nil || reply.ID != req.ID {
+			m.stats.DropStaleReply++
 			return
 		}
 		m.trace("reg.reply.received", "%s lifetime=%ds id=%d", CodeString(reply.Code), reply.Lifetime, reply.ID)
 		if !reply.Accepted() {
+			m.stats.RegDenied++
 			finish(fmt.Errorf("%w: %s", ErrRegistrationDenied, CodeString(reply.Code)))
 			return
 		}

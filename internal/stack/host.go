@@ -476,6 +476,7 @@ func (h *Host) deliver(ifc *Iface, pkt *ip.Packet) {
 		full, done := h.reasm.Add(pkt)
 		if !done {
 			h.armSweep()
+			//lint:allow dropaccounting fragment parked in the reassembly buffer; sweep expiry is accounted there
 			return
 		}
 		pkt = full

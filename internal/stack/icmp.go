@@ -165,12 +165,14 @@ func (c *ICMP) Ping(dst, bound ip.Addr, size int, timeout time.Duration, cb func
 // unspecified sources).
 func (c *ICMP) sendError(typ ip.ICMPType, code uint8, offender *ip.Packet) {
 	if offender.Src.IsUnspecified() || offender.Src.IsBroadcast() || offender.Dst.IsBroadcast() {
+		//lint:allow dropaccounting RFC 792 suppression: only the error message is elided, the offender was accounted by the caller
 		return
 	}
 	if offender.Protocol == ip.ProtoICMP {
 		if m, err := ip.UnmarshalICMPLoose(offender.Payload); err == nil {
 			if m.Type != ip.ICMPEchoRequest && m.Type != ip.ICMPEchoReply {
-				return // never generate errors about ICMP errors
+				//lint:allow dropaccounting never generate errors about ICMP errors; the offender was accounted by the caller
+				return
 			}
 		}
 	}

@@ -43,11 +43,13 @@ func NewEchoProbe(loop *sim.Loop, from, mh *transport.Stack, dst ip.Addr, port u
 	p.echoSock = echo
 	src, err := from.UDP(ip.Unspecified, 0, func(d transport.Datagram) {
 		if len(d.Payload) < 8 {
+			//lint:allow dropaccounting non-probe datagram ignored; probe loss is accounted as sent minus received
 			return
 		}
 		seq := binary.BigEndian.Uint64(d.Payload)
 		if p.seen[seq] {
-			return // duplicate (e.g. simultaneous bindings)
+			//lint:allow dropaccounting duplicate delivery via simultaneous bindings already counted as received
+			return
 		}
 		p.seen[seq] = true
 		p.received++

@@ -380,6 +380,7 @@ func (s *Stack) tcpInput(ifc *stack.Iface, pkt *ip.Packet) {
 	key := connKey{laddr: pkt.Dst, lport: h.DstPort, raddr: pkt.Src, rport: h.SrcPort}
 	if c, ok := s.conns[key]; ok {
 		c.segment(h, payload)
+		//lint:allow dropaccounting segment delivered to the connection state machine, not dropped
 		return
 	}
 	// New connection to a listener?
