@@ -284,6 +284,37 @@ func BenchmarkA3HAScale(b *testing.B) {
 	}
 }
 
+// --- Scale: fleet-wide roaming (simulator hot-path baseline) ---------------
+
+// BenchmarkScaleRoaming is the perf gate for the discrete-event core and
+// the packet path: N mobile hosts roaming concurrently between two foreign
+// subnets with echo traffic through the home agent. One op is one full
+// fleet run, so B/op and allocs/op track the whole hot path (events,
+// marshals, frame fan-out) and events/sec measures raw simulator speed.
+// The same harness backs `experiments -exp scale` / BENCH_scale.json.
+func BenchmarkScaleRoaming(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("%dhosts", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				row, _, err := testbed.RunScaleFleet(1996, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if row.ProbesEchoed == 0 {
+					b.Fatal("no echo traffic completed")
+				}
+				events += row.Events
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(events)/secs, "events/sec")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+			}
+		})
+	}
+}
+
 // BenchmarkHARegistrationProcessing hammers one home agent with
 // registrations from a single mobile host, measuring sustained
 // registration turnaround.

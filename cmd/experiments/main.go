@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-exp all|e1|f6|f7|rtt|a1|a2|a3] [-samples N] [-json dir]
+//	experiments [-seed N] [-exp all|e1|f6|f7|rtt|a1|a2|a3|scale] [-samples N] [-json dir]
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 	samples := flag.Int("samples", 20, "samples for RTT/A1 measurements")
 	a2iters := flag.Int("a2-iterations", 5, "handoffs per A2 variant")
 	fleets := flag.String("a3-fleets", "1,8,32,64", "comma-separated fleet sizes for A3")
+	scaleFleets := flag.String("scale-fleets", "10,100,1000", "comma-separated fleet sizes for the scale experiment")
 	jsonDir := flag.String("json", "bench", "directory for BENCH_*.json exports (empty to disable)")
 	flag.Parse()
 
@@ -111,8 +112,23 @@ func main() {
 		fmt.Println(res)
 		writeExport(*jsonDir, res.Export)
 	}
+	if want("scale") {
+		ran = true
+		var sizes []int
+		for _, f := range strings.Split(*scaleFleets, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
+				exitOn(fmt.Errorf("bad fleet size %q", f))
+			}
+			sizes = append(sizes, n)
+		}
+		res, err := mosquitonet.RunScale(*seed, sizes)
+		exitOn(err)
+		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f6, f7, rtt, a1, a2, a3, a4)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f6, f7, rtt, a1, a2, a3, a4, scale)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -114,3 +114,35 @@ func retained(p *Packet, buf map[int]*Packet) {
 	}
 	p.TTL++
 }
+
+type reasmStats struct {
+	DropOverlap int
+	Held        int
+}
+
+type reasm struct {
+	stats   reasmStats
+	partial map[int]*Packet
+}
+
+// overlapCounted mirrors the reassembler's overlap handling: discarding
+// the whole partial buffer is accounted by the DropOverlap field.
+func (r *reasm) overlapCounted(p *Packet) (*Packet, bool) {
+	if q, ok := r.partial[p.TTL]; ok && q.TTL != p.TTL {
+		delete(r.partial, p.TTL)
+		r.stats.DropOverlap++
+		return nil, false
+	}
+	r.stats.Held++
+	return p, true
+}
+
+// overlapSilent drops the buffer without touching any counter: flagged.
+func (r *reasm) overlapSilent(p *Packet) (*Packet, bool) {
+	if q, ok := r.partial[p.TTL]; ok && q.TTL != p.TTL {
+		delete(r.partial, p.TTL)
+		return nil, false // want "packet discarded without accounting"
+	}
+	r.stats.Held++
+	return p, true
+}

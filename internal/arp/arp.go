@@ -16,6 +16,7 @@ import (
 	"errors"
 	"time"
 
+	"mosquitonet/internal/bufpool"
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/link"
 	"mosquitonet/internal/sim"
@@ -132,10 +133,16 @@ type queued struct {
 	trace   uint64
 }
 
+// retryLaneGranularity buckets ARP retransmit timers: at 10ms against a
+// default 1s timeout the rounding is negligible, and on a busy segment the
+// many per-request timers (almost all of which are cancelled by a prompt
+// reply) share heap events instead of each costing one.
+const retryLaneGranularity = 10 * time.Millisecond
+
 type pending struct {
 	payloads []queued
 	tries    int
-	timer    *sim.Timer
+	timer    sim.LaneTimer
 }
 
 // Cache is a per-device ARP resolver and responder.
@@ -205,9 +212,14 @@ func (c *Cache) Published(a ip.Addr) bool { return c.published[a] }
 // MaxPending) and flushed when the reply arrives; if resolution fails after
 // MaxRetries requests, they are dropped. trace is the packet's lifecycle
 // trace ID (zero if untraced), carried onto the resulting frame.
+//
+// SendIP takes ownership of payload: once it returns, the buffer may have
+// been recycled into bufpool (immediately on the resolved path, later when
+// a queued packet is flushed or dropped), so callers must not retain it.
 func (c *Cache) SendIP(dst ip.Addr, payload []byte, trace uint64) {
 	if hw, ok := c.Lookup(dst); ok {
 		c.dev.Send(&link.Frame{Dst: hw, Type: link.EtherTypeIPv4, Payload: payload, Trace: trace})
+		bufpool.Put(payload) // Send's transmit copy is synchronous
 		return
 	}
 	p := c.pend[dst]
@@ -218,14 +230,17 @@ func (c *Cache) SendIP(dst ip.Addr, payload []byte, trace uint64) {
 	}
 	if len(p.payloads) >= c.cfg.MaxPending {
 		c.stats.PacketsDropped++
+		bufpool.Put(payload)
 		return
 	}
 	p.payloads = append(p.payloads, queued{payload: payload, trace: trace})
 }
 
 // SendBroadcastIP transmits an IPv4 payload to the link broadcast address.
+// Like SendIP it takes ownership of payload.
 func (c *Cache) SendBroadcastIP(payload []byte, trace uint64) {
 	c.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeIPv4, Payload: payload, Trace: trace})
+	bufpool.Put(payload)
 }
 
 func (c *Cache) sendRequest(dst ip.Addr, p *pending) {
@@ -238,7 +253,7 @@ func (c *Cache) sendRequest(dst ip.Addr, p *pending) {
 	}
 	c.stats.RequestsSent++
 	c.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeARP, Payload: m.Marshal()})
-	p.timer = c.loop.Schedule(c.cfg.RequestTimeout, func() {
+	p.timer = c.loop.Lane(retryLaneGranularity).Schedule(c.cfg.RequestTimeout, func() {
 		cur, ok := c.pend[dst]
 		if !ok || cur != p {
 			return
@@ -246,6 +261,9 @@ func (c *Cache) sendRequest(dst ip.Addr, p *pending) {
 		if p.tries >= c.cfg.MaxRetries {
 			c.stats.ResolveFailures++
 			c.stats.PacketsDropped += uint64(len(p.payloads))
+			for _, q := range p.payloads {
+				bufpool.Put(q.payload)
+			}
 			delete(c.pend, dst)
 			return
 		}
@@ -296,6 +314,7 @@ func (c *Cache) HandleFrame(f *link.Frame) {
 		c.learn(m.SenderIP, m.SenderHW)
 		for _, q := range p.payloads {
 			c.dev.Send(&link.Frame{Dst: m.SenderHW, Type: link.EtherTypeIPv4, Payload: q.payload, Trace: q.trace})
+			bufpool.Put(q.payload)
 		}
 	}
 	if m.Op != OpRequest || m.IsGratuitous() {

@@ -1,0 +1,126 @@
+// Package bufpool provides size-classed recycling of the transient byte
+// buffers the packet path burns through: marshal scratch space, frame
+// payload copies, fragment assembly. The simulator is single-threaded per
+// loop, but pools are shared process-wide (tests run loops on several
+// goroutines), so the implementation rides on sync.Pool.
+//
+// Buffers are pooled as pointers to fixed-size arrays, so a steady-state
+// Get/Put cycle performs no allocation at all — no interface boxing, no
+// slice-header heap traffic.
+//
+// Ownership rules (documented at each call site, summarized here):
+//
+//   - Get(n) returns a zero-prefixed-length buffer of len n; the caller
+//     owns it until it either Puts it back or hands it to an API that
+//     documents taking ownership.
+//   - Put only buffers obtained from Get, and only once; the contents may
+//     be reused immediately by anyone.
+//   - Never Put a buffer that protocol state may retain (packet payloads
+//     handed to ip.Unmarshal are copied there, so wire buffers are safe to
+//     recycle after the synchronous delivery chain returns).
+//
+// Contents of a Get buffer are NOT zeroed; callers overwrite every byte
+// they marshal (and all users here do).
+package bufpool
+
+import "sync"
+
+// Size classes are powers of two from 64 B to 64 KiB: small control
+// messages (ARP is 28 B), full Ethernet frames (1500 B + headers), and
+// worst-case reassembled IP packets (65535 B).
+const (
+	minShift   = 6
+	maxShift   = 16
+	numClasses = maxShift - minShift + 1
+)
+
+var pools = [numClasses]sync.Pool{
+	{New: func() any { return new([1 << (minShift + 0)]byte) }},
+	{New: func() any { return new([1 << (minShift + 1)]byte) }},
+	{New: func() any { return new([1 << (minShift + 2)]byte) }},
+	{New: func() any { return new([1 << (minShift + 3)]byte) }},
+	{New: func() any { return new([1 << (minShift + 4)]byte) }},
+	{New: func() any { return new([1 << (minShift + 5)]byte) }},
+	{New: func() any { return new([1 << (minShift + 6)]byte) }},
+	{New: func() any { return new([1 << (minShift + 7)]byte) }},
+	{New: func() any { return new([1 << (minShift + 8)]byte) }},
+	{New: func() any { return new([1 << (minShift + 9)]byte) }},
+	{New: func() any { return new([1 << (minShift + 10)]byte) }},
+}
+
+// class returns the smallest size class holding n bytes, or -1 if n
+// exceeds the largest class.
+func class(n int) int {
+	size := 1 << minShift
+	for c := 0; c < numClasses; c++ {
+		if n <= size {
+			return c
+		}
+		size <<= 1
+	}
+	return -1
+}
+
+// Get returns a buffer of length n backed by a pooled array. Requests
+// larger than the largest size class fall back to a plain allocation
+// (which Put will decline to recycle).
+func Get(n int) []byte {
+	c := class(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	switch b := pools[c].Get().(type) {
+	case *[1 << (minShift + 0)]byte:
+		return b[:n]
+	case *[1 << (minShift + 1)]byte:
+		return b[:n]
+	case *[1 << (minShift + 2)]byte:
+		return b[:n]
+	case *[1 << (minShift + 3)]byte:
+		return b[:n]
+	case *[1 << (minShift + 4)]byte:
+		return b[:n]
+	case *[1 << (minShift + 5)]byte:
+		return b[:n]
+	case *[1 << (minShift + 6)]byte:
+		return b[:n]
+	case *[1 << (minShift + 7)]byte:
+		return b[:n]
+	case *[1 << (minShift + 8)]byte:
+		return b[:n]
+	case *[1 << (minShift + 9)]byte:
+		return b[:n]
+	default:
+		return b.(*[1 << (minShift + 10)]byte)[:n]
+	}
+}
+
+// Put recycles a buffer obtained from Get. Buffers whose capacity is not
+// exactly a size class (oversize fallbacks, foreign slices) are dropped for
+// the garbage collector instead. Put(nil) is a no-op.
+func Put(b []byte) {
+	switch cap(b) {
+	case 1 << (minShift + 0):
+		pools[0].Put((*[1 << (minShift + 0)]byte)(b[:cap(b)]))
+	case 1 << (minShift + 1):
+		pools[1].Put((*[1 << (minShift + 1)]byte)(b[:cap(b)]))
+	case 1 << (minShift + 2):
+		pools[2].Put((*[1 << (minShift + 2)]byte)(b[:cap(b)]))
+	case 1 << (minShift + 3):
+		pools[3].Put((*[1 << (minShift + 3)]byte)(b[:cap(b)]))
+	case 1 << (minShift + 4):
+		pools[4].Put((*[1 << (minShift + 4)]byte)(b[:cap(b)]))
+	case 1 << (minShift + 5):
+		pools[5].Put((*[1 << (minShift + 5)]byte)(b[:cap(b)]))
+	case 1 << (minShift + 6):
+		pools[6].Put((*[1 << (minShift + 6)]byte)(b[:cap(b)]))
+	case 1 << (minShift + 7):
+		pools[7].Put((*[1 << (minShift + 7)]byte)(b[:cap(b)]))
+	case 1 << (minShift + 8):
+		pools[8].Put((*[1 << (minShift + 8)]byte)(b[:cap(b)]))
+	case 1 << (minShift + 9):
+		pools[9].Put((*[1 << (minShift + 9)]byte)(b[:cap(b)]))
+	case 1 << (minShift + 10):
+		pools[10].Put((*[1 << (minShift + 10)]byte)(b[:cap(b)]))
+	}
+}

@@ -1,0 +1,54 @@
+package bufpool
+
+import "testing"
+
+func TestGetLengthAndClassCap(t *testing.T) {
+	for _, n := range []int{0, 1, 28, 64, 65, 1500, 65535, 65536} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) len=%d", n, len(b))
+		}
+		if n <= 1<<maxShift && (cap(b)&(cap(b)-1)) != 0 {
+			t.Fatalf("Get(%d) cap=%d not a power of two", n, cap(b))
+		}
+		Put(b)
+	}
+}
+
+func TestOversizeFallsBack(t *testing.T) {
+	b := Get(1<<maxShift + 1)
+	if len(b) != 1<<maxShift+1 {
+		t.Fatalf("oversize Get len=%d", len(b))
+	}
+	Put(b) // must not panic, silently dropped
+}
+
+func TestPutNilNoop(t *testing.T) {
+	Put(nil)
+}
+
+func TestRecycleRoundTrip(t *testing.T) {
+	b := Get(100)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	Put(b)
+	c := Get(100)
+	if cap(c) != 128 {
+		t.Fatalf("cap=%d, want 128", cap(c))
+	}
+	Put(c)
+}
+
+func TestSteadyStateGetPutDoesNotAllocate(t *testing.T) {
+	// Warm each class once.
+	Put(Get(1500))
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := Get(1500)
+		b[0] = 1
+		Put(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("Get/Put allocated %.1f objects/op, want 0", allocs)
+	}
+}

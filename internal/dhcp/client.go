@@ -60,8 +60,8 @@ type Client struct {
 	xid      uint32
 	offer    *Message
 	tries    int
-	timer    *sim.Timer
-	renewT   *sim.Timer
+	timer    sim.Timer
+	renewT   sim.Timer
 	lease    Lease
 	acquired bool
 	done     func(Lease, error)
@@ -160,14 +160,8 @@ func (c *Client) dropRenewSock() {
 }
 
 func (c *Client) stopTimers() {
-	if c.timer != nil {
-		c.timer.Stop()
-		c.timer = nil
-	}
-	if c.renewT != nil {
-		c.renewT.Stop()
-		c.renewT = nil
-	}
+	c.timer.Stop()
+	c.renewT.Stop()
 }
 
 func (c *Client) fail(err error) {
@@ -233,19 +227,13 @@ func (c *Client) input(d transport.Datagram) {
 		c.offer = m
 		c.state = stateRequest
 		c.tries = 0
-		if c.timer != nil {
-			c.timer.Stop()
-		}
+		c.timer.Stop()
 		c.sendRequest()
 	case m.Type == Ack && c.state == stateRequest:
-		if c.timer != nil {
-			c.timer.Stop()
-		}
+		c.timer.Stop()
 		c.bind(m)
 	case m.Type == Nak:
-		if c.timer != nil {
-			c.timer.Stop()
-		}
+		c.timer.Stop()
 		if c.state == stateRequest {
 			c.fail(ErrNak)
 		} else if c.state == stateBound {
@@ -296,9 +284,7 @@ func (c *Client) bind(m *Message) {
 
 // scheduleRenewal arms T1 (half the lease) for renewal and the hard expiry.
 func (c *Client) scheduleRenewal() {
-	if c.renewT != nil {
-		c.renewT.Stop()
-	}
+	c.renewT.Stop()
 	c.renewT = c.loop.Schedule(c.lease.Duration/2, c.renew)
 }
 

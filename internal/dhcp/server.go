@@ -27,11 +27,11 @@ type ServerConfig struct {
 
 // ServerStats counts server activity.
 type ServerStats struct {
-	Discovers uint64
-	Offers    uint64
-	Requests  uint64
-	Acks      uint64
-	Naks      uint64
+	Discovers     uint64
+	Offers        uint64
+	Requests      uint64
+	Acks          uint64
+	Naks          uint64
 	Releases      uint64
 	Exhausted     uint64 // DISCOVERs dropped because the pool was empty
 	DropMalformed uint64 // datagrams that failed to parse

@@ -90,16 +90,14 @@ func (r *Resolver) exchange(msg *Message, wantOp uint8, done func(*Message, erro
 		return
 	}
 	var sock *transport.UDPSocket
-	var timer *sim.Timer
+	var timer sim.Timer
 	finished := false
 	finish := func(resp *Message, err error) {
 		if finished {
 			return
 		}
 		finished = true
-		if timer != nil {
-			timer.Stop()
-		}
+		timer.Stop()
 		sock.Close()
 		done(resp, err)
 	}

@@ -22,6 +22,10 @@ var ErrBadMTU = errors.New("ip: mtu cannot hold a header and one fragment block"
 // that already fits is returned unchanged as a single element. Offsets are
 // in 8-byte blocks per the IPv4 header format; p may itself be a fragment
 // (its offset and more-fragments flag are preserved into the pieces).
+//
+// Fragment payloads alias sub-slices of p.Payload rather than copying:
+// payloads are immutable once a packet is in flight, and the fragments are
+// marshaled (copied onto the wire) before p is released.
 func Fragment(p *Packet, mtu int) ([]*Packet, error) {
 	if p.Len() <= mtu {
 		return []*Packet{p}, nil
@@ -43,7 +47,7 @@ func Fragment(p *Packet, mtu int) ([]*Packet, error) {
 		}
 		f := &Packet{
 			Header:  p.Header,
-			Payload: append([]byte(nil), p.Payload[off:end]...),
+			Payload: p.Payload[off:end:end],
 		}
 		f.FragOff = p.FragOff + uint16(off/8)
 		f.MoreFrag = !last || p.MoreFrag
@@ -71,6 +75,7 @@ type ReassemblerStats struct {
 	Fragments   uint64 // fragments accepted
 	Reassembled uint64 // packets completed
 	Expired     uint64 // partial packets discarded by timeout sweeps
+	DropOverlap uint64 // partial packets discarded for overlapping fragments
 }
 
 // Reassembler rebuilds original packets from fragments. It is driven by
@@ -109,13 +114,23 @@ func (r *Reassembler) Add(p *Packet) (*Packet, bool) {
 		buf = &fragBuf{arrived: r.tick}
 		r.partial[key] = buf
 	}
-	// Replace duplicates (same offset) rather than stacking them.
+	// Replace duplicates (same offset) rather than stacking them. A
+	// fragment that partially overlaps an existing piece at a different
+	// offset can never assemble — the coverage check would see a permanent
+	// hole and the buffer would sit in partial until Sweep — so the whole
+	// buffer is dropped and accounted the moment the overlap appears.
 	replaced := false
 	for i, q := range buf.pieces {
 		if q.FragOff == p.FragOff {
 			buf.pieces[i] = p
 			replaced = true
 			break
+		}
+		if overlaps(q, p) {
+			delete(r.partial, key)
+			r.stats.DropOverlap++
+			//lint:allow dropaccounting overlapping fragments make the packet unassemblable; counted in DropOverlap
+			return nil, false
 		}
 	}
 	if !replaced {
@@ -141,6 +156,15 @@ func (r *Reassembler) Sweep() {
 			r.stats.Expired++
 		}
 	}
+}
+
+// overlaps reports whether two fragments at different offsets claim any of
+// the same 8-byte blocks. Payload lengths are rounded up so a short tail
+// fragment still covers its final partial block.
+func overlaps(a, b *Packet) bool {
+	aEnd := uint32(a.FragOff) + uint32(len(a.Payload)+7)/8
+	bEnd := uint32(b.FragOff) + uint32(len(b.Payload)+7)/8
+	return uint32(a.FragOff) < bEnd && uint32(b.FragOff) < aEnd
 }
 
 // assemble checks whether pieces cover a contiguous packet and builds it.

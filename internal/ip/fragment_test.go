@@ -242,3 +242,55 @@ func TestPropertyFragmentRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReassembleOverlapDropsBuffer(t *testing.T) {
+	p := fragSample(3000)
+	frags, _ := Fragment(p, 1100)
+	r := NewReassembler()
+	r.Add(frags[0])
+
+	// A rogue fragment straddling the first piece at a non-identical
+	// offset can never assemble; the whole partial buffer must be dropped
+	// and accounted rather than leaking until Sweep.
+	rogue := &Packet{Header: frags[0].Header, Payload: make([]byte, 64)}
+	rogue.FragOff = frags[0].FragOff + 1
+	rogue.MoreFrag = true
+	if _, done := r.Add(rogue); done {
+		t.Fatal("overlapping fragment completed a packet")
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("partial buffer leaked: pending = %d", r.Pending())
+	}
+	if s := r.Stats(); s.DropOverlap != 1 {
+		t.Fatalf("DropOverlap = %d, want 1 (stats %+v)", s.DropOverlap, s)
+	}
+
+	// The flow recovers: a clean retransmission of every piece assembles.
+	var full *Packet
+	for _, f := range frags {
+		if got, done := r.Add(f); done {
+			full = got
+		}
+	}
+	if full == nil || !bytes.Equal(full.Payload, p.Payload) {
+		t.Fatal("reassembly after overlap drop failed")
+	}
+}
+
+func TestReassembleTailOverlapDrops(t *testing.T) {
+	p := fragSample(3000)
+	frags, _ := Fragment(p, 1100)
+	r := NewReassembler()
+	r.Add(frags[1])
+	// A fragment one block before an existing piece whose rounded-up
+	// extent reaches into it is an overlap too.
+	rogue := &Packet{Header: frags[1].Header, Payload: make([]byte, 12)}
+	rogue.FragOff = frags[1].FragOff - 1
+	rogue.MoreFrag = true
+	if _, done := r.Add(rogue); done {
+		t.Fatal("overlapping tail completed a packet")
+	}
+	if r.Pending() != 0 || r.Stats().DropOverlap != 1 {
+		t.Fatalf("pending=%d stats=%+v", r.Pending(), r.Stats())
+	}
+}

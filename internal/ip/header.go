@@ -88,6 +88,15 @@ func (p *Packet) Clone() *Packet {
 	return &q
 }
 
+// ShallowClone returns a copy of the packet sharing the payload slice.
+// Payloads are treated as immutable once a packet is in flight, so the
+// forwarding path uses this to rewrite header fields (TTL) without copying
+// the body; callers that mutate the payload must use Clone.
+func (p *Packet) ShallowClone() *Packet {
+	q := *p
+	return &q
+}
+
 // Marshal errors.
 var (
 	ErrTooLong      = errors.New("ip: packet exceeds maximum total length")
@@ -99,11 +108,24 @@ var (
 
 // Marshal serializes the packet with a correct header checksum.
 func (p *Packet) Marshal() ([]byte, error) {
+	return p.MarshalInto(nil)
+}
+
+// MarshalInto serializes the packet into dst, which must be either nil
+// (allocate, equivalent to Marshal) or a buffer of exactly Len() bytes
+// (e.g. from bufpool.Get). It is the allocation-free form of Marshal for
+// hot paths that own scratch buffers.
+func (p *Packet) MarshalInto(dst []byte) ([]byte, error) {
 	total := HeaderLen + len(p.Payload)
 	if total > MaxTotalLen {
 		return nil, ErrTooLong
 	}
-	b := make([]byte, total)
+	b := dst
+	if b == nil {
+		b = make([]byte, total)
+	} else if len(b) != total {
+		panic("ip: MarshalInto buffer length mismatch")
+	}
 	b[0] = 4<<4 | HeaderLen/4 // version, IHL
 	b[1] = p.TOS
 	binary.BigEndian.PutUint16(b[2:], uint16(total))
@@ -118,7 +140,9 @@ func (p *Packet) Marshal() ([]byte, error) {
 	binary.BigEndian.PutUint16(b[6:], flagsFrag)
 	b[8] = p.TTL
 	b[9] = byte(p.Protocol)
-	// checksum at b[10:12] is computed over the header with the field zero
+	// The checksum is computed over the header with its own field zeroed;
+	// recycled buffers carry stale bytes there, so zero it explicitly.
+	b[10], b[11] = 0, 0
 	copy(b[12:16], p.Src[:])
 	copy(b[16:20], p.Dst[:])
 	binary.BigEndian.PutUint16(b[10:], Checksum(b[:HeaderLen]))

@@ -54,7 +54,10 @@ const (
 	EtherTypeARP  EtherType = 0x0806
 )
 
-// Frame is a link-layer frame.
+// Frame is a link-layer frame. On the receive side the Payload is a
+// pooled buffer shared by every receiver of one transmission and valid
+// only for the duration of the synchronous delivery call; receivers that
+// keep payload bytes must copy them (ip.Unmarshal and arp.Unmarshal do).
 type Frame struct {
 	Src, Dst HWAddr
 	Type     EtherType
@@ -285,7 +288,9 @@ func (d *Device) Send(f *Frame) error {
 	}
 	d.ctr.sent.Inc()
 	d.ctr.txBytes.Add(uint64(f.Len()))
-	d.pktlog.Record(f.Trace, d.name, "link.tx", "dst="+f.Dst.String())
+	if d.pktlog != nil { // guard: the detail string is costly to format
+		d.pktlog.Record(f.Trace, d.name, "link.tx", "dst="+f.Dst.String())
+	}
 	d.net.transmit(d, f)
 	return nil
 }
@@ -304,7 +309,9 @@ func (d *Device) deliver(f *Frame) {
 	}
 	d.ctr.received.Inc()
 	d.ctr.rxBytes.Add(uint64(f.Len()))
-	d.pktlog.Record(f.Trace, d.name, "link.rx", "src="+f.Src.String())
+	if d.pktlog != nil { // guard: the detail string is costly to format
+		d.pktlog.Record(f.Trace, d.name, "link.rx", "src="+f.Src.String())
+	}
 	if d.recv != nil {
 		d.recv(f)
 	}

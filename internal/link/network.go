@@ -3,6 +3,7 @@ package link
 import (
 	"time"
 
+	"mosquitonet/internal/bufpool"
 	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/sim"
 )
@@ -106,6 +107,53 @@ type Network struct {
 
 	// taps observe every transmitted frame (packet capture).
 	taps []func(from *Device, f *Frame)
+
+	// flights recycles in-flight frame records (payload copy + receiver
+	// snapshot) so steady-state transmission does not allocate per frame.
+	flights []*flight
+}
+
+// flight is one frame in transit: a single shared copy of the payload and
+// the snapshot of receivers that survived the loss model at transmit time.
+// One heap event delivers to every receiver in attachment order — the same
+// observable order per-receiver events produced, since their consecutive
+// sequence numbers admitted no interleaving — and then recycles the record.
+type flight struct {
+	net   *Network
+	frame Frame
+	rx    []*Device
+}
+
+func (n *Network) newFlight(f *Frame) *flight {
+	var fl *flight
+	if k := len(n.flights); k > 0 {
+		fl = n.flights[k-1]
+		n.flights[k-1] = nil
+		n.flights = n.flights[:k-1]
+	} else {
+		fl = &flight{net: n}
+	}
+	payload := bufpool.Get(len(f.Payload))
+	copy(payload, f.Payload)
+	fl.frame = Frame{Src: f.Src, Dst: f.Dst, Type: f.Type, Payload: payload, Trace: f.Trace}
+	fl.rx = fl.rx[:0]
+	return fl
+}
+
+// deliver hands the shared frame to each snapshot receiver, then recycles
+// the payload copy and the flight record. Receivers must not retain the
+// frame or its payload beyond the synchronous delivery chain (ip.Unmarshal
+// and arp.Unmarshal both copy what they keep).
+func (fl *flight) deliver() {
+	n := fl.net
+	for i, d := range fl.rx {
+		fl.rx[i] = nil
+		n.stats.Delivered++
+		d.deliver(&fl.frame)
+	}
+	bufpool.Put(fl.frame.Payload)
+	fl.frame = Frame{}
+	n.flights = append(n.flights, fl)
 }
 
 // AddTap registers an observer invoked for every frame offered to the
@@ -170,20 +218,29 @@ func (n *Network) transmit(from *Device, f *Frame) {
 		arrival = n.lastDelivery
 	}
 	n.lastDelivery = arrival
+	// Loss draws stay per-receiver in attachment order, so the RNG
+	// consumption sequence is identical to per-receiver scheduling. The
+	// payload is copied lazily: a frame every receiver loses costs nothing.
+	var fl *flight
 	for _, d := range n.devices {
 		if d == from {
 			continue
 		}
 		if n.medium.LossProb > 0 && n.loop.Rand().Float64() < n.medium.LossProb {
 			n.stats.LostMedium++
-			n.pktlog.Record(f.Trace, n.name, "link.lost", "medium loss toward "+d.name)
+			if n.pktlog != nil {
+				n.pktlog.Record(f.Trace, n.name, "link.lost", "medium loss toward "+d.name)
+			}
 			continue
 		}
-		d := d
-		cp := &Frame{Src: f.Src, Dst: f.Dst, Type: f.Type, Payload: append([]byte(nil), f.Payload...), Trace: f.Trace}
-		n.loop.At(arrival, func() {
-			n.stats.Delivered++
-			d.deliver(cp)
-		})
+		if fl == nil {
+			fl = n.newFlight(f)
+		}
+		fl.rx = append(fl.rx, d)
 	}
+	if fl == nil {
+		//lint:allow dropaccounting every receiver lost the frame; each loss was counted in LostMedium above
+		return
+	}
+	n.loop.At(arrival, fl.deliver)
 }

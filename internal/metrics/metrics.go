@@ -43,14 +43,26 @@ type Label struct {
 // L is shorthand for constructing a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count. All methods, like those of
+// the other handle types, tolerate a nil receiver, so a handle field left
+// unset behaves like a detached handle rather than crashing.
 type Counter struct{ v uint64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
 
 // Add adds n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 {
@@ -64,10 +76,20 @@ func (c *Counter) Value() uint64 {
 type Gauge struct{ v int64 }
 
 // Set replaces the value.
-func (g *Gauge) Set(v int64) { g.v = v }
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
 
 // Add adds d (which may be negative).
-func (g *Gauge) Add(d int64) { g.v += d }
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v += d
+}
 
 // Value returns the current value.
 func (g *Gauge) Value() int64 {
@@ -87,6 +109,9 @@ type Histogram struct {
 
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
 	h.samples = append(h.samples, d)
 	h.sum += d
 }

@@ -198,3 +198,36 @@ func TestNextSerialMonotonic(t *testing.T) {
 		t.Fatal("NextSerial must count from 1")
 	}
 }
+
+// The loop's queue gauges must report live events only: a Stop()ed timer
+// leaves the queue immediately instead of lingering as a cancelled entry
+// that inflates queue_depth and queue_high_water.
+func TestQueueGaugesCountLiveEventsOnly(t *testing.T) {
+	loop := sim.New(1)
+	r := New(loop)
+	timers := make([]sim.Timer, 50)
+	for i := range timers {
+		timers[i] = loop.Schedule(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	loop.Schedule(time.Millisecond, func() {})
+	loop.Schedule(2*time.Millisecond, func() {})
+
+	snap := r.Snapshot()
+	depth := snap.Get("sim.loop.queue_depth")
+	if depth == nil || depth.Gauge == nil {
+		t.Fatal("queue_depth gauge missing from snapshot")
+	}
+	if *depth.Gauge != 2 {
+		t.Fatalf("queue_depth = %d after cancelling 50 timers, want 2 live", *depth.Gauge)
+	}
+	hw := snap.Get("sim.loop.queue_high_water")
+	if hw == nil || hw.Gauge == nil {
+		t.Fatal("queue_high_water gauge missing from snapshot")
+	}
+	if *hw.Gauge != 50 {
+		t.Fatalf("queue_high_water = %d, want 50 (the true live maximum)", *hw.Gauge)
+	}
+}

@@ -57,9 +57,9 @@ type ForeignAgentStats struct {
 type visitorEntry struct {
 	home      ip.Addr
 	expires   sim.Time
-	timer     *sim.Timer
+	timer     sim.Timer
 	forwardTo ip.Addr // non-zero once a PFA notification arrived
-	fwdTimer  *sim.Timer
+	fwdTimer  sim.Timer
 
 	// buffering holds tunneled packets for a visitor that has announced
 	// its departure but not yet registered elsewhere; they are flushed to
@@ -236,9 +236,7 @@ func (fa *ForeignAgent) relayReply(d transport.Datagram) {
 func (fa *ForeignAgent) installVisitor(home ip.Addr, life time.Duration) {
 	if v, ok := fa.visitors[home]; ok {
 		v.timer.Stop()
-		if v.fwdTimer != nil {
-			v.fwdTimer.Stop()
-		}
+		v.fwdTimer.Stop()
 	}
 	v := &visitorEntry{home: home, expires: fa.host.Loop().Now().Add(life)}
 	v.timer = fa.host.Loop().Schedule(life, func() {
@@ -260,9 +258,7 @@ func (fa *ForeignAgent) removeVisitor(home ip.Addr) {
 		return
 	}
 	v.timer.Stop()
-	if v.fwdTimer != nil {
-		v.fwdTimer.Stop()
-	}
+	v.fwdTimer.Stop()
 	delete(fa.visitors, home)
 	fa.host.Routes().Delete(ip.Prefix{Addr: home, Bits: 32})
 }
@@ -289,9 +285,7 @@ func (fa *ForeignAgent) handlePFANotify(d transport.Datagram) {
 	fa.host.Routes().Delete(ip.Prefix{Addr: n.HomeAddr, Bits: 32})
 	fa.host.Routes().Add(stack.Route{Dst: ip.Prefix{Addr: n.HomeAddr, Bits: 32}, Iface: fa.tun.Iface()})
 	life := time.Duration(n.Lifetime) * time.Second
-	if v.fwdTimer != nil {
-		v.fwdTimer.Stop()
-	}
+	v.fwdTimer.Stop()
 	v.fwdTimer = fa.host.Loop().Schedule(life, func() {
 		if cur, ok := fa.visitors[n.HomeAddr]; ok && cur == v {
 			fa.removeVisitor(n.HomeAddr)
@@ -375,15 +369,13 @@ type DiscoveredAgent struct {
 func (m *MobileHost) DiscoverForeignAgent(mi *ManagedIface, timeout time.Duration, cb func(DiscoveredAgent, bool)) {
 	mi.ifc.Device().BringUp(func() {
 		var sock *transport.UDPSocket
-		var timer *sim.Timer
+		var timer sim.Timer
 		finish := func(a DiscoveredAgent, ok bool) {
 			if sock != nil {
 				sock.Close()
 				sock = nil
 			}
-			if timer != nil {
-				timer.Stop()
-			}
+			timer.Stop()
 			if cb != nil {
 				cb(a, ok)
 			}

@@ -61,7 +61,7 @@ type Binding struct {
 
 type haBinding struct {
 	Binding
-	timer *sim.Timer
+	timer sim.Timer
 }
 
 // HomeAgent implements the home-network half of the protocol: it answers

@@ -1245,3 +1245,52 @@ func TestRetryAfterLostReplySucceeds(t *testing.T) {
 		t.Fatalf("retransmission was denied: %+v", w.ha.Stats())
 	}
 }
+
+func TestRegistrationRetryExhaustionLeavesCleanState(t *testing.T) {
+	w := newWorld(t, 1)
+	haDevs := w.ha.host.Ifaces()
+	for _, ifc := range haDevs {
+		if ifc.Device() != nil {
+			ifc.Device().BringDown()
+		}
+	}
+	var regErr error
+	done := false
+	w.mh.ConnectForeign(w.eth1, func(err error) { regErr, done = err, true })
+	w.run(time.Minute)
+	if !done || !errors.Is(regErr, ErrRegistrationTimeout) {
+		t.Fatalf("err = %v done=%v", regErr, done)
+	}
+
+	// Every transmission was one of the RegMaxRetries attempts; after the
+	// exhaustion surfaced, no leaked retry timer may keep sending.
+	sent := w.mh.Stats().RegRequestsSent
+	if int(sent) != w.mh.cfg.RegMaxRetries {
+		t.Fatalf("RegRequestsSent = %d, want RegMaxRetries = %d", sent, w.mh.cfg.RegMaxRetries)
+	}
+	w.run(time.Minute)
+	if got := w.mh.Stats().RegRequestsSent; got != sent {
+		t.Fatalf("leaked retry timer: RegRequestsSent grew %d -> %d after exhaustion", sent, got)
+	}
+
+	// A later attach must start a fresh attempt and succeed cleanly once
+	// the home agent is reachable again.
+	for _, ifc := range haDevs {
+		if ifc.Device() != nil {
+			ifc.Device().BringUp(nil)
+		}
+	}
+	var retryErr error
+	retried := false
+	w.mh.ConnectForeign(w.eth1, func(err error) { retryErr, retried = err, true })
+	w.run(time.Minute)
+	if !retried || retryErr != nil {
+		t.Fatalf("re-attach after exhaustion: err=%v done=%v", retryErr, retried)
+	}
+	if !w.mh.Registered() {
+		t.Fatal("MH not registered after re-attach")
+	}
+	if w.mh.Stats().RegTimeouts != 1 {
+		t.Fatalf("RegTimeouts = %d, want exactly the original exhaustion", w.mh.Stats().RegTimeouts)
+	}
+}

@@ -147,8 +147,8 @@ type MobileHost struct {
 
 	regSock  *transport.UDPSocket
 	regID    uint64
-	regTimer *sim.Timer
-	reregT   *sim.Timer
+	regTimer sim.Timer
+	reregT   sim.Timer
 	pending  *regAttempt
 
 	// OnLinkChange, OnRegistered and OnDeregistered notify interested
@@ -588,14 +588,8 @@ func (m *MobileHost) deregister(done func(error)) {
 }
 
 func (m *MobileHost) cancelPending() {
-	if m.regTimer != nil {
-		m.regTimer.Stop()
-		m.regTimer = nil
-	}
-	if m.reregT != nil {
-		m.reregT.Stop()
-		m.reregT = nil
-	}
+	m.regTimer.Stop()
+	m.reregT.Stop()
 	m.pending = nil
 }
 
@@ -673,9 +667,7 @@ func (m *MobileHost) regInput(d transport.Datagram) {
 		return
 	}
 	m.pending = nil
-	if m.regTimer != nil {
-		m.regTimer.Stop()
-	}
+	m.regTimer.Stop()
 	m.trace("reg.reply.received", "%s lifetime=%ds id=%d", CodeString(reply.Code), reply.Lifetime, reply.ID)
 	if !reply.Accepted() {
 		m.stats.RegDenied++
@@ -710,9 +702,7 @@ func (m *MobileHost) regInput(d transport.Datagram) {
 
 // scheduleRenewal re-registers at three quarters of the granted lifetime.
 func (m *MobileHost) scheduleRenewal(granted time.Duration) {
-	if m.reregT != nil {
-		m.reregT.Stop()
-	}
+	m.reregT.Stop()
 	if granted == 0 {
 		return
 	}
@@ -860,16 +850,14 @@ func (m *MobileHost) AddSimultaneousBinding(careOf ip.Addr, done func(error)) {
 // pending-registration machinery.
 func (m *MobileHost) oneShotExchange(req *RegRequest, bound ip.Addr, done func(error)) {
 	var sock *transport.UDPSocket
-	var timer *sim.Timer
+	var timer sim.Timer
 	finished := false
 	finish := func(err error) {
 		if finished {
 			return
 		}
 		finished = true
-		if timer != nil {
-			timer.Stop()
-		}
+		timer.Stop()
 		if sock != nil {
 			sock.Close()
 		}

@@ -71,8 +71,8 @@ type Roamer struct {
 	running   bool
 	switching bool
 	fails     int
-	probeT    *sim.Timer
-	upgradeT  *sim.Timer
+	probeT    sim.Timer
+	upgradeT  sim.Timer
 	stats     RoamerStats
 
 	// OnFailover and OnUpgrade report automatic switches; optional.
@@ -103,12 +103,8 @@ func (r *Roamer) Start() {
 // Stop halts monitoring.
 func (r *Roamer) Stop() {
 	r.running = false
-	if r.probeT != nil {
-		r.probeT.Stop()
-	}
-	if r.upgradeT != nil {
-		r.upgradeT.Stop()
-	}
+	r.probeT.Stop()
+	r.upgradeT.Stop()
 }
 
 func (r *Roamer) scheduleProbe() {

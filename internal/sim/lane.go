@@ -1,0 +1,121 @@
+package sim
+
+import "time"
+
+// Lane is a bucketed timer lane for high-frequency periodic work — ARP
+// retransmits, reassembly sweeps, TCP retransmission timeouts — where many
+// hosts arm coarse timers on similar cadences. Fire instants are rounded up
+// to the lane's granularity, and every callback landing on the same rounded
+// instant shares one heap event, so a fleet of N hosts sweeping every few
+// seconds costs one queue entry per tick instead of N.
+//
+// Rounding trades at most one granularity of punctuality for that sharing;
+// callers pick a granularity small against their period. Determinism is
+// unaffected: bucket membership and firing order depend only on virtual
+// time and scheduling order, and callbacks within a bucket run in the order
+// they were scheduled — exactly the (time, seq) order the main queue would
+// have used for equal fire times.
+type Lane struct {
+	loop    *Loop
+	gran    Time
+	buckets map[Time]*laneBucket
+}
+
+type laneBucket struct {
+	lane  *Lane
+	at    Time
+	fns   []func()
+	live  int
+	timer Timer
+}
+
+// NewLane returns a lane on loop with the given bucket granularity.
+func NewLane(loop *Loop, granularity time.Duration) *Lane {
+	if granularity <= 0 {
+		panic("sim: lane granularity must be positive")
+	}
+	return &Lane{loop: loop, gran: Time(granularity), buckets: make(map[Time]*laneBucket)}
+}
+
+// Lane returns the loop's shared lane for the given granularity, creating
+// it on first use. Sharing one lane per granularity lets unrelated hosts'
+// periodic work coalesce into common buckets.
+func (l *Loop) Lane(granularity time.Duration) *Lane {
+	if ln, ok := l.lanes[granularity]; ok {
+		return ln
+	}
+	if l.lanes == nil {
+		l.lanes = make(map[time.Duration]*Lane)
+	}
+	ln := NewLane(l, granularity)
+	l.lanes[granularity] = ln
+	return ln
+}
+
+// Schedule runs fn after at least d of virtual time, rounded up to the
+// lane's granularity. A negative delay is treated as zero.
+func (ln *Lane) Schedule(d time.Duration, fn func()) LaneTimer {
+	if fn == nil {
+		panic("sim: lane Schedule with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	at := ln.loop.Now().Add(d)
+	if rem := at % ln.gran; rem != 0 {
+		at += ln.gran - rem
+	}
+	b := ln.buckets[at]
+	if b == nil {
+		b = &laneBucket{lane: ln, at: at}
+		ln.buckets[at] = b
+		b.timer = ln.loop.At(at, b.fire)
+	}
+	b.fns = append(b.fns, fn)
+	b.live++
+	return LaneTimer{b: b, idx: len(b.fns) - 1}
+}
+
+// fire runs the bucket's surviving callbacks in scheduling order. The
+// bucket leaves the lane's map first so callbacks rescheduling for the same
+// instant open a fresh bucket rather than appending to a consumed one.
+func (b *laneBucket) fire() {
+	delete(b.lane.buckets, b.at)
+	for i := 0; i < len(b.fns); i++ {
+		fn := b.fns[i]
+		b.fns[i] = nil
+		if fn != nil {
+			b.live--
+			fn()
+		}
+	}
+}
+
+// LaneTimer is a cancellation handle for one lane entry. The zero LaneTimer
+// is valid and inert.
+type LaneTimer struct {
+	b   *laneBucket
+	idx int
+}
+
+// Active reports whether the entry is still scheduled to fire.
+func (t LaneTimer) Active() bool {
+	return t.b != nil && t.b.fns[t.idx] != nil
+}
+
+// Stop cancels the entry, reporting whether the call prevented it from
+// firing. Stopping the last live entry of a bucket releases the bucket's
+// shared heap event as well.
+func (t LaneTimer) Stop() bool {
+	b := t.b
+	if b == nil || b.fns[t.idx] == nil {
+		return false
+	}
+	b.fns[t.idx] = nil
+	b.live--
+	if b.live == 0 {
+		b.timer.Stop()
+		delete(b.lane.buckets, b.at)
+	}
+	return true
+}

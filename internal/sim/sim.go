@@ -7,6 +7,13 @@
 // results, which is what makes the paper's millisecond-scale packet-loss
 // experiments reproducible rather than flaky.
 //
+// Event records are pooled: firing or cancelling an event returns its
+// record to a per-loop free list, so a steady-state simulation schedules
+// millions of timers without allocating. Timer handles stay safe across
+// recycling because each handle carries the generation of the event it was
+// issued for; a stale handle (its event already fired, was stopped, or was
+// recycled into a different timer) is simply inert.
+//
 // The loop is not safe for concurrent use; a simulation is single-threaded
 // by design. Code under test interacts with it only from event callbacks or
 // from the goroutine driving Run/RunFor.
@@ -35,33 +42,50 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 // String formats the instant like a duration, e.g. "1.25s".
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a scheduled callback. A nil fn marks a cancelled event that the
-// heap discards when it reaches the top.
+// event is a scheduled callback. Records are recycled through the loop's
+// free list; gen counts recyclings so stale Timer handles can detect that
+// their event is gone.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-	idx int // heap index, -1 once popped or cancelled
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index, -1 while on the free list
+	gen  uint64
+	loop *Loop
 }
 
-// Timer is a handle to a scheduled event, allowing cancellation.
+// Timer is a handle to a scheduled event, allowing cancellation. The zero
+// Timer is valid and inert: Stop reports false and Active reports false.
+// Timer is a small value; copy it freely. A handle outlives its event
+// harmlessly — once the event fires or is stopped, the handle goes inert
+// even if the loop recycles the event record for a new timer.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
-// Stop cancels the timer. It reports whether the call prevented the event
-// from firing; it returns false if the event already ran or was stopped.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
+// Active reports whether the timer is still scheduled to fire.
+func (t Timer) Active() bool { return t.ev != nil && t.ev.gen == t.gen }
+
+// Stop cancels the timer, removing its event from the queue immediately so
+// cancelled work never lingers in Len or QueueHighWater. It reports whether
+// the call prevented the event from firing; it returns false if the event
+// already ran or was stopped.
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen {
 		return false
 	}
-	t.ev.fn = nil
+	l := ev.loop
+	heap.Remove(&l.pq, ev.idx)
+	l.recycle(ev)
 	return true
 }
 
-// At returns the virtual time the timer is (or was) scheduled to fire.
-func (t *Timer) At() Time {
-	if t == nil || t.ev == nil {
+// At returns the virtual time the timer is scheduled to fire, or 0 if the
+// timer is no longer active.
+func (t Timer) At() Time {
+	if !t.Active() {
 		return 0
 	}
 	return t.ev.at
@@ -102,11 +126,13 @@ type Loop struct {
 	now      Time
 	seq      uint64
 	pq       eventHeap
+	free     []*event // recycled event records
 	rng      *rand.Rand
 	executed uint64
 	stopped  bool
 	serial   uint64
 	maxQueue int
+	lanes    map[time.Duration]*Lane
 }
 
 // New returns a loop whose clock reads zero and whose random source is
@@ -121,13 +147,15 @@ func (l *Loop) Now() Time { return l.now }
 // Rand returns the loop's deterministic random source.
 func (l *Loop) Rand() *rand.Rand { return l.rng }
 
-// Len returns the number of scheduled (possibly cancelled) events.
+// Len returns the number of live scheduled events. Stopped timers are
+// removed from the queue eagerly, so cancelled work is never counted.
 func (l *Loop) Len() int { return len(l.pq) }
 
 // Executed returns the number of events run so far.
 func (l *Loop) Executed() uint64 { return l.executed }
 
-// QueueHighWater returns the largest event-queue depth observed so far.
+// QueueHighWater returns the largest number of live scheduled events
+// observed so far.
 func (l *Loop) QueueHighWater() int { return l.maxQueue }
 
 // NextSerial returns the next value of a monotonic per-loop counter,
@@ -138,10 +166,30 @@ func (l *Loop) NextSerial() uint64 {
 	return l.serial
 }
 
+// alloc takes an event record from the free list, or makes a new one.
+func (l *Loop) alloc() *event {
+	if n := len(l.free); n > 0 {
+		ev := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		return ev
+	}
+	return &event{loop: l}
+}
+
+// recycle returns an event record to the free list. Bumping gen invalidates
+// every Timer handle issued for the record's previous life.
+func (l *Loop) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.idx = -1
+	l.free = append(l.free, ev)
+}
+
 // Schedule runs fn after delay d of virtual time. A negative delay is
 // treated as zero: the event runs at the current instant, after any events
 // already scheduled for it.
-func (l *Loop) Schedule(d time.Duration, fn func()) *Timer {
+func (l *Loop) Schedule(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -150,38 +198,39 @@ func (l *Loop) Schedule(d time.Duration, fn func()) *Timer {
 
 // At runs fn at instant t. Scheduling in the past is an error in the
 // simulation's logic, so it panics rather than silently reordering history.
-func (l *Loop) At(t Time, fn func()) *Timer {
+func (l *Loop) At(t Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
 	if t < l.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: now=%v at=%v", l.now, t))
 	}
-	ev := &event{at: t, seq: l.seq, fn: fn}
+	ev := l.alloc()
+	ev.at, ev.seq, ev.fn = t, l.seq, fn
 	l.seq++
 	heap.Push(&l.pq, ev)
 	if len(l.pq) > l.maxQueue {
 		l.maxQueue = len(l.pq)
 	}
-	return &Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Step executes the single next event, advancing the clock to its time.
 // It reports whether an event was executed (false when the queue is empty).
 func (l *Loop) Step() bool {
-	for len(l.pq) > 0 {
-		ev := heap.Pop(&l.pq).(*event)
-		if ev.fn == nil {
-			continue // cancelled
-		}
-		l.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		l.executed++
-		fn()
-		return true
+	if len(l.pq) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&l.pq).(*event)
+	l.now = ev.at
+	fn := ev.fn
+	// Recycle before invoking so the callback can schedule into the
+	// record it just vacated; the gen bump has already gone inert on
+	// every handle to this firing.
+	l.recycle(ev)
+	l.executed++
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -219,16 +268,13 @@ func (l *Loop) RunFor(d time.Duration) { l.RunUntil(l.now.Add(d)) }
 // event completes. It is intended to be called from an event callback.
 func (l *Loop) Stop() { l.stopped = true }
 
-// peek returns the time of the next live event.
+// peek returns the time of the next live event. Cancellation removes
+// events eagerly, so the heap top is always live.
 func (l *Loop) peek() (Time, bool) {
-	for len(l.pq) > 0 {
-		if l.pq[0].fn == nil {
-			heap.Pop(&l.pq)
-			continue
-		}
-		return l.pq[0].at, true
+	if len(l.pq) == 0 {
+		return 0, false
 	}
-	return 0, false
+	return l.pq[0].at, true
 }
 
 // NextEventAt returns the time of the next scheduled live event, if any.

@@ -106,10 +106,13 @@ func TestTimerStopAfterFire(t *testing.T) {
 	}
 }
 
-func TestStopNilTimer(t *testing.T) {
-	var tm *Timer
+func TestStopZeroTimer(t *testing.T) {
+	var tm Timer
 	if tm.Stop() {
-		t.Fatal("nil timer Stop returned true")
+		t.Fatal("zero timer Stop returned true")
+	}
+	if tm.Active() {
+		t.Fatal("zero timer reported active")
 	}
 }
 
@@ -324,7 +327,7 @@ func TestPropertyTimerStopSubset(t *testing.T) {
 		l := New(1)
 		r := rand.New(rand.NewSource(seed))
 		fired := make([]bool, n)
-		timers := make([]*Timer, n)
+		timers := make([]Timer, n)
 		for i := 0; i < int(n); i++ {
 			i := i
 			timers[i] = l.Schedule(time.Duration(i)*time.Microsecond, func() { fired[i] = true })

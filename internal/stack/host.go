@@ -112,6 +112,11 @@ type Host struct {
 // timeout.
 const reassemblySweepInterval = 15 * time.Second
 
+// sweepLaneGranularity buckets sweep timers across hosts: on a fleet every
+// host holding partial fragments sweeps on the same cadence, and a 100ms
+// rounding is immaterial against a 15s interval and 15-30s expiry window.
+const sweepLaneGranularity = 100 * time.Millisecond
+
 // NewHost creates a host with a loopback interface and the default route
 // lookup installed.
 func NewHost(loop *sim.Loop, name string, cfg Config) *Host {
@@ -175,7 +180,7 @@ func (h *Host) armSweep() {
 		return
 	}
 	h.sweepArmed = true
-	h.loop.Schedule(reassemblySweepInterval, func() {
+	h.loop.Lane(sweepLaneGranularity).Schedule(reassemblySweepInterval, func() {
 		h.sweepArmed = false
 		h.reasm.Sweep()
 		if h.reasm.Pending() > 0 {
@@ -414,14 +419,18 @@ func (h *Host) Output(pkt *ip.Packet) error {
 	dec, err := h.lookup(pkt.Dst, pkt.Src)
 	if err != nil {
 		h.stats.DropNoRoute++
-		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no route to "+pkt.Dst.String())
+		if h.pktlog != nil { // guard: the detail string is costly to format
+			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no route to "+pkt.Dst.String())
+		}
 		return err
 	}
 	if pkt.Src.IsUnspecified() {
 		pkt.Src = dec.Src
 	}
 	h.stats.Sent++
-	h.pktlog.Record(pkt.Trace, h.name, "ip.output", pkt.String()+" via "+dec.Iface.name)
+	if h.pktlog != nil { // guard: the detail string is costly to format
+		h.pktlog.Record(pkt.Trace, h.name, "ip.output", pkt.String()+" via "+dec.Iface.name)
+	}
 	h.loop.Schedule(h.cfg.OutputDelay, func() { dec.Iface.send(pkt, dec.NextHop) })
 	return nil
 }
@@ -440,7 +449,9 @@ func (h *Host) OutputVia(ifc *Iface, pkt *ip.Packet, nextHop ip.Addr) error {
 		pkt.Trace = h.loop.NextSerial()
 	}
 	h.stats.Sent++
-	h.pktlog.Record(pkt.Trace, h.name, "ip.output", pkt.String()+" via "+ifc.name)
+	if h.pktlog != nil { // guard: the detail string is costly to format
+		h.pktlog.Record(pkt.Trace, h.name, "ip.output", pkt.String()+" via "+ifc.name)
+	}
 	h.loop.Schedule(h.cfg.OutputDelay, func() { ifc.send(pkt, nextHop) })
 	return nil
 }
@@ -465,7 +476,9 @@ func (h *Host) Input(ifc *Iface, pkt *ip.Packet) {
 		h.loop.Schedule(h.cfg.InputDelay, func() { h.forward(ifc, pkt) })
 	default:
 		h.stats.DropNotLocal++
-		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "not local: dst="+pkt.Dst.String())
+		if h.pktlog != nil { // guard: the detail string is costly to format
+			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "not local: dst="+pkt.Dst.String())
+		}
 	}
 }
 
@@ -490,11 +503,15 @@ func (h *Host) deliver(ifc *Iface, pkt *ip.Packet) {
 			return
 		}
 		h.stats.DropNoHandler++
-		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no handler for "+pkt.Protocol.String())
+		if h.pktlog != nil { // guard: the detail string is costly to format
+			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no handler for "+pkt.Protocol.String())
+		}
 		return
 	}
 	h.stats.Delivered++
-	h.pktlog.Record(pkt.Trace, h.name, "ip.deliver", pkt.Protocol.String())
+	if h.pktlog != nil {
+		h.pktlog.Record(pkt.Trace, h.name, "ip.deliver", pkt.Protocol.String())
+	}
 	handler(ifc, pkt)
 }
 
@@ -508,7 +525,9 @@ func (h *Host) forward(in *Iface, pkt *ip.Packet) {
 	r, ok := h.routes.Lookup(pkt.Dst)
 	if !ok {
 		h.stats.DropNoRoute++
-		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no route to "+pkt.Dst.String())
+		if h.pktlog != nil { // guard: the detail string is costly to format
+			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no route to "+pkt.Dst.String())
+		}
 		h.icmp.sendError(ip.ICMPDestUnreach, ip.CodeNetUnreach, pkt)
 		return
 	}
@@ -543,9 +562,13 @@ func (h *Host) forward(in *Iface, pkt *ip.Packet) {
 	if r.Iface == in && in.prefix.Contains(pkt.Src) && !in.pointToPoint {
 		h.icmp.sendRedirect(pkt, nh)
 	}
-	fwd := pkt.Clone()
+	// The forwarded copy shares the payload: bodies are immutable once in
+	// flight, and only the header (TTL) is rewritten here.
+	fwd := pkt.ShallowClone()
 	fwd.TTL--
 	h.stats.Forwarded++
-	h.pktlog.Record(pkt.Trace, h.name, "ip.forward", "next hop "+nh.String()+" via "+r.Iface.name)
+	if h.pktlog != nil { // guard: the detail string is costly to format
+		h.pktlog.Record(pkt.Trace, h.name, "ip.forward", "next hop "+nh.String()+" via "+r.Iface.name)
+	}
 	h.loop.Schedule(h.cfg.ForwardDelay, func() { r.Iface.send(fwd, nh) })
 }

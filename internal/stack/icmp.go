@@ -46,7 +46,7 @@ type ICMP struct {
 type pingState struct {
 	cb    func(PingResult)
 	sent  sim.Time
-	timer *sim.Timer
+	timer sim.Timer
 }
 
 func newICMP(h *Host) *ICMP {

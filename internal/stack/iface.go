@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mosquitonet/internal/arp"
+	"mosquitonet/internal/bufpool"
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/link"
 )
@@ -112,8 +113,13 @@ func (i *Iface) send(pkt *ip.Packet, nextHop ip.Addr) error {
 }
 
 func (i *Iface) sendOne(pkt *ip.Packet, nextHop ip.Addr) error {
-	raw, err := pkt.Marshal()
+	// Marshal into a pooled scratch buffer; ownership moves down the send
+	// path (SendIP/broadcastRaw recycle it once the link layer has taken
+	// its own copy or the packet is dropped).
+	buf := bufpool.Get(pkt.Len())
+	raw, err := pkt.MarshalInto(buf)
 	if err != nil {
+		bufpool.Put(buf)
 		return err
 	}
 	broadcast := pkt.Dst.IsBroadcast() || pkt.Dst.IsMulticast() ||
@@ -128,11 +134,13 @@ func (i *Iface) sendOne(pkt *ip.Packet, nextHop ip.Addr) error {
 
 // broadcastRaw sends an IPv4 payload to the link broadcast address, used
 // both for genuine broadcasts and for ARP-less (point-to-point/Starmode)
-// media where IP filtering happens at the receiver.
+// media where IP filtering happens at the receiver. It takes ownership of
+// raw and recycles it after the synchronous send.
 func (i *Iface) broadcastRaw(raw []byte, trace uint64) {
 	if i.arp != nil {
 		i.arp.SendBroadcastIP(raw, trace)
 		return
 	}
 	i.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeIPv4, Payload: raw, Trace: trace})
+	bufpool.Put(raw)
 }

@@ -19,6 +19,12 @@ type Export struct {
 	Seed       int64               `json:"seed"`
 	Snapshots  []*metrics.Snapshot `json:"snapshots"`
 	Timeline   []trace.Event       `json:"timeline,omitempty"`
+
+	// Rows carries an experiment's own result table (e.g. the scale
+	// experiment's per-fleet rows) when the metrics snapshots alone do
+	// not tell the story. Struct-typed values marshal with a fixed field
+	// order, keeping the export deterministic.
+	Rows any `json:"rows,omitempty"`
 }
 
 // WriteJSON writes the export as indented JSON. Because snapshots order

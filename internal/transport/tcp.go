@@ -23,6 +23,9 @@ const (
 	maxSynRetries  = 6
 	maxDataRetries = 10
 	oooLimit       = 64 // out-of-order segments buffered per connection
+
+	// rtoLaneGranularity buckets RTO timers; tiny against minRTO (300ms).
+	rtoLaneGranularity = time.Millisecond
 )
 
 // ConnState is a stream connection's state.
@@ -106,8 +109,11 @@ type Conn struct {
 	// segment per RTO.
 	recovering bool
 
-	// Retransmission.
-	rtxTimer   *sim.Timer
+	// Retransmission. The RTO timer lives on a bucketed lane: it is
+	// re-armed on every ACK and almost never fires, so sharing heap
+	// events across connections keeps the per-ACK cost flat; the
+	// sub-millisecond rounding is noise against RTOs of hundreds of ms.
+	rtxTimer   sim.LaneTimer
 	rto        time.Duration
 	srtt       time.Duration
 	rttvar     time.Duration
@@ -230,9 +236,7 @@ func (c *Conn) teardown(err error) {
 		return
 	}
 	c.state = StateClosed
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-	}
+	c.rtxTimer.Stop()
 	delete(c.stk.conns, c.key)
 	if err != nil && c.OnError != nil {
 		c.OnError(err)
@@ -300,15 +304,12 @@ func (c *Conn) sendSegment(flags uint8, seq, ack uint32, payload []byte) {
 
 // armTimer (re)starts the retransmission timer if anything is in flight.
 func (c *Conn) armTimer() {
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-		c.rtxTimer = nil
-	}
+	c.rtxTimer.Stop()
 	inflight := c.sndNxt != c.sndUna
 	if !inflight || c.state == StateClosed {
 		return
 	}
-	c.rtxTimer = c.stk.loop.Schedule(c.rto, c.retransmit)
+	c.rtxTimer = c.stk.loop.Lane(rtoLaneGranularity).Schedule(c.rto, c.retransmit)
 }
 
 func (c *Conn) retransmit() {

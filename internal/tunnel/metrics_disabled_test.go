@@ -1,0 +1,42 @@
+package tunnel
+
+import (
+	"testing"
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/metrics"
+	"mosquitonet/internal/stack"
+)
+
+// TestEndpointWithoutMetricsRegistry pins down that building and running a
+// tunnel endpoint on a loop that never called metrics.Enable works: New must
+// not reach through a nil registry, and the encap/decap counters must still
+// advance via their detached handles.
+func TestEndpointWithoutMetricsRegistry(t *testing.T) {
+	e := buildEnv(t) // buildEnv never enables telemetry
+	if metrics.For(e.loop) != nil {
+		t.Fatal("test premise broken: loop unexpectedly has a metrics registry")
+	}
+
+	routeViaVIF(e.mh, e.mhT, "36.0.0.0/8")
+	e.ha.AddLocalAddr(ip.MustParseAddr("36.135.0.1"))
+	delivered := 0
+	e.ha.RegisterHandler(ip.ProtoUDP, func(_ *stack.Iface, _ *ip.Packet) { delivered++ })
+
+	inner := &ip.Packet{
+		Header:  ip.Header{Protocol: ip.ProtoUDP, Src: ip.MustParseAddr("36.135.0.7"), Dst: ip.MustParseAddr("36.135.0.1")},
+		Payload: []byte("no telemetry"),
+	}
+	if err := e.mh.Output(inner); err != nil {
+		t.Fatal(err)
+	}
+	e.loop.RunFor(time.Second)
+
+	if delivered != 1 {
+		t.Fatalf("delivered %d packets, want 1", delivered)
+	}
+	if e.mhT.Stats().Encapsulated != 1 || e.haT.Stats().Decapsulated != 1 {
+		t.Fatalf("stats without registry: %+v %+v", e.mhT.Stats(), e.haT.Stats())
+	}
+}

@@ -67,25 +67,26 @@ func New(host *stack.Host, name string, outerSrc func() (ip.Addr, bool), outerDs
 	e.vif = host.AddVirtualIface(name, e.transmit)
 	host.RegisterHandler(ip.ProtoIPIP, e.receive)
 	e.pktlog = metrics.PacketsFor(host.Loop())
+	// A nil registry (telemetry disabled) is valid throughout: Counter hands
+	// back a detached handle and CounterFunc is a no-op, so the endpoint must
+	// never gate its own construction on metrics being enabled.
 	reg := metrics.For(host.Loop())
 	lbls := []metrics.Label{metrics.L("host", host.Name()), metrics.L("vif", name)}
 	e.encapBytes = reg.Counter("tunnel.endpoint.encap_bytes", lbls...)
 	e.decapBytes = reg.Counter("tunnel.endpoint.decap_bytes", lbls...)
-	if reg != nil {
-		for _, m := range []struct {
-			name string
-			fn   func() uint64
-		}{
-			{"tunnel.endpoint.encapsulated", func() uint64 { return e.stats.Encapsulated }},
-			{"tunnel.endpoint.decapsulated", func() uint64 { return e.stats.Decapsulated }},
-			{"tunnel.endpoint.drop_no_dst", func() uint64 { return e.stats.DropNoDst }},
-			{"tunnel.endpoint.drop_no_src", func() uint64 { return e.stats.DropNoSrc }},
-			{"tunnel.endpoint.drop_bad_inner", func() uint64 { return e.stats.DropBadInner }},
-			{"tunnel.endpoint.drop_peer", func() uint64 { return e.stats.DropPeer }},
-			{"tunnel.endpoint.drop_output", func() uint64 { return e.stats.DropOutput }},
-		} {
-			reg.CounterFunc(m.name, m.fn, lbls...)
-		}
+	for _, m := range []struct {
+		name string
+		fn   func() uint64
+	}{
+		{"tunnel.endpoint.encapsulated", func() uint64 { return e.stats.Encapsulated }},
+		{"tunnel.endpoint.decapsulated", func() uint64 { return e.stats.Decapsulated }},
+		{"tunnel.endpoint.drop_no_dst", func() uint64 { return e.stats.DropNoDst }},
+		{"tunnel.endpoint.drop_no_src", func() uint64 { return e.stats.DropNoSrc }},
+		{"tunnel.endpoint.drop_bad_inner", func() uint64 { return e.stats.DropBadInner }},
+		{"tunnel.endpoint.drop_peer", func() uint64 { return e.stats.DropPeer }},
+		{"tunnel.endpoint.drop_output", func() uint64 { return e.stats.DropOutput }},
+	} {
+		reg.CounterFunc(m.name, m.fn, lbls...)
 	}
 	return e
 }
@@ -120,7 +121,9 @@ func (e *Endpoint) transmit(inner *ip.Packet, _ ip.Addr) {
 	}
 	e.stats.Encapsulated++
 	e.encapBytes.Add(uint64(outer.Len()))
-	e.pktlog.Record(outer.Trace, name, "tunnel.encap", outer.Src.String()+"->"+outer.Dst.String())
+	if e.pktlog != nil { // guard: the detail string is costly to format
+		e.pktlog.Record(outer.Trace, name, "tunnel.encap", outer.Src.String()+"->"+outer.Dst.String())
+	}
 	if err := e.host.Output(outer); err != nil {
 		e.stats.DropOutput++
 		e.pktlog.Record(outer.Trace, name, "tunnel.drop", "outer packet unroutable")
@@ -133,7 +136,9 @@ func (e *Endpoint) receive(_ *stack.Iface, outer *ip.Packet) {
 	name := e.host.Name()
 	if e.AllowPeer != nil && !e.AllowPeer(outer.Src) {
 		e.stats.DropPeer++
-		e.pktlog.Record(outer.Trace, name, "tunnel.drop", "peer rejected: "+outer.Src.String())
+		if e.pktlog != nil { // guard: the detail string is costly to format
+			e.pktlog.Record(outer.Trace, name, "tunnel.drop", "peer rejected: "+outer.Src.String())
+		}
 		return
 	}
 	inner, err := ip.Decapsulate(outer)
@@ -144,6 +149,8 @@ func (e *Endpoint) receive(_ *stack.Iface, outer *ip.Packet) {
 	}
 	e.stats.Decapsulated++
 	e.decapBytes.Add(uint64(outer.Len()))
-	e.pktlog.Record(inner.Trace, name, "tunnel.decap", inner.String())
+	if e.pktlog != nil { // guard: the detail string is costly to format
+		e.pktlog.Record(inner.Trace, name, "tunnel.decap", inner.String())
+	}
 	e.host.Input(e.vif, inner)
 }

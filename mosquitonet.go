@@ -276,6 +276,7 @@ var (
 	RunA3         = testbed.RunA3
 	RunA4         = testbed.RunA4
 	RunThroughput = testbed.RunThroughput
+	RunScale      = testbed.RunScale
 
 	// NewCapture builds the packet-capture facility (the simulator's
 	// tcpdump); FormatFrame and FormatPacket decode individual frames.
