@@ -7,6 +7,7 @@ package mosquitonet_test
 // while ns/op measures the simulator's wall-clock cost.
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 	"time"
@@ -16,6 +17,11 @@ import (
 	"mosquitonet/internal/mip"
 	"mosquitonet/internal/testbed"
 )
+
+// benchWorkers sets the shard worker-pool size for the sharded benchmarks
+// (BenchmarkScaleRoaming). Deterministic outputs are identical at any
+// value; only wall-clock time changes.
+var benchWorkers = flag.Int("workers", 1, "worker goroutines for sharded benchmarks")
 
 // --- E1: same-subnet address switch --------------------------------------
 
@@ -292,13 +298,19 @@ func BenchmarkA3HAScale(b *testing.B) {
 // fleet run, so B/op and allocs/op track the whole hot path (events,
 // marshals, frame fan-out) and events/sec measures raw simulator speed.
 // The same harness backs `experiments -exp scale` / BENCH_scale.json.
+//
+// -workers selects the shard worker-pool size (default 1, sequential).
+// Results are byte-identical at any worker count; only wall-clock changes,
+// so cross-worker ns/op comparisons are meaningful:
+//
+//	go test -bench ScaleRoaming -benchtime 3x -workers 4
 func BenchmarkScaleRoaming(b *testing.B) {
 	for _, n := range []int{10, 100, 1000} {
 		b.Run(fmt.Sprintf("%dhosts", n), func(b *testing.B) {
 			b.ReportAllocs()
 			var events uint64
 			for i := 0; i < b.N; i++ {
-				row, _, err := testbed.RunScaleFleet(1996, n)
+				row, _, err := testbed.RunScaleFleetWorkers(1996, n, *benchWorkers)
 				if err != nil {
 					b.Fatal(err)
 				}

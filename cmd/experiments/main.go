@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-exp all|e1|f6|f7|rtt|a1|a2|a3|scale] [-samples N] [-json dir]
+//	experiments [-seed N] [-exp all|e1|f6|f7|rtt|a1|a2|a3|scale|parallel] [-samples N] [-workers N] [-json dir]
 package main
 
 import (
@@ -29,11 +29,12 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1996, "simulation seed (results are deterministic per seed)")
-	exp := flag.String("exp", "all", "experiment to run: all, e1, f6, f7, rtt, tput, a1, a2, a3, a4")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, f6, f7, rtt, tput, a1, a2, a3, a4, scale, parallel")
 	samples := flag.Int("samples", 20, "samples for RTT/A1 measurements")
 	a2iters := flag.Int("a2-iterations", 5, "handoffs per A2 variant")
 	fleets := flag.String("a3-fleets", "1,8,32,64", "comma-separated fleet sizes for A3")
 	scaleFleets := flag.String("scale-fleets", "10,100,1000", "comma-separated fleet sizes for the scale experiment")
+	workers := flag.Int("workers", 1, "worker goroutines for sharded experiments (results are identical at any count)")
 	jsonDir := flag.String("json", "bench", "directory for BENCH_*.json exports (empty to disable)")
 	flag.Parse()
 
@@ -114,23 +115,42 @@ func main() {
 	}
 	if want("scale") {
 		ran = true
-		var sizes []int
-		for _, f := range strings.Split(*scaleFleets, ",") {
-			var n int
-			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
-				exitOn(fmt.Errorf("bad fleet size %q", f))
-			}
-			sizes = append(sizes, n)
+		res, err := mosquitonet.RunScaleWorkers(*seed, parseFleets(*scaleFleets), *workers)
+		exitOn(err)
+		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
+	}
+	// The parallel experiment records machine-dependent wall-clock times,
+	// so it runs only when explicitly requested — never as part of "all",
+	// which must stay byte-reproducible.
+	if *exp == "parallel" {
+		ran = true
+		w := *workers
+		if w <= 1 {
+			w = 4 // comparing workers=1 against itself would be vacuous
 		}
-		res, err := mosquitonet.RunScale(*seed, sizes)
+		res, err := mosquitonet.RunParallel(*seed, parseFleets(*scaleFleets), w)
 		exitOn(err)
 		fmt.Println(res)
 		writeExport(*jsonDir, res.Export)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f6, f7, rtt, a1, a2, a3, a4, scale)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f6, f7, rtt, a1, a2, a3, a4, scale, parallel)\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// parseFleets splits a comma-separated fleet-size list.
+func parseFleets(s string) []int {
+	var sizes []int
+	for _, f := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
+			exitOn(fmt.Errorf("bad fleet size %q", f))
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes
 }
 
 // writeExport serializes one experiment's export as BENCH_<name>.json.

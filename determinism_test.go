@@ -123,6 +123,125 @@ func TestWorldDeterminism(t *testing.T) {
 	}
 }
 
+// scheduleMobilityScenario builds a world whose whole mobility scenario —
+// attach at home, move to a visited subnet (cold switch or warm handoff),
+// probe a correspondent, return home — is pre-scheduled on the loop, so
+// the world can be driven externally by a ShardSet instead of interleaved
+// Run calls.
+func scheduleMobilityScenario(t *testing.T, seed int64, warmHandoff bool) *World {
+	t.Helper()
+	w := NewWorld(seed)
+	home, err := w.AddSubnet("home", "10.1.0.0/24", Ethernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited, err := w.AddSubnet("visited", "10.2.0.0/24", Ethernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := home.HomeAgent(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := visited.DHCP(100, 120); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := visited.Host("corr", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := w.MobileHost("laptop", home, 7, ha.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth0, err := mn.WiredInterface("eth0", home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth1, err := mn.WiredInterface("eth1", visited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srv *UDPSocket
+	srv, err = ch.TS.UDP(Unspecified, 7, func(d Datagram) {
+		srv.SendTo(d.From, d.FromPort, d.Payload)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := mn.TS.UDP(Unspecified, 0, func(Datagram) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	onErr := func(stage string) func(error) {
+		return func(err error) {
+			if err != nil {
+				t.Errorf("%s: %v", stage, err)
+			}
+		}
+	}
+	mn.MH.ConnectHome(eth0, home.Gateway, onErr("ConnectHome"))
+	w.Loop.Schedule(5*time.Second, func() {
+		if warmHandoff {
+			mn.MH.ConnectForeign(eth1, onErr("ConnectForeign"))
+		} else {
+			mn.MH.ColdSwitch(eth1, onErr("ColdSwitch"))
+		}
+	})
+	for i := 0; i < 3; i++ {
+		w.Loop.Schedule(20*time.Second+time.Duration(i)*time.Second, func() {
+			cli.SendTo(ch.Addr, 7, []byte("probe"))
+		})
+	}
+	w.Loop.Schedule(25*time.Second, func() {
+		mn.MH.ConnectHome(eth0, home.Gateway, onErr("return home"))
+	})
+	return w
+}
+
+// TestCrossWorkerDeterminism asserts the shard-parallel engine's contract
+// at the public API: executing the same worlds on a worker pool produces
+// byte-identical traces and metrics to sequential execution. Two full
+// mobility scenarios (a cold-switch roam and a warm overlapping-coverage
+// handoff) run as two shards of one ShardSet; under -race this also
+// exercises the claim that shards share no mutable state.
+func TestCrossWorkerDeterminism(t *testing.T) {
+	run := func(workers int) [][]byte {
+		roam := scheduleMobilityScenario(t, 42, false)
+		handoff := scheduleMobilityScenario(t, 43, true)
+		ss := NewShardSet([]*Loop{roam.Loop, handoff.Loop}, 50*time.Millisecond)
+		ss.SetWorkers(workers)
+		ss.RunFor(35 * time.Second)
+		var out [][]byte
+		for _, w := range []*World{roam, handoff} {
+			var tr, ms bytes.Buffer
+			if err := w.Tracer.WriteJSONL(&tr); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Metrics.Snapshot().WriteJSON(&ms); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, tr.Bytes(), ms.Bytes())
+		}
+		return out
+	}
+
+	base := run(1)
+	labels := []string{"roam trace", "roam metrics", "handoff trace", "handoff metrics"}
+	if len(base[0]) == 0 || len(base[2]) == 0 {
+		t.Fatal("scenarios produced no trace events")
+	}
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		for i := range base {
+			if !bytes.Equal(base[i], got[i]) {
+				t.Errorf("workers=%d %s differs from workers=1:\n%s", workers, labels[i], firstDiffLine(base[i], got[i]))
+			}
+		}
+	}
+}
+
 // firstDiffLine pinpoints the first differing line of two renderings for a
 // readable failure message.
 func firstDiffLine(a, b []byte) string {

@@ -7,6 +7,7 @@ package analysis
 import (
 	"mosquitonet/internal/analysis/dropaccounting"
 	"mosquitonet/internal/analysis/framework"
+	"mosquitonet/internal/analysis/nosharedstate"
 	"mosquitonet/internal/analysis/nowallclock"
 	"mosquitonet/internal/analysis/seededrand"
 	"mosquitonet/internal/analysis/sortedrange"
@@ -18,6 +19,7 @@ func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		nowallclock.Analyzer,
 		seededrand.Analyzer,
+		nosharedstate.Analyzer,
 		sortedrange.Analyzer,
 		dropaccounting.Analyzer,
 		wireroundtrip.Analyzer,

@@ -1,0 +1,215 @@
+// Package nosharedstate forbids package-level mutable state in code that
+// shard-parallel execution may run concurrently.
+//
+// The ShardSet scheduler (internal/sim) runs each shard's loop on its own
+// worker goroutine with no locks between them; the determinism argument in
+// DESIGN.md rests on shards sharing no mutable state. A package-level
+// variable written from event handlers breaks that twice over: two shards
+// racing on it is undefined behaviour, and even a "benign" atomic counter
+// makes results depend on shard interleaving, destroying byte-identical
+// replay across worker counts.
+//
+// The analyzer flags every package-level var that function code mutates —
+// direct assignment, compound assignment or ++/--, mutation of an element
+// or field reached from it, taking its address, or invoking a
+// pointer-receiver method on it (which includes sync.Pool.Get and
+// sync.Map.Store). The diagnostic is reported at the declaration, which is
+// where a //lint:allow nosharedstate directive documents why a specific
+// variable is safe (e.g. it is guarded by a mutex and intentionally
+// process-wide, or its values never influence simulated behaviour).
+//
+// Writes from init functions and from the declaration itself are not
+// mutations: initialization happens once, before any shard runs. Command
+// mains, examples, and the analysis tooling itself are exempt — they are
+// drivers that run before or after the simulation, not inside it.
+package nosharedstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mosquitonet/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "nosharedstate",
+	Doc:  "forbid package-level mutable state reachable from shard-executed code; shards must share nothing",
+	Run:  run,
+}
+
+// exemptPrefixes are import-path prefixes whose packages never execute
+// inside a shard: single-threaded drivers and the lint tooling.
+var exemptPrefixes = []string{
+	"mosquitonet/cmd/",
+	"mosquitonet/examples/",
+	"mosquitonet/internal/analysis",
+}
+
+func run(pass *framework.Pass) error {
+	for _, p := range exemptPrefixes {
+		if strings.HasPrefix(pass.PkgPath, p) {
+			return nil
+		}
+	}
+	if pass.TypesInfo == nil {
+		return nil
+	}
+
+	// Pass 1: collect the package-level vars.
+	decls := map[types.Object]token.Pos{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						decls[obj] = name.Pos()
+					}
+				}
+			}
+		}
+	}
+	if len(decls) == 0 {
+		return nil
+	}
+
+	// Pass 2: find the first mutation of each var inside function bodies
+	// (skipping init, which runs once before any shard exists).
+	type mutation struct {
+		pos  token.Pos
+		verb string
+	}
+	mutated := map[types.Object]mutation{}
+	record := func(e ast.Expr, verb string) {
+		obj := rootObject(pass.TypesInfo, e)
+		if obj == nil {
+			return
+		}
+		if _, isPkgVar := decls[obj]; !isPkgVar {
+			return
+		}
+		if _, seen := mutated[obj]; !seen {
+			mutated[obj] = mutation{pos: e.Pos(), verb: verb}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && fd.Name.Name == "init" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if n.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						record(lhs, "assigned")
+					}
+				case *ast.IncDecStmt:
+					record(n.X, "mutated with ++/--")
+				case *ast.UnaryExpr:
+					if n.Op == token.AND {
+						record(n.X, "address-taken")
+					}
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if !pointerReceiverCall(pass.TypesInfo, sel) {
+						return true
+					}
+					record(sel.X, "mutated through a pointer-receiver method")
+				}
+				return true
+			})
+		}
+	}
+
+	for obj, m := range mutated {
+		pos := pass.Fset.Position(m.pos)
+		pass.Reportf(decls[obj], "package-level var %s is %s at %s:%d; shards share no mutable state — move it into per-loop state or justify with //lint:allow nosharedstate",
+			obj.Name(), m.verb, shortPath(pos.Filename), pos.Line)
+	}
+	return nil
+}
+
+// rootObject walks to the base identifier of a selector/index/deref chain
+// and returns the object it names, or nil. A chain rooted in a pointer
+// dereference (*p).f does not implicate the pointer variable itself: the
+// pointee may be per-shard even when a pointer to it transits a global,
+// and the assignment that stored the global pointer is flagged anyway.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			// pkg.Var: the selection resolves directly to the var.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return info.Uses[x.Sel]
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// pointerReceiverCall reports whether sel is a method call whose receiver
+// is a pointer — the only kind of call that can mutate the value it is
+// invoked on.
+func pointerReceiverCall(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isPtr := sig.Recv().Type().(*types.Pointer)
+	return isPtr
+}
+
+// shortPath trims the path to its last two elements for readable
+// diagnostics.
+func shortPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) <= 2 {
+		return p
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

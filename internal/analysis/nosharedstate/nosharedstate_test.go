@@ -1,0 +1,12 @@
+package nosharedstate_test
+
+import (
+	"testing"
+
+	"mosquitonet/internal/analysis/framework/analysistest"
+	"mosquitonet/internal/analysis/nosharedstate"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/nosharedstate", nosharedstate.Analyzer)
+}

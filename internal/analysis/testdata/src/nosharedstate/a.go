@@ -1,0 +1,58 @@
+// Package fixture exercises the nosharedstate analyzer: package-level
+// vars mutated from function code are flagged at their declaration;
+// constants, read-only config, init-time setup, and per-instance state
+// are not.
+package fixture
+
+import "sync"
+
+// Mutable package state in its various disguises.
+var counter int                 // want "package-level var counter is mutated with \+\+/--"
+var lastName string             // want "package-level var lastName is assigned"
+var registry = map[string]int{} // want "package-level var registry is assigned"
+var pool sync.Pool              // want "package-level var pool is mutated through a pointer-receiver method"
+var escapee int                 // want "package-level var escapee is address-taken"
+
+// Read-only package state: never flagged.
+const limit = 16
+
+var defaults = map[string]int{"mtu": 1500}
+
+// seq is intentionally process-wide and justified, so it is suppressed.
+//
+//lint:allow nosharedstate debug-only sequence for log labels; values never influence simulated behaviour
+var seq uint64
+
+func bump() {
+	counter++
+	seq++
+	lastName = "bump"
+	registry["x"] = counter
+}
+
+func borrow() any {
+	return pool.Get()
+}
+
+func escape() *int {
+	return &escapee
+}
+
+// init-time writes are setup, not shared-state mutation.
+var table map[string]bool
+
+func init() {
+	table = make(map[string]bool, limit)
+}
+
+// Reading package state and mutating locals or fields of parameters is
+// always fine.
+type widget struct{ n int }
+
+func (w *widget) grow() {
+	w.n++
+	local := defaults["mtu"]
+	local++
+	_ = local
+	_ = table
+}

@@ -34,6 +34,7 @@ const (
 	numClasses = maxShift - minShift + 1
 )
 
+//lint:allow nosharedstate sync.Pool is concurrency-safe by contract and buffer reuse never influences simulated behaviour; cross-shard frame payloads are explicitly allowed to Get on one shard and Put on another
 var pools = [numClasses]sync.Pool{
 	{New: func() any { return new([1 << (minShift + 0)]byte) }},
 	{New: func() any { return new([1 << (minShift + 1)]byte) }},

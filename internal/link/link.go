@@ -37,6 +37,8 @@ func (a HWAddr) IsBroadcast() bool { return a == BroadcastHW }
 
 // hwSeq hands out distinct hardware addresses. Uniqueness per simulation is
 // all that matters; the OUI byte is arbitrary.
+//
+//lint:allow nosharedstate written only during topology construction, which is single-threaded and completes before any ShardSet starts its workers
 var hwSeq uint32
 
 // NextHWAddr returns a process-unique hardware address.
@@ -134,6 +136,7 @@ type Device struct {
 	bringUpJitter time.Duration
 
 	recv        func(*Frame)
+	onChange    []func()
 	promiscuous bool
 	upSince     sim.Time
 
@@ -211,6 +214,18 @@ func (d *Device) Stats() DeviceStats {
 // SetReceiver installs the host-stack callback for delivered frames.
 func (d *Device) SetReceiver(fn func(*Frame)) { d.recv = fn }
 
+// OnChange registers a callback invoked whenever the device's
+// reachability changes: bring-up completion, bring-down, attach, detach.
+// The host stack uses it to invalidate cached routing decisions that
+// depend on Iface.Up().
+func (d *Device) OnChange(fn func()) { d.onChange = append(d.onChange, fn) }
+
+func (d *Device) notifyChange() {
+	for _, fn := range d.onChange {
+		fn()
+	}
+}
+
 // SetPromiscuous controls whether frames for other stations are delivered.
 func (d *Device) SetPromiscuous(v bool) { d.promiscuous = v }
 
@@ -222,6 +237,7 @@ func (d *Device) Attach(n *Network) {
 	}
 	d.net = n
 	n.add(d)
+	d.notifyChange()
 }
 
 // Detach disconnects the device from its network, e.g. when carried out of
@@ -232,6 +248,7 @@ func (d *Device) Detach() {
 	}
 	d.net.remove(d)
 	d.net = nil
+	d.notifyChange()
 }
 
 // BringUp starts the device's initialization and invokes done (if non-nil)
@@ -253,6 +270,7 @@ func (d *Device) BringUp(done func()) time.Duration {
 		}
 		d.state = StateUp
 		d.upSince = d.loop.Now()
+		d.notifyChange()
 		if done != nil {
 			done()
 		}
@@ -263,7 +281,13 @@ func (d *Device) BringUp(done func()) time.Duration {
 // BringDown takes the device down immediately. Pending bring-ups are
 // cancelled; frames in flight toward this device will be dropped on
 // arrival.
-func (d *Device) BringDown() { d.state = StateDown }
+func (d *Device) BringDown() {
+	if d.state == StateDown {
+		return
+	}
+	d.state = StateDown
+	d.notifyChange()
+}
 
 // UpSince returns when the device last transitioned to up.
 func (d *Device) UpSince() sim.Time { return d.upSince }

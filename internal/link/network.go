@@ -39,6 +39,15 @@ func (m Medium) serializationDelay(n int) time.Duration {
 	return time.Duration(int64(n) * 8 * int64(time.Second) / m.BitRate)
 }
 
+// MinLatency returns the smallest possible arrival delta the medium can
+// produce: propagation latency at the low end of its jitter range.
+// Serialization only adds delay, so this lower-bounds every delivery and
+// is the safe conservative lookahead for a shard boundary cut across this
+// medium (sim.ShardSet).
+func (m Medium) MinLatency() time.Duration {
+	return m.Latency - m.LatencyJitter
+}
+
 // Ethernet returns a 10 Mbit/s wired Ethernet medium, matching the paper's
 // PCMCIA Ethernet: sub-millisecond latency, effectively lossless.
 func Ethernet() Medium {
@@ -79,6 +88,21 @@ func Serial() Medium {
 	}
 }
 
+// Backbone returns a campus-backbone trunk medium: a routed 100 Mbit/s
+// point-to-point span with milliseconds of propagation delay. Its
+// MinLatency of 1.9ms is what makes it suitable as a shard-boundary cut —
+// the lookahead it grants dwarfs the per-epoch coordination cost.
+func Backbone() Medium {
+	return Medium{
+		Name:          "backbone",
+		Latency:       2 * time.Millisecond,
+		LatencyJitter: 100 * time.Microsecond,
+		BitRate:       100_000_000,
+		LossProb:      0,
+		MTU:           1500,
+	}
+}
+
 // NetworkStats counts a broadcast domain's traffic.
 type NetworkStats struct {
 	Transmitted uint64 // frames offered to the medium
@@ -107,6 +131,12 @@ type Network struct {
 
 	// taps observe every transmitted frame (packet capture).
 	taps []func(from *Device, f *Frame)
+
+	// handoff, when set, makes this network one end of a cross-shard
+	// trunk: transmitted frames are handed to the hook (with their
+	// computed arrival time) instead of being delivered locally. The far
+	// end injects them via DeliverLocal on its own shard.
+	handoff func(f *Frame, arrival sim.Time)
 
 	// flights recycles in-flight frame records (payload copy + receiver
 	// snapshot) so steady-state transmission does not allocate per frame.
@@ -218,6 +248,24 @@ func (n *Network) transmit(from *Device, f *Frame) {
 		arrival = n.lastDelivery
 	}
 	n.lastDelivery = arrival
+	if n.handoff != nil {
+		// Trunk end: the medium's loss model draws once (a point-to-point
+		// span has one receiver, on the far shard), then ownership of a
+		// pooled payload copy transfers to the hook. All delay modeling
+		// happened here on the transmit side; the far end delivers at
+		// `arrival` with no further delay.
+		if n.medium.LossProb > 0 && n.loop.Rand().Float64() < n.medium.LossProb {
+			n.stats.LostMedium++
+			if n.pktlog != nil {
+				n.pktlog.Record(f.Trace, n.name, "link.lost", "medium loss on trunk")
+			}
+			return
+		}
+		payload := bufpool.Get(len(f.Payload))
+		copy(payload, f.Payload)
+		n.handoff(&Frame{Src: f.Src, Dst: f.Dst, Type: f.Type, Payload: payload, Trace: f.Trace}, arrival)
+		return
+	}
 	// Loss draws stay per-receiver in attachment order, so the RNG
 	// consumption sequence is identical to per-receiver scheduling. The
 	// payload is copied lazily: a frame every receiver loses costs nothing.
@@ -243,4 +291,27 @@ func (n *Network) transmit(from *Device, f *Frame) {
 		return
 	}
 	n.loop.At(arrival, fl.deliver)
+}
+
+// SetHandoff marks this network as the local end of a cross-shard trunk.
+// Transmitted frames are passed to fn — with an owned payload copy and the
+// fully modeled arrival time — instead of being delivered on this shard.
+// fn runs on this shard's goroutine; it must hand the frame to the far
+// shard via sim.ShardSet.Post, never touch the far shard directly.
+func (n *Network) SetHandoff(fn func(f *Frame, arrival sim.Time)) {
+	n.handoff = fn
+}
+
+// DeliverLocal delivers a frame received over a trunk to every attached
+// device, then recycles the frame's payload. It must run on this
+// network's own loop (the coordinator schedules it at the arrival time the
+// transmit side computed). The frame's payload must be pool-owned by the
+// caller; ownership transfers here.
+func (n *Network) DeliverLocal(f *Frame) {
+	for _, d := range n.devices {
+		n.stats.Delivered++
+		d.deliver(f)
+	}
+	bufpool.Put(f.Payload)
+	f.Payload = nil
 }

@@ -368,49 +368,92 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		e := r.entries[k]
-		ms := MetricSnapshot{Name: e.name, Labels: e.labels, Kind: e.kind.String()}
-		switch e.kind {
-		case KindCounter:
-			var total uint64
-			for _, src := range e.sources {
-				if src.counterFn != nil {
-					total += src.counterFn()
-				} else {
-					total += src.counter.Value()
-				}
+		s.Metrics = append(s.Metrics, renderEntry(r.entries[k]))
+	}
+	return s
+}
+
+// renderEntry sums an entry's sources into one MetricSnapshot row; the
+// shared rendering path of Snapshot and MergedSnapshot.
+func renderEntry(e *entry) MetricSnapshot {
+	ms := MetricSnapshot{Name: e.name, Labels: e.labels, Kind: e.kind.String()}
+	switch e.kind {
+	case KindCounter:
+		var total uint64
+		for _, src := range e.sources {
+			if src.counterFn != nil {
+				total += src.counterFn()
+			} else {
+				total += src.counter.Value()
 			}
-			ms.Counter = &total
-		case KindGauge:
-			var total int64
-			for _, src := range e.sources {
-				if src.gaugeFn != nil {
-					total += src.gaugeFn()
-				} else {
-					total += src.gauge.Value()
-				}
-			}
-			ms.Gauge = &total
-		case KindHistogram:
-			var all []time.Duration
-			var sum time.Duration
-			for _, src := range e.sources {
-				all = append(all, src.hist.samples...)
-				sum += src.hist.sum
-			}
-			hs := &HistogramSummary{Count: uint64(len(all)), Sum: int64(sum)}
-			if len(all) > 0 {
-				sorted := sortedCopy(all)
-				hs.Min = int64(sorted[0])
-				hs.Max = int64(sorted[len(sorted)-1])
-				hs.Mean = int64(sum) / int64(len(all))
-				hs.P50 = int64(quantileOf(sorted, 0.50))
-				hs.P90 = int64(quantileOf(sorted, 0.90))
-				hs.P99 = int64(quantileOf(sorted, 0.99))
-			}
-			ms.Histogram = hs
 		}
-		s.Metrics = append(s.Metrics, ms)
+		ms.Counter = &total
+	case KindGauge:
+		var total int64
+		for _, src := range e.sources {
+			if src.gaugeFn != nil {
+				total += src.gaugeFn()
+			} else {
+				total += src.gauge.Value()
+			}
+		}
+		ms.Gauge = &total
+	case KindHistogram:
+		var all []time.Duration
+		var sum time.Duration
+		for _, src := range e.sources {
+			all = append(all, src.hist.samples...)
+			sum += src.hist.sum
+		}
+		hs := &HistogramSummary{Count: uint64(len(all)), Sum: int64(sum)}
+		if len(all) > 0 {
+			sorted := sortedCopy(all)
+			hs.Min = int64(sorted[0])
+			hs.Max = int64(sorted[len(sorted)-1])
+			hs.Mean = int64(sum) / int64(len(all))
+			hs.P50 = int64(quantileOf(sorted, 0.50))
+			hs.P90 = int64(quantileOf(sorted, 0.90))
+			hs.P99 = int64(quantileOf(sorted, 0.99))
+		}
+		ms.Histogram = hs
+	}
+	return ms
+}
+
+// MergedSnapshot renders several registries as one snapshot, as if every
+// source had been registered in a single registry: rows with the same
+// name and labels are summed (histograms pooled), and the result is
+// sorted by key exactly like Snapshot. The sharded scale experiment uses
+// it to merge per-shard registries deterministically — the merge depends
+// only on registration content, never on which goroutine ran which shard.
+// at is the virtual timestamp to stamp (the shards' common barrier time).
+// Mixing kinds under one key across registries panics, as it would within
+// one registry.
+func MergedSnapshot(at sim.Time, regs ...*Registry) *Snapshot {
+	s := &Snapshot{At: int64(at.Duration()), AtHuman: at.String()}
+	merged := make(map[string]*entry)
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for k, e := range r.entries {
+			m, ok := merged[k]
+			if !ok {
+				m = &entry{name: e.name, labels: e.labels, kind: e.kind}
+				merged[k] = m
+			} else if m.kind != e.kind {
+				panic(fmt.Sprintf("metrics: %q registered as both %v and %v across merged registries", k, m.kind, e.kind))
+			}
+			m.sources = append(m.sources, e.sources...)
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.Metrics = append(s.Metrics, renderEntry(merged[k]))
 	}
 	return s
 }
@@ -480,7 +523,9 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 // is single-threaded.
 
 var (
+	//lint:allow nosharedstate sync.Map keyed by *sim.Loop: shard-time accesses are per-loop reads of disjoint entries, and Enable/Release run during single-threaded construction and teardown
 	registries sync.Map // *sim.Loop -> *Registry
+	//lint:allow nosharedstate sync.Map keyed by *sim.Loop: shard-time accesses are per-loop reads of disjoint entries, and Enable/Release run during single-threaded construction and teardown
 	packetLogs sync.Map // *sim.Loop -> *PacketLog
 )
 

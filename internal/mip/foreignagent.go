@@ -330,6 +330,7 @@ func (m *MobileHost) ConnectViaForeignAgent(mi *ManagedIface, faAddr ip.Addr, do
 				m.atHome = false
 				m.careOf = ip.Addr{}
 				m.faAddr = faAddr
+				m.host.InvalidateRoutes()
 				m.notifyLink(mi)
 				m.registerViaFA(faAddr, done)
 			})

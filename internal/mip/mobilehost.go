@@ -194,6 +194,11 @@ func NewMobileHost(ts *transport.Stack, cfg MobileHostConfig) *MobileHost {
 		func(*ip.Packet) (ip.Addr, bool) { return m.cfg.HomeAgent, true })
 	m.host.AddLocalAddr(m.cfg.HomeAddr)
 	m.host.SetRouteLookup(m.routeLookup)
+	// routeLookup's decisions embed Mobile Policy Table verdicts and the
+	// current care-of state; both must flush the stack's decision cache
+	// the moment they change. Policy edits flow through this hook, and
+	// every care-of/mode transition below calls InvalidateRoutes itself.
+	m.policy.SetOnChange(m.host.InvalidateRoutes)
 	m.registerMetrics(metrics.For(m.host.Loop()))
 	return m
 }
@@ -316,6 +321,7 @@ func (m *MobileHost) ConnectHome(mi *ManagedIface, gateway ip.Addr, done func(er
 				m.active = mi
 				m.atHome = true
 				m.careOf = ip.Addr{}
+				m.host.InvalidateRoutes()
 				if arp := mi.ifc.ARP(); arp != nil {
 					arp.Gratuitous(m.cfg.HomeAddr, mi.ifc.Device().HW())
 				}
@@ -402,6 +408,7 @@ func (m *MobileHost) Activate(mi *ManagedIface, done func(error)) {
 	m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
 		m.active = mi
 		m.atHome = m.cfg.HomePrefix.Contains(mi.addr) && mi.addr == m.cfg.HomeAddr
+		m.host.InvalidateRoutes()
 		m.switchDefaultRoute(mi)
 		m.trace("handoff.route.switched", "iface=%s", mi.Name())
 		m.notifyLink(mi)
@@ -505,6 +512,7 @@ func (m *MobileHost) teardown(mi *ManagedIface) {
 	}
 	if m.active == mi {
 		m.faAddr = ip.Addr{}
+		m.host.InvalidateRoutes()
 	}
 	m.host.Routes().DeleteIface(mi.ifc)
 	mi.ifc.Device().BringDown()
@@ -558,6 +566,7 @@ func (m *MobileHost) register(careOf ip.Addr, lifetime time.Duration, done func(
 	m.careOf = careOf
 	m.atHome = false
 	m.faAddr = ip.Addr{} // collocated care-of mode
+	m.host.InvalidateRoutes()
 	m.rebindRegSock(careOf)
 	m.regID++
 	req := &RegRequest{

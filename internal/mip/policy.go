@@ -60,8 +60,23 @@ type PolicyTable struct {
 	entries []policyEntry
 	def     Policy
 
+	// onChange fires after every mutation (Set, SetDefault, Delete). The
+	// mobile host hooks it to invalidate the stack's route-decision
+	// cache: cached decisions embed policy verdicts, so a policy edit
+	// must take effect before the very next packet.
+	onChange func()
+
 	lookups uint64
 	hits    uint64 // lookups resolved by an explicit entry (not the default)
+}
+
+// SetOnChange installs the mutation callback (nil to remove).
+func (t *PolicyTable) SetOnChange(fn func()) { t.onChange = fn }
+
+func (t *PolicyTable) changed() {
+	if t.onChange != nil {
+		t.onChange()
+	}
 }
 
 // NewPolicyTable creates a table whose default policy is def.
@@ -73,7 +88,10 @@ func NewPolicyTable(def Policy) *PolicyTable {
 func (t *PolicyTable) Default() Policy { return t.def }
 
 // SetDefault changes the default policy.
-func (t *PolicyTable) SetDefault(p Policy) { t.def = p }
+func (t *PolicyTable) SetDefault(p Policy) {
+	t.def = p
+	t.changed()
+}
 
 // Set installs or replaces the policy for a destination prefix.
 func (t *PolicyTable) Set(prefix ip.Prefix, p Policy) {
@@ -81,6 +99,7 @@ func (t *PolicyTable) Set(prefix ip.Prefix, p Policy) {
 	for i := range t.entries {
 		if t.entries[i].prefix == prefix {
 			t.entries[i].policy = p
+			t.changed()
 			return
 		}
 	}
@@ -88,6 +107,7 @@ func (t *PolicyTable) Set(prefix ip.Prefix, p Policy) {
 	sort.SliceStable(t.entries, func(i, j int) bool {
 		return t.entries[i].prefix.Bits > t.entries[j].prefix.Bits
 	})
+	t.changed()
 }
 
 // SetHost installs a host-specific (/32) policy — how probe results for a
@@ -102,6 +122,7 @@ func (t *PolicyTable) Delete(prefix ip.Prefix) bool {
 	for i := range t.entries {
 		if t.entries[i].prefix == prefix {
 			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			t.changed()
 			return true
 		}
 	}

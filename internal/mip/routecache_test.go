@@ -1,0 +1,97 @@
+package mip
+
+import (
+	"testing"
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/transport"
+)
+
+// TestPolicyChangeInvalidatesRouteCache is the stale-decision regression
+// test: with the stack's route-decision cache warm on a tunneled flow, a
+// Mobile Policy Table change must take effect on the very next packet —
+// the cached decision may not serve even one more send.
+func TestPolicyChangeInvalidatesRouteCache(t *testing.T) {
+	w := newWorld(t, 77)
+	served, lastFrom := w.udpEchoServer(9000)
+	w.goForeign()
+	careOf := w.mh.CareOf()
+	if careOf.IsUnspecified() {
+		t.Fatal("no care-of address after ConnectForeign")
+	}
+
+	sock, err := w.mhTS.UDP(ip.Unspecified, 0, func(transport.Datagram) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chAddr := ip.MustParseAddr(wCHAddr)
+
+	// Warm the cache: several tunneled sends, all hitting after the first.
+	for i := 0; i < 4; i++ {
+		if err := sock.SendTo(chAddr, 9000, []byte("warm")); err != nil {
+			t.Fatal(err)
+		}
+		w.run(2 * time.Second)
+	}
+	if *served != 4 {
+		t.Fatalf("served %d warmup probes, want 4", *served)
+	}
+	if *lastFrom != w.mh.HomeAddr() {
+		t.Fatalf("tunneled probe arrived from %v, want home address %v", *lastFrom, w.mh.HomeAddr())
+	}
+	encapBefore := w.mh.Tunnel().Stats().Encapsulated
+	if encapBefore == 0 {
+		t.Fatal("warmup traffic did not use the reverse tunnel")
+	}
+	st := w.mh.Host().RouteCacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("route cache never hit during warmup: %+v", st)
+	}
+
+	// Mid-flow policy change: this correspondent is now local-role
+	// (PolicyDirect — bare packets, care-of source, no tunnel).
+	w.mh.Policy().SetHost(chAddr, PolicyDirect)
+
+	// The very next packet must reflect the new policy.
+	if err := sock.SendTo(chAddr, 9000, []byte("direct")); err != nil {
+		t.Fatal(err)
+	}
+	w.run(2 * time.Second)
+	if *served != 5 {
+		t.Fatalf("served %d probes after policy change, want 5", *served)
+	}
+	if *lastFrom != careOf {
+		t.Fatalf("post-change probe arrived from %v, want care-of %v — stale cached route decision", *lastFrom, careOf)
+	}
+	if got := w.mh.Tunnel().Stats().Encapsulated; got != encapBefore {
+		t.Fatalf("post-change probe was still tunneled (encapsulated %d -> %d)", encapBefore, got)
+	}
+}
+
+func TestHomeAgentBindingsMemoized(t *testing.T) {
+	w := newWorld(t, 78)
+	w.goForeign()
+
+	s1 := w.ha.Bindings()
+	s2 := w.ha.Bindings()
+	if len(s1) != 1 || &s1[0] != &s2[0] {
+		t.Fatal("unchanged binding set must return the identical memoized snapshot")
+	}
+	gen := w.ha.BindingsGen()
+
+	// A re-registration (renewal) replaces the binding record and must
+	// rebuild the snapshot, leaving the old slice intact.
+	careOf := s1[0].CareOf
+	w.goHome() // deregisters: binding removed
+	if w.ha.BindingsGen() == gen {
+		t.Fatal("deregistration did not bump the bindings generation")
+	}
+	s3 := w.ha.Bindings()
+	if len(s3) != 0 {
+		t.Fatalf("bindings after deregistration: %v", s3)
+	}
+	if len(s1) != 1 || s1[0].CareOf != careOf {
+		t.Fatalf("earlier snapshot mutated: %v", s1)
+	}
+}

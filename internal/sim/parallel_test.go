@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// pingPong drives two shards exchanging cross-shard callbacks with the
+// given worker count and returns a full transcript of what ran where and
+// when, plus each shard's RNG draws — the raw material every determinism
+// assertion in this file compares.
+func pingPong(workers int, seed int64) []string {
+	const lookahead = 2 * time.Millisecond
+	a := New(ShardSeed(seed, 0))
+	b := New(ShardSeed(seed, 1))
+	ss := NewShardSet([]*Loop{a, b}, lookahead)
+	ss.SetWorkers(workers)
+
+	// One transcript per shard, appended only by that shard's goroutine —
+	// the same share-nothing discipline real shard code must follow. The
+	// final transcript is the deterministic concatenation in shard order;
+	// cross-shard interleaving within an epoch is intentionally not an
+	// observable.
+	logs := make([][]string, 2)
+	record := func(shard int, loop *Loop, what string) {
+		logs[shard] = append(logs[shard], fmt.Sprintf("%v shard%d %s rng=%d", loop.Now(), shard, what, loop.Rand().Intn(1000)))
+	}
+
+	// Shard 0 fires a volley every 500µs; each volley posts work to shard 1
+	// arriving exactly lookahead later; shard 1 echoes back likewise.
+	var volley func(k int)
+	volley = func(k int) {
+		record(0, a, fmt.Sprintf("volley%d", k))
+		at := a.Now().Add(lookahead)
+		ss.Post(0, 1, at, func() {
+			record(1, b, fmt.Sprintf("recv%d", k))
+			back := b.Now().Add(lookahead)
+			ss.Post(1, 0, back, func() { record(0, a, fmt.Sprintf("echo%d", k)) })
+		})
+		if k < 9 {
+			a.Schedule(500*time.Microsecond, func() { volley(k + 1) })
+		}
+	}
+	a.Schedule(0, func() { volley(0) })
+
+	// Independent local churn on both shards so their heaps stay busy.
+	for i := 0; i < 20; i++ {
+		i := i
+		a.Schedule(time.Duration(i)*333*time.Microsecond, func() { record(0, a, fmt.Sprintf("localA%d", i)) })
+		b.Schedule(time.Duration(i)*271*time.Microsecond, func() { record(1, b, fmt.Sprintf("localB%d", i)) })
+	}
+
+	ss.RunFor(50 * time.Millisecond)
+	log := append(append([]string(nil), logs[0]...), logs[1]...)
+	log = append(log, fmt.Sprintf("epochs>0=%v cross=%d executed=%d now=%v",
+		ss.Epochs() > 0, ss.CrossDelivered(), ss.Executed(), ss.Now()))
+	return log
+}
+
+func TestShardSetDeterministicAcrossWorkers(t *testing.T) {
+	base := pingPong(1, 42)
+	for _, workers := range []int{2, 4, 8} {
+		got := pingPong(workers, 42)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d produced %d log lines, workers=1 produced %d", workers, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d diverges at line %d:\n  workers=1: %s\n  workers=%d: %s",
+					workers, i, base[i], workers, got[i])
+			}
+		}
+	}
+}
+
+func TestShardSetCrossShardDelivery(t *testing.T) {
+	log := pingPong(4, 7)
+	var recvs, echoes int
+	for _, line := range log {
+		for k := 0; k < 10; k++ {
+			if contains(line, fmt.Sprintf(" recv%d ", k)) {
+				recvs++
+			}
+			if contains(line, fmt.Sprintf(" echo%d ", k)) {
+				echoes++
+			}
+		}
+	}
+	if recvs != 10 || echoes != 10 {
+		t.Fatalf("expected 10 recv + 10 echo cross-shard callbacks, got %d + %d", recvs, echoes)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestShardSetAdvancesIdleShards(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	ss := NewShardSet([]*Loop{a, b}, time.Millisecond)
+	// Only shard 0 has work, early on; shard 1 is idle throughout.
+	ran := false
+	a.Schedule(100*time.Microsecond, func() { ran = true })
+	ss.RunFor(10 * time.Second)
+	if !ran {
+		t.Fatal("shard 0 event did not run")
+	}
+	if a.Now() != b.Now() || a.Now() != ss.Now() {
+		t.Fatalf("clocks diverged: a=%v b=%v set=%v", a.Now(), b.Now(), ss.Now())
+	}
+	if want := Time(10 * time.Second); ss.Now() != want {
+		t.Fatalf("set time %v, want %v", ss.Now(), want)
+	}
+	// The idle tail must be skipped, not stepped epoch by epoch: with one
+	// event at 100µs and 10s of idle time after it, the epoch count stays
+	// tiny instead of ~10s/1ms = 10000.
+	if ss.Epochs() > 4 {
+		t.Fatalf("idle time was not skipped: %d epochs", ss.Epochs())
+	}
+}
+
+func TestShardSetLookaheadViolationPanics(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	ss := NewShardSet([]*Loop{a, b}, time.Millisecond)
+	a.Schedule(0, func() {
+		// Posting work closer than the lookahead is a wiring bug; the
+		// barrier must catch it rather than corrupt causality.
+		ss.Post(0, 1, a.Now().Add(10*time.Microsecond), func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected lookahead-violation panic")
+		}
+	}()
+	ss.RunFor(time.Second)
+}
+
+func TestShardSeedDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for seed := int64(0); seed < 4; seed++ {
+		for shard := 0; shard < 16; shard++ {
+			s := ShardSeed(seed, shard)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("ShardSeed collision: %d (also produced by case %d)", s, prev)
+			}
+			seen[s] = int(seed)<<8 | shard
+		}
+	}
+	if ShardSeed(42, 3) != ShardSeed(42, 3) {
+		t.Fatal("ShardSeed is not a pure function")
+	}
+}

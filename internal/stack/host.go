@@ -82,6 +82,20 @@ type Host struct {
 	routes RouteTable
 	lookup RouteLookupFunc
 
+	// Route-decision cache for the ip_rt_route hot path. Decisions are
+	// memoized per (dst, boundSrc) for local output and per dst for the
+	// forwarding path, and guarded by a combined generation: the route
+	// table's own counter plus routeGen, which everything outside the
+	// table bumps via InvalidateRoutes (iface/device state, local-address
+	// set, mobility policy). Any bump flushes both maps lazily on the
+	// next lookup, so a cached decision can never outlive the state it
+	// was derived from.
+	routeGen      uint64
+	routeCacheGen uint64
+	routeCache    map[routeCacheKey]RouteDecision
+	fwdCache      map[ip.Addr]Route
+	cacheStats    RouteCacheStats
+
 	handlers   map[ip.Protocol]ProtocolHandler
 	forwarding bool
 	filters    []FilterFunc
@@ -127,6 +141,8 @@ func NewHost(loop *sim.Loop, name string, cfg Config) *Host {
 		handlers:   make(map[ip.Protocol]ProtocolHandler),
 		localAddrs: make(map[ip.Addr]bool),
 		groups:     make(map[ip.Addr]bool),
+		routeCache: make(map[routeCacheKey]RouteDecision),
+		fwdCache:   make(map[ip.Addr]Route),
 	}
 	h.lookup = h.DefaultRouteLookup
 	h.lo = &Iface{host: h, name: "lo", addr: ip.MustParseAddr("127.0.0.1"), prefix: ip.MustParsePrefix("127.0.0.0/8")}
@@ -167,6 +183,9 @@ func (h *Host) registerMetrics(reg *metrics.Registry) {
 		{"stack.icmp.sent", func() uint64 { return h.icmp.Sent }},
 		{"stack.icmp.received", func() uint64 { return h.icmp.Received }},
 		{"stack.icmp.echo_requests", func() uint64 { return h.icmp.EchoRequests }},
+		{"stack.route_cache.hits", func() uint64 { return h.cacheStats.Hits }},
+		{"stack.route_cache.misses", func() uint64 { return h.cacheStats.Misses }},
+		{"stack.route_cache.invalidations", func() uint64 { return h.cacheStats.Invalidations }},
 	} {
 		reg.CounterFunc(m.name, m.fn, host)
 	}
@@ -254,6 +273,9 @@ func (h *Host) AddIface(name string, dev *link.Device, addr ip.Addr, prefix ip.P
 			return []ip.Addr{ifc.addr}
 		})
 	}
+	// Device reachability feeds Iface.Up(), which route decisions depend
+	// on; the decision cache must not survive an up/down/attach change.
+	dev.OnChange(h.InvalidateRoutes)
 	dev.SetReceiver(func(f *link.Frame) {
 		switch f.Type {
 		case link.EtherTypeARP:
@@ -272,6 +294,7 @@ func (h *Host) AddIface(name string, dev *link.Device, addr ip.Addr, prefix ip.P
 		}
 	})
 	h.ifaces = append(h.ifaces, ifc)
+	h.InvalidateRoutes()
 	return ifc
 }
 
@@ -280,6 +303,7 @@ func (h *Host) AddIface(name string, dev *link.Device, addr ip.Addr, prefix ip.P
 func (h *Host) AddVirtualIface(name string, transmit TransmitFunc) *Iface {
 	ifc := &Iface{host: h, name: name, transmit: transmit}
 	h.ifaces = append(h.ifaces, ifc)
+	h.InvalidateRoutes()
 	return ifc
 }
 
@@ -308,10 +332,16 @@ func (h *Host) AddDefaultRoute(gw ip.Addr, ifc *Iface) {
 
 // AddLocalAddr makes the host accept packets addressed to a beyond its
 // interface addresses (the mobile host's home address while away).
-func (h *Host) AddLocalAddr(a ip.Addr) { h.localAddrs[a] = true }
+func (h *Host) AddLocalAddr(a ip.Addr) {
+	h.localAddrs[a] = true
+	h.InvalidateRoutes()
+}
 
 // RemoveLocalAddr undoes AddLocalAddr.
-func (h *Host) RemoveLocalAddr(a ip.Addr) { delete(h.localAddrs, a) }
+func (h *Host) RemoveLocalAddr(a ip.Addr) {
+	delete(h.localAddrs, a)
+	h.InvalidateRoutes()
+}
 
 // JoinGroup subscribes the host to a multicast group; traffic to it is
 // accepted and delivered to protocol handlers.
@@ -320,11 +350,15 @@ func (h *Host) JoinGroup(g ip.Addr) error {
 		return fmt.Errorf("stack: %v is not a multicast group", g)
 	}
 	h.groups[g] = true
+	h.InvalidateRoutes()
 	return nil
 }
 
 // LeaveGroup unsubscribes the host from a multicast group.
-func (h *Host) LeaveGroup(g ip.Addr) { delete(h.groups, g) }
+func (h *Host) LeaveGroup(g ip.Addr) {
+	delete(h.groups, g)
+	h.InvalidateRoutes()
+}
 
 // InGroup reports whether the host has joined g.
 func (h *Host) InGroup(g ip.Addr) bool { return h.groups[g] }
@@ -363,11 +397,83 @@ func (h *Host) SetRouteLookup(fn RouteLookupFunc) {
 		fn = h.DefaultRouteLookup
 	}
 	h.lookup = fn
+	h.InvalidateRoutes()
 }
 
-// RouteLookup invokes the current route-lookup function.
+// routeCacheKey identifies one memoizable lookup: the paper's
+// ip_rt_route() arguments.
+type routeCacheKey struct {
+	dst, src ip.Addr
+}
+
+// RouteCacheStats counts route-decision cache activity. Invalidations is
+// the number of cache flushes actually performed (generation bumps while
+// the cache is already empty cost, and count, nothing).
+type RouteCacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+// RouteCacheStats returns a snapshot of the cache counters.
+func (h *Host) RouteCacheStats() RouteCacheStats { return h.cacheStats }
+
+// InvalidateRoutes discards every cached route decision. The stack calls
+// it on interface and local-address changes; mobility code calls it when
+// policy state outside the routing table shifts (care-of address switch,
+// Mobile Policy Table edit). Route-table mutations are covered by the
+// table's own generation and need no explicit call.
+func (h *Host) InvalidateRoutes() { h.routeGen++ }
+
+// syncRouteCache flushes the decision caches if any guarded state moved
+// since they were filled. Both generations are monotonic, so their sum
+// changes whenever either does.
+func (h *Host) syncRouteCache() {
+	gen := h.routeGen + h.routes.gen
+	if gen == h.routeCacheGen {
+		return
+	}
+	if len(h.routeCache) > 0 || len(h.fwdCache) > 0 {
+		clear(h.routeCache)
+		clear(h.fwdCache)
+		h.cacheStats.Invalidations++
+	}
+	h.routeCacheGen = gen
+}
+
+// RouteLookup invokes the current route-lookup function through the
+// generation-guarded decision cache. Only successful decisions are
+// cached; errors always re-consult the lookup function.
 func (h *Host) RouteLookup(dst, boundSrc ip.Addr) (RouteDecision, error) {
-	return h.lookup(dst, boundSrc)
+	h.syncRouteCache()
+	key := routeCacheKey{dst: dst, src: boundSrc}
+	if dec, ok := h.routeCache[key]; ok {
+		h.cacheStats.Hits++
+		return dec, nil
+	}
+	h.cacheStats.Misses++
+	dec, err := h.lookup(dst, boundSrc)
+	if err == nil {
+		h.routeCache[key] = dec
+	}
+	return dec, err
+}
+
+// lookupForward is the forwarding path's cached table lookup. The cache
+// holds only the matched route; filters, MTU checks, and redirect logic
+// still run per packet.
+func (h *Host) lookupForward(dst ip.Addr) (Route, bool) {
+	h.syncRouteCache()
+	if r, ok := h.fwdCache[dst]; ok {
+		h.cacheStats.Hits++
+		return r, true
+	}
+	h.cacheStats.Misses++
+	r, ok := h.routes.Lookup(dst)
+	if ok {
+		h.fwdCache[dst] = r
+	}
+	return r, ok
 }
 
 // DefaultRouteLookup is the stock lookup: longest-prefix match on the
@@ -416,7 +522,7 @@ func (h *Host) Output(pkt *ip.Packet) error {
 	if pkt.Trace == 0 {
 		pkt.Trace = h.loop.NextSerial()
 	}
-	dec, err := h.lookup(pkt.Dst, pkt.Src)
+	dec, err := h.RouteLookup(pkt.Dst, pkt.Src)
 	if err != nil {
 		h.stats.DropNoRoute++
 		if h.pktlog != nil { // guard: the detail string is costly to format
@@ -522,7 +628,7 @@ func (h *Host) forward(in *Iface, pkt *ip.Packet) {
 		h.icmp.sendError(ip.ICMPTimeExceeded, 0, pkt)
 		return
 	}
-	r, ok := h.routes.Lookup(pkt.Dst)
+	r, ok := h.lookupForward(pkt.Dst)
 	if !ok {
 		h.stats.DropNoRoute++
 		if h.pktlog != nil { // guard: the detail string is costly to format

@@ -74,6 +74,7 @@ func (i *Iface) String() string {
 func (i *Iface) SetAddr(addr ip.Addr, prefix ip.Prefix) {
 	i.addr = addr
 	i.prefix = prefix.Normalize()
+	i.host.InvalidateRoutes()
 }
 
 // MTU returns the largest packet the interface carries, or 0 (unlimited)

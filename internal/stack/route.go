@@ -44,7 +44,18 @@ func (r Route) String() string {
 // beside them, and so do we.
 type RouteTable struct {
 	routes []Route
+
+	// gen counts mutations; it backs both the host's route-decision cache
+	// (any bump invalidates cached decisions) and the memoized Routes()
+	// snapshot (unchanged tables return the same slice without copying).
+	gen     uint64
+	snap    []Route
+	snapGen uint64
 }
+
+// Gen returns the table's mutation generation. It increases on every
+// Add/Delete/DeleteIface that changes the table and never decreases.
+func (t *RouteTable) Gen() uint64 { return t.gen }
 
 // Add inserts a route. Adding an identical (Dst, Gateway, Iface) tuple
 // replaces the previous entry's metric rather than duplicating it.
@@ -56,10 +67,14 @@ func (t *RouteTable) Add(r Route) {
 	for i := range t.routes {
 		e := &t.routes[i]
 		if e.Dst == r.Dst && e.Gateway == r.Gateway && e.Iface == r.Iface {
-			e.Metric = r.Metric
+			if e.Metric != r.Metric {
+				e.Metric = r.Metric
+				t.gen++
+			}
 			return
 		}
 	}
+	t.gen++
 	t.routes = append(t.routes, r)
 	// Keep longest prefixes first, then lowest metric, for a simple
 	// first-match scan.
@@ -85,6 +100,9 @@ func (t *RouteTable) Delete(dst ip.Prefix) bool {
 		kept = append(kept, r)
 	}
 	t.routes = kept
+	if removed {
+		t.gen++
+	}
 	return removed
 }
 
@@ -100,6 +118,9 @@ func (t *RouteTable) DeleteIface(ifc *Iface) int {
 		kept = append(kept, r)
 	}
 	t.routes = kept
+	if n > 0 {
+		t.gen++
+	}
 	return n
 }
 
@@ -114,8 +135,18 @@ func (t *RouteTable) Lookup(dst ip.Addr) (Route, bool) {
 	return Route{}, false
 }
 
-// Routes returns a copy of the table in match order.
-func (t *RouteTable) Routes() []Route { return append([]Route(nil), t.routes...) }
+// Routes returns a snapshot of the table in match order. The snapshot is
+// memoized on the generation counter: while the table is unchanged,
+// repeated calls return the same slice without allocating. Callers must
+// treat the result as read-only; a fresh slice is built after each
+// mutation, so snapshots taken earlier are never overwritten.
+func (t *RouteTable) Routes() []Route {
+	if t.snap == nil || t.snapGen != t.gen {
+		t.snap = append(make([]Route, 0, len(t.routes)), t.routes...)
+		t.snapGen = t.gen
+	}
+	return t.snap
+}
 
 // Len returns the number of entries.
 func (t *RouteTable) Len() int { return len(t.routes) }

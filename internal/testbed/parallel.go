@@ -1,0 +1,130 @@
+package testbed
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"mosquitonet/internal/metrics"
+)
+
+// The parallel experiment measures what the shard-parallel scheduler buys
+// on this machine: it runs the scale fleet once sequentially (workers=1)
+// and once on a worker pool, checks the two runs are byte-identical (rows
+// and metrics snapshots — determinism is a hard invariant, not a best
+// effort), and reports wall-clock time for each.
+//
+// Wall-clock numbers are machine-dependent and excluded from the
+// deterministic portion of the export contract: two runs of this
+// experiment produce identical Rows except for the wall_ms_* fields and
+// speedup. runtime.NumCPU is recorded alongside so a reader can tell
+// whether a speedup was even possible — on a single-core machine the
+// parallel run measures pure coordination overhead.
+
+// ParallelRow is one fleet size's comparison between sequential and
+// parallel execution of the identical workload.
+type ParallelRow struct {
+	Hosts      int     `json:"hosts"`
+	Shards     int     `json:"shards"`
+	Workers    int     `json:"workers"`
+	NumCPU     int     `json:"num_cpu"`
+	Events     uint64  `json:"events"`
+	Epochs     uint64  `json:"epochs"`
+	Identical  bool    `json:"identical"`
+	WallMsSeq  float64 `json:"wall_ms_workers1"`
+	WallMsPar  float64 `json:"wall_ms_workersN"`
+	Speedup    float64 `json:"speedup"`
+	EventsPerS float64 `json:"events_per_wall_second_parallel"`
+}
+
+// ParallelResult is the full parallel experiment.
+type ParallelResult struct {
+	Rows   []ParallelRow
+	Export *Export
+}
+
+func (r *ParallelResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel: sharded scale fleet, workers=1 vs workers=N (%d CPUs)\n", runtime.NumCPU())
+	fmt.Fprintf(&b, "  %6s  %6s  %7s  %10s  %9s  %10s  %10s  %7s  %s\n",
+		"hosts", "shards", "workers", "events", "identical", "seq-ms", "par-ms", "speedup", "ev/wall-s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %6d  %6d  %7d  %10d  %9v  %10.1f  %10.1f  %6.2fx  %.0f\n",
+			row.Hosts, row.Shards, row.Workers, row.Events, row.Identical,
+			row.WallMsSeq, row.WallMsPar, row.Speedup, row.EventsPerS)
+	}
+	return b.String()
+}
+
+// RunParallel compares sequential and parallel execution of the scale
+// fleet at each size. The deterministic outputs must match byte-for-byte
+// between the two runs; a mismatch is returned as an error, never papered
+// over.
+func RunParallel(seed int64, fleets []int, workers int) (*ParallelResult, error) {
+	res := &ParallelResult{Export: &Export{Experiment: "parallel", Seed: seed}}
+	for _, n := range fleets {
+		//lint:allow nowallclock measuring the scheduler's wall-clock speedup is this experiment's purpose; simulated behaviour never reads these values
+		t0 := time.Now()
+		rowSeq, snapSeq, err := RunScaleFleetWorkers(seed, n, 1)
+		if err != nil {
+			return nil, err
+		}
+		//lint:allow nowallclock wall-clock measurement of the sequential run
+		seqWall := time.Since(t0)
+
+		//lint:allow nowallclock wall-clock measurement of the parallel run
+		t1 := time.Now()
+		rowPar, snapPar, err := RunScaleFleetWorkers(seed, n, workers)
+		if err != nil {
+			return nil, err
+		}
+		//lint:allow nowallclock wall-clock measurement of the parallel run
+		parWall := time.Since(t1)
+
+		identical, err := exportsEqual(rowSeq, snapSeq, rowPar, snapPar)
+		if err != nil {
+			return nil, err
+		}
+		if !identical {
+			return nil, fmt.Errorf("parallel: workers=%d diverged from workers=1 at %d hosts", workers, n)
+		}
+
+		row := ParallelRow{
+			Hosts:      n,
+			Shards:     rowSeq.Shards,
+			Workers:    workers,
+			NumCPU:     runtime.NumCPU(),
+			Events:     rowSeq.Events,
+			Epochs:     rowSeq.Epochs,
+			Identical:  identical,
+			WallMsSeq:  float64(seqWall.Microseconds()) / 1000,
+			WallMsPar:  float64(parWall.Microseconds()) / 1000,
+			EventsPerS: float64(rowSeq.Events) / parWall.Seconds(),
+		}
+		if parWall > 0 {
+			row.Speedup = seqWall.Seconds() / parWall.Seconds()
+		}
+		res.Rows = append(res.Rows, row)
+		res.Export.Snapshots = append(res.Export.Snapshots, snapSeq)
+	}
+	res.Export.Rows = res.Rows
+	return res, nil
+}
+
+// exportsEqual compares the deterministic outputs of two fleet runs
+// byte-for-byte through their JSON encodings.
+func exportsEqual(rowA ScaleRow, snapA *metrics.Snapshot, rowB ScaleRow, snapB *metrics.Snapshot) (bool, error) {
+	if rowA != rowB {
+		return false, nil
+	}
+	var ba, bb bytes.Buffer
+	if err := snapA.WriteJSON(&ba); err != nil {
+		return false, err
+	}
+	if err := snapB.WriteJSON(&bb); err != nil {
+		return false, err
+	}
+	return bytes.Equal(ba.Bytes(), bb.Bytes()), nil
+}

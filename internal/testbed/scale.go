@@ -16,42 +16,78 @@ import (
 
 // The scale experiment measures the simulator itself rather than the
 // paper's protocol: N mobile hosts roam concurrently between two foreign
-// subnets while exchanging UDP echo traffic with a correspondent through
-// the home agent. It is the regime where per-event and per-packet
-// allocation costs dominate, so it doubles as the fleet-scale performance
-// baseline: BenchmarkScaleRoaming drives the same harness and reports
-// wall-clock ns/op, B/op, and allocs/op on top of the deterministic
-// virtual-time quantities recorded here.
+// subnets while exchanging UDP echo traffic with correspondents. It is
+// the regime where per-event and per-packet costs dominate, so it doubles
+// as the fleet-scale performance baseline: BenchmarkScaleRoaming drives
+// the same harness and reports wall-clock ns/op, B/op, and allocs/op on
+// top of the deterministic virtual-time quantities recorded here.
+//
+// The topology is built for shard-parallel execution (sim.ShardSet): the
+// fleet is partitioned into independent campus shards — each with its own
+// home/department/campus subnets, router, collocated home agent, and a
+// local correspondent — joined to a hub shard (backbone router plus a
+// backbone correspondent) only by point-to-point trunks whose propagation
+// delay provides the conservative lookahead. Most traffic stays inside a
+// shard; every fourth probe crosses the backbone, exercising the trunk
+// handoff path. The shard count is a pure function of the fleet size, so
+// results are byte-identical at any worker count, including workers=1.
 //
 // Telemetry configuration is deliberately asymmetric with the Figure 5
-// testbed: the metrics registry is enabled (the export needs counters) but
-// the packet-lifecycle log is NOT. A fleet-scale perf run cannot afford
-// per-hop trace records, and running without a packet log also exercises
-// every layer's disabled-telemetry path.
+// testbed: per-shard metrics registries are enabled (the export needs
+// counters, merged deterministically at the end) but the packet-lifecycle
+// log is NOT. A fleet-scale perf run cannot afford per-hop trace records,
+// and running without a packet log also exercises every layer's
+// disabled-telemetry path.
 
 // Scale experiment shape. Kept modest so one fleet fits a CI smoke run;
 // the event count still reaches the millions at 1000 hosts because every
 // frame on a shared Ethernet segment fans out to all attached devices.
 const (
-	scaleDuration      = 8 * time.Second         // virtual runtime per fleet
-	scaleSwitchPeriod  = 2500 * time.Millisecond // roam cadence per host
-	scaleProbeInterval = time.Second             // echo probe cadence per host
+	scaleDuration      = 8 * time.Second        // virtual runtime per fleet
+	scaleSwitchPeriod  = 4 * time.Second        // roam cadence per host
+	scaleProbeInterval = 250 * time.Millisecond // echo probe cadence per host
 	scaleProbeStart    = 500 * time.Millisecond
+	scaleCrossEvery    = 4 // every 4th probe targets the backbone correspondent
 )
+
+// scaleShardCount maps fleet size to the number of campus shards (the hub
+// shard comes on top). Derived from topology size only — never from the
+// worker count — so shard assignment, per-shard seeds, and results are
+// identical no matter how many goroutines execute the shards.
+func scaleShardCount(n int) int {
+	switch {
+	case n >= 256:
+		return 8
+	case n >= 64:
+		return 4
+	case n >= 16:
+		return 2
+	default:
+		return 1
+	}
+}
 
 // ScaleRow is one fleet size's deterministic outcome. Every field derives
 // from virtual time and seeded randomness only, so BENCH_scale.json is
-// byte-identical across runs with the same seed.
+// byte-identical across runs with the same seed at any worker count.
 type ScaleRow struct {
 	Hosts            int     `json:"hosts"`
+	Shards           int     `json:"shards"`
 	Events           uint64  `json:"events"`
 	VirtualSeconds   float64 `json:"virtual_seconds"`
 	EventsPerVirtSec float64 `json:"events_per_virtual_second"`
 	QueueHighWater   int     `json:"queue_high_water"`
+	Epochs           uint64  `json:"epochs"`
+	CrossFrames      uint64  `json:"cross_shard_frames"`
 	Registrations    uint64  `json:"registrations"`
 	ProbesSent       uint64  `json:"probes_sent"`
 	ProbesEchoed     uint64  `json:"probes_echoed"`
 	Encapsulated     uint64  `json:"encapsulated"`
+
+	RouteCacheHits          uint64  `json:"route_cache_hits"`
+	RouteCacheMisses        uint64  `json:"route_cache_misses"`
+	RouteCacheInvalidations uint64  `json:"route_cache_invalidations"`
+	RouteCacheHitRate       float64 `json:"route_cache_hit_rate"`
 }
 
 // ScaleResult is the full scale experiment: one row per fleet size.
@@ -63,21 +99,29 @@ type ScaleResult struct {
 func (r *ScaleResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scale: concurrent roaming fleets (%v virtual per fleet)\n", scaleDuration)
-	fmt.Fprintf(&b, "  %6s  %10s  %12s  %8s  %6s  %7s  %7s\n",
-		"hosts", "events", "ev/virt-sec", "queue-hw", "regs", "probes", "echoed")
+	fmt.Fprintf(&b, "  %6s  %6s  %10s  %12s  %8s  %6s  %7s  %7s  %7s\n",
+		"hosts", "shards", "events", "ev/virt-sec", "queue-hw", "regs", "probes", "echoed", "cache%")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "  %6d  %10d  %12.0f  %8d  %6d  %7d  %7d\n",
-			row.Hosts, row.Events, row.EventsPerVirtSec, row.QueueHighWater,
-			row.Registrations, row.ProbesSent, row.ProbesEchoed)
+		fmt.Fprintf(&b, "  %6d  %6d  %10d  %12.0f  %8d  %6d  %7d  %7d  %6.1f%%\n",
+			row.Hosts, row.Shards, row.Events, row.EventsPerVirtSec, row.QueueHighWater,
+			row.Registrations, row.ProbesSent, row.ProbesEchoed, 100*row.RouteCacheHitRate)
 	}
 	return b.String()
 }
 
-// RunScale runs the roaming-fleet scale experiment for each fleet size.
+// RunScale runs the roaming-fleet scale experiment for each fleet size,
+// sequentially (workers=1).
 func RunScale(seed int64, fleets []int) (*ScaleResult, error) {
+	return RunScaleWorkers(seed, fleets, 1)
+}
+
+// RunScaleWorkers runs the scale experiment with the given worker-pool
+// size. Results are byte-identical at any worker count; only wall-clock
+// time may differ.
+func RunScaleWorkers(seed int64, fleets []int, workers int) (*ScaleResult, error) {
 	res := &ScaleResult{Export: &Export{Experiment: "scale", Seed: seed}}
 	for _, n := range fleets {
-		row, snap, err := RunScaleFleet(seed, n)
+		row, snap, err := RunScaleFleetWorkers(seed, n, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -95,138 +139,276 @@ func scaleAddr(pfx ip.Prefix, i int) ip.Addr {
 	return ip.Addr{pfx.Addr[0], pfx.Addr[1], byte(1 + i/200), byte(1 + i%200)}
 }
 
-// RunScaleFleet runs one fleet of n roaming mobile hosts and returns its
-// deterministic row plus a compact metrics snapshot (loop-level metrics
-// only; a full per-host snapshot at 1000 hosts would dwarf the export).
+// Fixed backbone addressing: the hub shard's subnet and its well-known
+// occupants.
+var (
+	scaleBackbonePfx = ip.Prefix{Addr: ip.Addr{10, 200, 0, 0}, Bits: 16}
+	scaleHubAddr     = ip.Addr{10, 200, 0, 1}
+	scaleBackboneCH  = ip.Addr{10, 200, 0, 7}
+)
+
+// scaleShardPrefix returns shard k's subnet plane: which = 0 home,
+// 1 department, 2 campus.
+func scaleShardPrefix(k, which int) ip.Prefix {
+	return ip.Prefix{Addr: ip.Addr{10, byte(10 + 3*k + which), 0, 0}, Bits: 16}
+}
+
+func scaleRouterAddr(k, which int) ip.Addr {
+	a := scaleShardPrefix(k, which).Addr
+	a[3] = 1
+	return a
+}
+
+// RunScaleFleet runs one fleet of n roaming mobile hosts sequentially and
+// returns its deterministic row plus a compact metrics snapshot.
 func RunScaleFleet(seed int64, n int) (ScaleRow, *metrics.Snapshot, error) {
-	loop := sim.New(seed + int64(n))
-	reg := metrics.Enable(loop)
-	defer metrics.Release(loop)
+	return RunScaleFleetWorkers(seed, n, 1)
+}
 
-	homeNet := link.NewNetwork(loop, "scale-home", link.Ethernet())
-	deptNet := link.NewNetwork(loop, "scale-dept", link.Ethernet())
-	campusNet := link.NewNetwork(loop, "scale-campus", link.Ethernet())
+// RunScaleFleetWorkers runs one fleet of n roaming mobile hosts on a
+// sharded topology executed by the given number of worker goroutines, and
+// returns its deterministic row plus a compact metrics snapshot (loop-
+// level metrics only, merged across shards; a full per-host snapshot at
+// 1000 hosts would dwarf the export).
+func RunScaleFleetWorkers(seed int64, n, workers int) (ScaleRow, *metrics.Snapshot, error) {
+	numFleet := scaleShardCount(n)
+	numShards := numFleet + 1
+	hub := numFleet // the hub shard's index
 
-	// Router with the home agent collocated, as in the Figure 5 testbed.
-	router := stack.NewHost(loop, "router", stack.Config{
+	loops := make([]*sim.Loop, numShards)
+	regs := make([]*metrics.Registry, numShards)
+	for k := range loops {
+		loops[k] = sim.New(sim.ShardSeed(seed+int64(n), k))
+		regs[k] = metrics.Enable(loops[k])
+	}
+	defer func() {
+		for _, lp := range loops {
+			metrics.Release(lp)
+		}
+	}()
+
+	trunk := link.Backbone()
+	ss := sim.NewShardSet(loops, trunk.MinLatency())
+	ss.SetWorkers(workers)
+
+	addRouterIface := func(h *stack.Host, net *link.Network, addr ip.Addr, pfx ip.Prefix, opts stack.IfaceOpts) *stack.Iface {
+		d := link.NewDevice(h.Loop(), "r-"+net.Name(), 0, 0)
+		d.Attach(net)
+		d.BringUp(nil)
+		ifc := h.AddIface("r-"+net.Name(), d, addr, pfx, opts)
+		h.ConnectRoute(ifc)
+		return ifc
+	}
+
+	// cacheHosts collects every stack host in deterministic construction
+	// order, for summing route-cache counters at the end.
+	var cacheHosts []*stack.Host
+
+	// Hub shard: backbone router plus the cross-shard correspondent.
+	hubLoop := loops[hub]
+	backboneNet := link.NewNetwork(hubLoop, "scale-backbone", link.Ethernet())
+	hubRouter := stack.NewHost(hubLoop, "hub", stack.Config{
 		InputDelay:   HAInputDelay,
 		OutputDelay:  HAOutputDelay,
 		ForwardDelay: RouterForwardDelay,
 	})
-	addRouterIface := func(net *link.Network, addr ip.Addr, pfx ip.Prefix) *stack.Iface {
-		d := link.NewDevice(loop, "r-"+net.Name(), 0, 0)
-		d.Attach(net)
-		d.BringUp(nil)
-		ifc := router.AddIface("r-"+net.Name(), d, addr, pfx, stack.IfaceOpts{})
-		router.ConnectRoute(ifc)
-		return ifc
-	}
-	homeIfc := addRouterIface(homeNet, RouterHomeAddr, HomePrefix)
-	addRouterIface(deptNet, RouterDeptAddr, DeptPrefix)
-	addRouterIface(campusNet, RouterCampusAddr, CampusPrefix)
-	router.SetForwarding(true)
-	routerTS := transport.NewStack(router)
-	ha, err := mip.NewHomeAgent(routerTS, mip.HomeAgentConfig{
-		HomeIface:       homeIfc,
-		HomePrefix:      HomePrefix,
-		ProcessingDelay: HAProcessing,
+	addRouterIface(hubRouter, backboneNet, scaleHubAddr, scaleBackbonePfx, stack.IfaceOpts{})
+	hubRouter.SetForwarding(true)
+	cacheHosts = append(cacheHosts, hubRouter)
+
+	// Per-shard counters, indexed by shard so each is written only by its
+	// own shard's goroutine during epochs.
+	probesSent := make([]uint64, numShards)
+	probesEchoed := make([]uint64, numShards)
+
+	bbCH := newEndHost(hubLoop, backboneNet, "bb-ch", scaleBackboneCH, scaleBackbonePfx, scaleHubAddr)
+	var bbSrv *transport.UDPSocket
+	bbSrv, err := bbCH.UDP(ip.Unspecified, 7, func(d transport.Datagram) {
+		bbSrv.SendTo(d.From, d.FromPort, d.Payload)
 	})
 	if err != nil {
 		return ScaleRow{}, nil, err
 	}
+	cacheHosts = append(cacheHosts, bbCH.Host())
 
-	// Correspondent host: a UDP echo service on the department subnet.
-	ch := newEndHost(loop, deptNet, "ch", CHAddr, DeptPrefix, RouterDeptAddr)
-	var echoSrv *transport.UDPSocket
-	echoSrv, err = ch.UDP(ip.Unspecified, 7, func(d transport.Datagram) {
-		echoSrv.SendTo(d.From, d.FromPort, d.Payload)
-	})
-	if err != nil {
-		return ScaleRow{}, nil, err
-	}
-
-	var probesSent, probesEchoed uint64
 	type scaleMH struct {
 		m    *mip.MobileHost
 		mis  [2]*mip.ManagedIface
 		sock *transport.UDPSocket
 	}
 	fleet := make([]*scaleMH, 0, n)
-	for i := 0; i < n; i++ {
-		h := stack.NewHost(loop, fmt.Sprintf("mh%04d", i), stack.Config{
-			InputDelay:  MHProcDelay,
-			OutputDelay: MHProcDelay,
+	has := make([]*mip.HomeAgent, 0, numFleet)
+
+	for k := 0; k < numFleet; k++ {
+		k := k
+		loop := loops[k]
+		homePfx := scaleShardPrefix(k, 0)
+		deptPfx := scaleShardPrefix(k, 1)
+		campusPfx := scaleShardPrefix(k, 2)
+		routerHome := scaleRouterAddr(k, 0)
+		routerDept := scaleRouterAddr(k, 1)
+		routerCampus := scaleRouterAddr(k, 2)
+		chLocal := deptPfx.Addr
+		chLocal[3] = 7
+
+		homeNet := link.NewNetwork(loop, fmt.Sprintf("scale-home%d", k), link.Ethernet())
+		deptNet := link.NewNetwork(loop, fmt.Sprintf("scale-dept%d", k), link.Ethernet())
+		campusNet := link.NewNetwork(loop, fmt.Sprintf("scale-campus%d", k), link.Ethernet())
+
+		// Shard router with the home agent collocated, as in the Figure 5
+		// testbed.
+		router := stack.NewHost(loop, fmt.Sprintf("router%d", k), stack.Config{
+			InputDelay:   HAInputDelay,
+			OutputDelay:  HAOutputDelay,
+			ForwardDelay: RouterForwardDelay,
 		})
-		ts := transport.NewStack(h)
-		m := mip.NewMobileHost(ts, mip.MobileHostConfig{
-			HomeAddr:   scaleAddr(HomePrefix, i),
-			HomePrefix: HomePrefix,
-			HomeAgent:  RouterHomeAddr,
-			Lifetime:   RegLifetime,
+		homeIfc := addRouterIface(router, homeNet, routerHome, homePfx, stack.IfaceOpts{})
+		addRouterIface(router, deptNet, routerDept, deptPfx, stack.IfaceOpts{})
+		addRouterIface(router, campusNet, routerCampus, campusPfx, stack.IfaceOpts{})
+		router.SetForwarding(true)
+		cacheHosts = append(cacheHosts, router)
+		ha, err := mip.NewHomeAgent(transport.NewStack(router), mip.HomeAgentConfig{
+			HomeIface:       homeIfc,
+			HomePrefix:      homePfx,
+			ProcessingDelay: HAProcessing,
 		})
-		sm := &scaleMH{m: m}
-		for k, net := range []*link.Network{deptNet, campusNet} {
-			d := link.NewDevice(loop, fmt.Sprintf("eth%d", k), 0, 0)
-			d.Attach(net)
-			pfx, gw := DeptPrefix, RouterDeptAddr
-			if k == 1 {
-				pfx, gw = CampusPrefix, RouterCampusAddr
-			}
-			mi, err := m.AddInterface(fmt.Sprintf("eth%d", k), d, false, &mip.StaticConfig{
-				Addr:    scaleAddr(pfx, i),
-				Prefix:  pfx,
-				Gateway: gw,
-			})
-			if err != nil {
-				return ScaleRow{}, nil, err
-			}
-			sm.mis[k] = mi
-		}
-		sock, err := ts.UDP(ip.Unspecified, 0, func(transport.Datagram) { probesEchoed++ })
 		if err != nil {
 			return ScaleRow{}, nil, err
 		}
-		sm.sock = sock
-		fleet = append(fleet, sm)
+		has = append(has, ha)
+
+		// Trunk to the hub: one single-device stub network per side, with
+		// transmit handed off across the shard boundary at the barrier.
+		trunkPfx := ip.Prefix{Addr: ip.Addr{10, 250, byte(k), 0}, Bits: 24}
+		hubSide := ip.Addr{10, 250, byte(k), 1}
+		shardSide := ip.Addr{10, 250, byte(k), 2}
+		shardTrunkNet := link.NewNetwork(loop, fmt.Sprintf("scale-trunk%d-s", k), trunk)
+		hubTrunkNet := link.NewNetwork(hubLoop, fmt.Sprintf("scale-trunk%d-h", k), trunk)
+		shardTrunkNet.SetHandoff(func(f *link.Frame, at sim.Time) {
+			ss.Post(k, hub, at, func() { hubTrunkNet.DeliverLocal(f) })
+		})
+		hubTrunkNet.SetHandoff(func(f *link.Frame, at sim.Time) {
+			ss.Post(hub, k, at, func() { shardTrunkNet.DeliverLocal(f) })
+		})
+		trunkIfc := addRouterIface(router, shardTrunkNet, shardSide, trunkPfx, stack.IfaceOpts{PointToPoint: true})
+		hubIfc := addRouterIface(hubRouter, hubTrunkNet, hubSide, trunkPfx, stack.IfaceOpts{PointToPoint: true})
+		router.AddDefaultRoute(hubSide, trunkIfc)
+		for _, pfx := range []ip.Prefix{homePfx, deptPfx, campusPfx} {
+			hubRouter.Routes().Add(stack.Route{Dst: pfx, Gateway: shardSide, Iface: hubIfc})
+		}
+
+		// Local correspondent: a UDP echo service on the department subnet.
+		ch := newEndHost(loop, deptNet, fmt.Sprintf("ch%d", k), chLocal, deptPfx, routerDept)
+		var echoSrv *transport.UDPSocket
+		echoSrv, err = ch.UDP(ip.Unspecified, 7, func(d transport.Datagram) {
+			echoSrv.SendTo(d.From, d.FromPort, d.Payload)
+		})
+		if err != nil {
+			return ScaleRow{}, nil, err
+		}
+		cacheHosts = append(cacheHosts, ch.Host())
+
+		// This shard's slice of the fleet, contiguous in global host index.
+		lo, hi := k*n/numFleet, (k+1)*n/numFleet
+		for i := lo; i < hi; i++ {
+			j := i - lo
+			h := stack.NewHost(loop, fmt.Sprintf("mh%04d", i), stack.Config{
+				InputDelay:  MHProcDelay,
+				OutputDelay: MHProcDelay,
+			})
+			ts := transport.NewStack(h)
+			m := mip.NewMobileHost(ts, mip.MobileHostConfig{
+				HomeAddr:   scaleAddr(homePfx, j),
+				HomePrefix: homePfx,
+				HomeAgent:  routerHome,
+				Lifetime:   RegLifetime,
+			})
+			sm := &scaleMH{m: m}
+			for d, net := range []*link.Network{deptNet, campusNet} {
+				dev := link.NewDevice(loop, fmt.Sprintf("eth%d", d), 0, 0)
+				dev.Attach(net)
+				pfx, gw := deptPfx, routerDept
+				if d == 1 {
+					pfx, gw = campusPfx, routerCampus
+				}
+				mi, err := m.AddInterface(fmt.Sprintf("eth%d", d), dev, false, &mip.StaticConfig{
+					Addr:    scaleAddr(pfx, j),
+					Prefix:  pfx,
+					Gateway: gw,
+				})
+				if err != nil {
+					return ScaleRow{}, nil, err
+				}
+				sm.mis[d] = mi
+			}
+			sock, err := ts.UDP(ip.Unspecified, 0, func(transport.Datagram) { probesEchoed[k]++ })
+			if err != nil {
+				return ScaleRow{}, nil, err
+			}
+			sm.sock = sock
+			fleet = append(fleet, sm)
+			cacheHosts = append(cacheHosts, h)
+
+			// Roam: each host attaches to the department net, then
+			// alternates between the two foreign subnets on a fixed
+			// cadence. Starts are staggered so registrations are a
+			// stream, not a lockstep burst.
+			stagger := time.Duration(i) * 300 * time.Microsecond
+			for r := 0; time.Duration(r)*scaleSwitchPeriod < scaleDuration; r++ {
+				which := r % 2
+				loop.Schedule(stagger+time.Duration(r)*scaleSwitchPeriod, func() {
+					sm.m.ConnectForeign(sm.mis[which], nil)
+				})
+			}
+			// Probes: mostly to the shard-local correspondent; every
+			// scaleCrossEvery-th crosses the backbone trunk to the hub's.
+			for p := 0; scaleProbeStart+time.Duration(p)*scaleProbeInterval < scaleDuration; p++ {
+				dst := chLocal
+				if p%scaleCrossEvery == scaleCrossEvery-1 {
+					dst = scaleBackboneCH
+				}
+				loop.Schedule(stagger+scaleProbeStart+time.Duration(p)*scaleProbeInterval, func() {
+					probesSent[k]++
+					sm.sock.SendTo(dst, 7, []byte("scale-probe"))
+				})
+			}
+		}
 	}
 
-	// Roam: each host attaches to the department net, then alternates
-	// between the two foreign subnets on a fixed cadence. Starts are
-	// staggered so registrations are a stream, not a lockstep burst.
-	for i, sm := range fleet {
-		sm := sm
-		stagger := time.Duration(i) * 300 * time.Microsecond
-		for k := 0; time.Duration(k)*scaleSwitchPeriod < scaleDuration; k++ {
-			which := k % 2
-			loop.Schedule(stagger+time.Duration(k)*scaleSwitchPeriod, func() {
-				sm.m.ConnectForeign(sm.mis[which], nil)
-			})
-		}
-		for k := 0; scaleProbeStart+time.Duration(k)*scaleProbeInterval < scaleDuration; k++ {
-			loop.Schedule(stagger+scaleProbeStart+time.Duration(k)*scaleProbeInterval, func() {
-				probesSent++
-				sm.sock.SendTo(CHAddr, 7, []byte("scale-probe"))
-			})
-		}
-	}
-
-	loop.RunFor(scaleDuration)
+	ss.RunFor(scaleDuration)
 
 	row := ScaleRow{
 		Hosts:            n,
-		Events:           loop.Executed(),
+		Shards:           numShards,
+		Events:           ss.Executed(),
 		VirtualSeconds:   scaleDuration.Seconds(),
-		EventsPerVirtSec: float64(loop.Executed()) / scaleDuration.Seconds(),
-		QueueHighWater:   loop.QueueHighWater(),
-		ProbesSent:       probesSent,
-		ProbesEchoed:     probesEchoed,
+		EventsPerVirtSec: float64(ss.Executed()) / scaleDuration.Seconds(),
+		QueueHighWater:   ss.QueueHighWater(),
+		Epochs:           ss.Epochs(),
+		CrossFrames:      ss.CrossDelivered(),
+	}
+	for k := 0; k < numShards; k++ {
+		row.ProbesSent += probesSent[k]
+		row.ProbesEchoed += probesEchoed[k]
 	}
 	for _, sm := range fleet {
 		row.Registrations += sm.m.Stats().Registrations
+		row.Encapsulated += sm.m.Tunnel().Stats().Encapsulated
 	}
-	row.Encapsulated = ha.Tunnel().Stats().Encapsulated
+	for _, ha := range has {
+		row.Encapsulated += ha.Tunnel().Stats().Encapsulated
+	}
+	for _, h := range cacheHosts {
+		st := h.RouteCacheStats()
+		row.RouteCacheHits += st.Hits
+		row.RouteCacheMisses += st.Misses
+		row.RouteCacheInvalidations += st.Invalidations
+	}
+	if total := row.RouteCacheHits + row.RouteCacheMisses; total > 0 {
+		row.RouteCacheHitRate = float64(row.RouteCacheHits) / float64(total)
+	}
 
-	snap := filterSnapshot(reg.Snapshot(), "sim.loop.")
+	snap := filterSnapshot(metrics.MergedSnapshot(ss.Now(), regs...), "sim.loop.")
 	snap.Name = fmt.Sprintf("scale-%dhosts", n)
 	return row, snap, nil
 }

@@ -46,6 +46,10 @@ type (
 	Time = sim.Time
 	// Timer is a cancellable scheduled event.
 	Timer = sim.Timer
+	// ShardSet executes several loops in lockstep epochs bounded by a
+	// conservative lookahead, optionally on a pool of worker goroutines;
+	// results are byte-identical at any worker count.
+	ShardSet = sim.ShardSet
 	// Tracer records structured simulation events.
 	Tracer = trace.Tracer
 )
@@ -216,6 +220,11 @@ const (
 var (
 	// NewLoop creates a deterministic simulation loop.
 	NewLoop = sim.New
+
+	// NewShardSet groups independent loops for deterministic parallel
+	// execution; ShardSeed derives a shard's RNG stream from a base seed.
+	NewShardSet = sim.NewShardSet
+	ShardSeed   = sim.ShardSeed
 	// NewTracer creates an event tracer.
 	NewTracer = trace.New
 
@@ -277,6 +286,12 @@ var (
 	RunA4         = testbed.RunA4
 	RunThroughput = testbed.RunThroughput
 	RunScale      = testbed.RunScale
+
+	// RunScaleWorkers and RunParallel drive the sharded scale fleet on a
+	// worker pool: same byte-identical results at any worker count, less
+	// wall-clock on multi-core machines.
+	RunScaleWorkers = testbed.RunScaleWorkers
+	RunParallel     = testbed.RunParallel
 
 	// NewCapture builds the packet-capture facility (the simulator's
 	// tcpdump); FormatFrame and FormatPacket decode individual frames.
