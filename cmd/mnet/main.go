@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	mnet [-seed N] [-trace] [-interval 250ms] [-metrics 5s]
+//	mnet [-seed N] [-trace] [-interval 250ms] [-metrics 5s] [-chains]
 package main
 
 import (
@@ -20,6 +20,8 @@ import (
 	mosquitonet "mosquitonet"
 	"mosquitonet/internal/capture"
 	"mosquitonet/internal/link"
+	"mosquitonet/internal/pipeline"
+	"mosquitonet/internal/stack"
 	"mosquitonet/internal/testbed"
 	"mosquitonet/internal/trace"
 )
@@ -30,6 +32,7 @@ func main() {
 	dump := flag.Bool("dump", false, "print a tcpdump-style decode of every frame on every network")
 	interval := flag.Duration("interval", 250*time.Millisecond, "correspondent stream interval")
 	metricsEvery := flag.Duration("metrics", 0, "print the telemetry table every interval of virtual time (0 = only at the end)")
+	chains := flag.Bool("chains", false, "print each host's pipeline hook chains (iptables -L style) once the scenario is wired up")
 	flag.Parse()
 
 	tb := testbed.New(*seed)
@@ -88,6 +91,20 @@ func main() {
 	step("attach at home", func(done func(error)) {
 		tb.MH.ConnectHome(tb.Eth, testbed.RouterHomeAddr, done)
 	})
+
+	if *chains {
+		for _, h := range []*stack.Host{tb.MH.Host(), tb.HA.Host()} {
+			fmt.Printf("-- pipeline: %s\n", h.Name())
+			for s := pipeline.Stage(0); s < pipeline.NumStages; s++ {
+				fmt.Print(h.Hooks(s).String())
+			}
+			fmt.Printf("Chain route-resolution (%d hooks)\n", h.RouteHooks().Len())
+			for _, name := range h.RouteHooks().Names() {
+				fmt.Printf("          %s\n", name)
+			}
+			fmt.Println()
+		}
+	}
 
 	probe, err := testbed.NewEchoProbe(tb.Loop, tb.CH, tb.MHTS, testbed.MHHomeAddr, 7, *interval)
 	if err != nil {

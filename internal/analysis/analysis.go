@@ -7,6 +7,7 @@ package analysis
 import (
 	"mosquitonet/internal/analysis/dropaccounting"
 	"mosquitonet/internal/analysis/framework"
+	"mosquitonet/internal/analysis/hookorder"
 	"mosquitonet/internal/analysis/nosharedstate"
 	"mosquitonet/internal/analysis/nowallclock"
 	"mosquitonet/internal/analysis/seededrand"
@@ -23,5 +24,6 @@ func All() []*framework.Analyzer {
 		sortedrange.Analyzer,
 		dropaccounting.Analyzer,
 		wireroundtrip.Analyzer,
+		hookorder.Analyzer,
 	}
 }

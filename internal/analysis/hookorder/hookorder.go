@@ -1,0 +1,177 @@
+// Package hookorder enforces the pipeline's determinism contract at the
+// registration site.
+//
+// Hook chains traverse in (priority, name) order, so a registration that
+// leaves Priority to the zero value is ordered by accident: it silently
+// lands at priority 0 and its position relative to future hooks is
+// whatever the name sort happens to produce. Likewise a registration
+// missing Name cannot be deregistered or replaced, and two registrations
+// on the same chain with the same (priority, name) key shadow each other
+// (Register replaces by name). All three are almost always mistakes, so
+// the analyzer flags them:
+//
+//   - a Hook composite literal passed to Register must use keyed fields;
+//   - the literal must set Name and Priority explicitly (0 is fine, but
+//     it must be written);
+//   - two registrations on the same chain expression within one function
+//     must not repeat a constant (priority, name) key.
+//
+// Deliberate replacement of an earlier hook is what the //lint:allow
+// escape hatch is for. Registrations whose name or priority is not a
+// compile-time constant (e.g. "decap:"+vifName) are exempt from the
+// duplicate check — only the statically decidable collisions are flagged.
+package hookorder
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"mosquitonet/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "hookorder",
+	Doc:  "flag pipeline hook registrations without explicit Name/Priority, and duplicate (chain, priority, name) keys",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// regKey identifies one statically-known registration within a function.
+type regKey struct {
+	chain    string
+	name     string
+	priority string
+}
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	seen := make(map[regKey]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Register" || len(call.Args) != 1 {
+			return true
+		}
+		lit := hookLiteral(call.Args[0])
+		if lit == nil {
+			return true
+		}
+
+		var nameExpr, priExpr ast.Expr
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				pass.Reportf(lit.Pos(), "hook registration must use keyed fields so Name and Priority are explicit")
+				return true
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "Name":
+				nameExpr = kv.Value
+			case "Priority":
+				priExpr = kv.Value
+			}
+		}
+		if nameExpr == nil {
+			pass.Reportf(lit.Pos(), "hook registered without an explicit Name; unnamed hooks cannot be replaced or deregistered")
+		}
+		if priExpr == nil {
+			pass.Reportf(lit.Pos(), "hook registered without an explicit Priority; it lands at 0 by accident — write Priority: 0 if that is the intent")
+		}
+		if nameExpr == nil || priExpr == nil {
+			return true
+		}
+
+		name, nameOK := constString(pass, nameExpr)
+		pri, priOK := constValue(pass, priExpr)
+		if !nameOK || !priOK {
+			return true // dynamic key: not statically decidable
+		}
+		k := regKey{chain: types.ExprString(sel.X), name: name, priority: pri}
+		if seen[k] {
+			pass.Reportf(lit.Pos(), "duplicate hook registration on this chain: (priority %s, name %q) repeats an earlier Register and replaces it", pri, name)
+		}
+		seen[k] = true
+		return true
+	})
+}
+
+// hookLiteral returns the Hook composite literal inside the Register
+// argument, unwrapping an address-of. The type may be spelled as a bare
+// Hook, a pipeline.Hook selector, or either form instantiated with a
+// context type parameter.
+func hookLiteral(arg ast.Expr) *ast.CompositeLit {
+	if u, ok := arg.(*ast.UnaryExpr); ok {
+		arg = u.X
+	}
+	lit, ok := arg.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	t := lit.Type
+	switch idx := t.(type) {
+	case *ast.IndexExpr:
+		t = idx.X
+	case *ast.IndexListExpr:
+		t = idx.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		if t.Name == "Hook" {
+			return lit
+		}
+	case *ast.SelectorExpr:
+		if t.Sel.Name == "Hook" {
+			return lit
+		}
+	}
+	return nil
+}
+
+// constString resolves e to a compile-time string constant, via type
+// information when available with a literal fallback.
+func constString(pass *framework.Pass, e ast.Expr) (string, bool) {
+	if v := typedConst(pass, e); v != nil && v.Kind() == constant.String {
+		return constant.StringVal(v), true
+	}
+	return "", false
+}
+
+// constValue resolves e to any compile-time constant, rendered as its
+// exact string form for use as a map key.
+func constValue(pass *framework.Pass, e ast.Expr) (string, bool) {
+	if v := typedConst(pass, e); v != nil {
+		return v.ExactString(), true
+	}
+	return "", false
+}
+
+func typedConst(pass *framework.Pass, e ast.Expr) constant.Value {
+	if pass.TypesInfo == nil {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Value
+}

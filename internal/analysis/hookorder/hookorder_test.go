@@ -1,0 +1,12 @@
+package hookorder_test
+
+import (
+	"testing"
+
+	"mosquitonet/internal/analysis/framework/analysistest"
+	"mosquitonet/internal/analysis/hookorder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/hookorder", hookorder.Analyzer)
+}

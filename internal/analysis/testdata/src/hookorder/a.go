@@ -1,0 +1,62 @@
+// Package fixture exercises the hookorder analyzer: registrations missing
+// explicit Name or Priority are flagged, as are statically-decidable
+// duplicate (chain, priority, name) keys; dynamic names, distinct chains,
+// and deliberate (allowed) replacement are not.
+package fixture
+
+type Verdict int
+
+const Accept Verdict = 0
+
+type Hook[C any] struct {
+	Name     string
+	Priority int
+	Fn       func(C) Verdict
+}
+
+type Chain[C any] struct{}
+
+func (*Chain[C]) Register(h Hook[C]) {}
+
+type Ctx struct{}
+
+const priDecap = -100
+
+func keyedAndDistinct(ch *Chain[*Ctx]) {
+	ch.Register(Hook[*Ctx]{Name: "reassemble", Priority: priDecap, Fn: nil})
+	ch.Register(Hook[*Ctx]{Name: "demux", Priority: priDecap, Fn: nil})
+	ch.Register(Hook[*Ctx]{Name: "reassemble", Priority: 0, Fn: nil})
+}
+
+func missingPriority(ch *Chain[*Ctx]) {
+	ch.Register(Hook[*Ctx]{Name: "classify", Fn: nil}) // want "without an explicit Priority"
+}
+
+func missingName(ch *Chain[*Ctx]) {
+	ch.Register(Hook[*Ctx]{Priority: 10, Fn: nil}) // want "without an explicit Name"
+}
+
+func positional(ch *Chain[*Ctx]) {
+	ch.Register(Hook[*Ctx]{"ttl", 20, nil}) // want "keyed fields"
+}
+
+func duplicateKey(ch *Chain[*Ctx]) {
+	ch.Register(Hook[*Ctx]{Name: "mtu", Priority: 30, Fn: nil})
+	ch.Register(Hook[*Ctx]{Name: "mtu", Priority: 30, Fn: nil}) // want "duplicate hook registration"
+}
+
+func dynamicNamesExempt(ch *Chain[*Ctx], vif string) {
+	ch.Register(Hook[*Ctx]{Name: "decap:" + vif, Priority: 40, Fn: nil})
+	ch.Register(Hook[*Ctx]{Name: "decap:" + vif, Priority: 40, Fn: nil})
+}
+
+func distinctChains(input, output *Chain[*Ctx]) {
+	input.Register(Hook[*Ctx]{Name: "trace", Priority: 50, Fn: nil})
+	output.Register(Hook[*Ctx]{Name: "trace", Priority: 50, Fn: nil})
+}
+
+func allowedReplacement(ch *Chain[*Ctx]) {
+	ch.Register(Hook[*Ctx]{Name: "route", Priority: 60, Fn: nil})
+	//lint:allow hookorder deliberate replacement of the default route hook
+	ch.Register(Hook[*Ctx]{Name: "route", Priority: 60, Fn: nil})
+}

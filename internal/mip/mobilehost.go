@@ -9,6 +9,7 @@ import (
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/link"
 	"mosquitonet/internal/metrics"
+	"mosquitonet/internal/pipeline"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
 	"mosquitonet/internal/trace"
@@ -125,9 +126,9 @@ var (
 )
 
 // MobileHost is the mobile side of the protocol. It owns the host's
-// route-lookup override (the paper's modified ip_rt_route()), the Mobile
-// Policy Table, the encapsulating VIF, and the managed physical
-// interfaces it switches between.
+// "mobile-policy" route-resolution hook (the paper's modified
+// ip_rt_route()), the Mobile Policy Table, the encapsulating VIF, and the
+// managed physical interfaces it switches between.
 type MobileHost struct {
 	host *stack.Host
 	ts   *transport.Stack
@@ -173,7 +174,7 @@ type regAttempt struct {
 }
 
 // NewMobileHost wraps ts's host with mobility support: it installs the
-// route-lookup override, the VIF/IPIP tunnel endpoints, and registers the
+// route-resolution hook, the VIF/IPIP tunnel endpoints, and registers the
 // home address as always-local (tunneled packets arrive addressed to it).
 func NewMobileHost(ts *transport.Stack, cfg MobileHostConfig) *MobileHost {
 	m := &MobileHost{
@@ -183,9 +184,9 @@ func NewMobileHost(ts *transport.Stack, cfg MobileHostConfig) *MobileHost {
 		policy: NewPolicyTable(PolicyTunnel),
 		regID:  uint64(ts.Host().Loop().Rand().Uint32()) << 16,
 	}
-	// vif1 first, then vif0, so vif0's receive handler wins the IPIP
-	// registration: inbound tunneled traffic is attributed to the
-	// home-agent tunnel.
+	// The endpoints' decap hooks run in VIF-name order and the first one
+	// steals every IPIP packet, so inbound tunneled traffic is attributed
+	// to vif0, the home-agent tunnel.
 	m.tunDirect = tunnel.New(m.host, "vif1",
 		m.currentCareOf,
 		func(inner *ip.Packet) (ip.Addr, bool) { return inner.Dst, true })
@@ -193,7 +194,16 @@ func NewMobileHost(ts *transport.Stack, cfg MobileHostConfig) *MobileHost {
 		m.currentCareOf,
 		func(*ip.Packet) (ip.Addr, bool) { return m.cfg.HomeAgent, true })
 	m.host.AddLocalAddr(m.cfg.HomeAddr)
-	m.host.SetRouteLookup(m.routeLookup)
+	// The paper's modified ip_rt_route(), as a named route-resolution
+	// hook. It always resolves (Stolen), consulting the Mobile Policy
+	// Table or delegating to the default lookup itself.
+	m.host.RouteHooks().Register(pipeline.Hook[*stack.RouteQuery]{
+		Name: "mobile-policy", Priority: stack.PriRouteOverride,
+		Fn: func(q *stack.RouteQuery) pipeline.Verdict {
+			q.Decision, q.Err = m.routeLookup(q.Dst, q.Src)
+			return pipeline.Stolen
+		},
+	})
 	// routeLookup's decisions embed Mobile Policy Table verdicts and the
 	// current care-of state; both must flush the stack's decision cache
 	// the moment they change. Policy edits flow through this hook, and

@@ -9,6 +9,7 @@ import (
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/link"
 	"mosquitonet/internal/metrics"
+	"mosquitonet/internal/pipeline"
 	"mosquitonet/internal/sim"
 )
 
@@ -80,7 +81,14 @@ type Host struct {
 	ifaces []*Iface
 	lo     *Iface
 	routes RouteTable
-	lookup RouteLookupFunc
+
+	// The netfilter-style datapath: one hook chain per classic stage
+	// (indexed by pipeline.Stage), plus the route-resolution chain that
+	// generalizes the paper's single-slot ip_rt_route override. All the
+	// legacy splice APIs (SetRouteLookup, AddFilter) delegate here.
+	chains     [pipeline.NumStages]*pipeline.Chain[*PacketContext]
+	routeHooks *pipeline.Chain[*RouteQuery]
+	filterSeq  int
 
 	// Route-decision cache for the ip_rt_route hot path. Decisions are
 	// memoized per (dst, boundSrc) for local output and per dst for the
@@ -98,7 +106,6 @@ type Host struct {
 
 	handlers   map[ip.Protocol]ProtocolHandler
 	forwarding bool
-	filters    []FilterFunc
 
 	// localAddrs holds addresses the host accepts beyond its interface
 	// addresses. A mobile host away from home keeps its home address here:
@@ -144,13 +151,13 @@ func NewHost(loop *sim.Loop, name string, cfg Config) *Host {
 		routeCache: make(map[routeCacheKey]RouteDecision),
 		fwdCache:   make(map[ip.Addr]Route),
 	}
-	h.lookup = h.DefaultRouteLookup
 	h.lo = &Iface{host: h, name: "lo", addr: ip.MustParseAddr("127.0.0.1"), prefix: ip.MustParsePrefix("127.0.0.0/8")}
 	h.lo.transmit = func(pkt *ip.Packet, _ ip.Addr) { h.Input(h.lo, pkt) }
 	h.ifaces = append(h.ifaces, h.lo)
 	h.icmp = newICMP(h)
 	h.reasm = ip.NewReassembler()
 	h.pktlog = metrics.PacketsFor(loop)
+	h.initPipeline()
 	h.registerMetrics(metrics.For(loop))
 	return h
 }
@@ -236,8 +243,26 @@ func (h *Host) SetForwarding(v bool) { h.forwarding = v }
 func (h *Host) Forwarding() bool { return h.forwarding }
 
 // AddFilter appends a forwarding filter (evaluated in order; first
-// non-Accept verdict wins).
-func (h *Host) AddFilter(f FilterFunc) { h.filters = append(h.filters, f) }
+// non-Accept verdict wins). Filters are adapted onto the FORWARD chain at
+// PriForwardFilter — after the route decision, before the path-MTU check,
+// exactly where the legacy filter list ran — named filter#NNN in
+// insertion order so the (priority, name) sort preserves it.
+func (h *Host) AddFilter(f FilterFunc) {
+	name := fmt.Sprintf("filter#%03d", h.filterSeq)
+	h.filterSeq++
+	h.chains[pipeline.Forward].Register(pipeline.Hook[*PacketContext]{
+		Name: name, Priority: PriForwardFilter,
+		Fn: func(ctx *PacketContext) pipeline.Verdict {
+			switch f(ctx.In, ctx.Out, ctx.Pkt) {
+			case Drop:
+				return ctx.drop("filtered", &h.stats.DropFilter)
+			case Reject:
+				return ctx.dropICMP("filtered (reject)", &h.stats.DropFilter, ip.ICMPDestUnreach, ip.CodeAdminProhibited)
+			}
+			return pipeline.Accept
+		},
+	})
+}
 
 // SetInstallRedirects controls whether received ICMP redirects install
 // host routes, one of the transparency issues Section 5.2 discusses.
@@ -299,7 +324,9 @@ func (h *Host) AddIface(name string, dev *link.Device, addr ip.Addr, prefix ip.P
 }
 
 // AddVirtualIface attaches a software interface whose transmit function
-// receives routed packets — the hook the tunnel package's VIF uses.
+// receives routed packets. transmit may be nil when a POSTROUTING hook
+// owns the interface's egress instead, as the tunnel package's VIF does:
+// the hook steals every packet routed to the interface before send.
 func (h *Host) AddVirtualIface(name string, transmit TransmitFunc) *Iface {
 	ifc := &Iface{host: h, name: name, transmit: transmit}
 	h.ifaces = append(h.ifaces, ifc)
@@ -391,13 +418,25 @@ func (h *Host) RegisterHandler(p ip.Protocol, fn ProtocolHandler) {
 }
 
 // SetRouteLookup replaces the route-lookup function — the paper's single
-// kernel modification. Passing nil restores the default.
+// kernel modification, kept as a convenience wrapper over the route-
+// resolution chain: fn is registered as the hook named "override" at
+// PriRouteOverride (replacing a previous one, the old single-slot
+// semantics). Passing nil deregisters it, restoring the default
+// longest-prefix match.
 func (h *Host) SetRouteLookup(fn RouteLookupFunc) {
 	if fn == nil {
-		fn = h.DefaultRouteLookup
+		if !h.routeHooks.Deregister("override") {
+			h.InvalidateRoutes() // parity with the legacy always-invalidate behavior
+		}
+		return
 	}
-	h.lookup = fn
-	h.InvalidateRoutes()
+	h.routeHooks.Register(pipeline.Hook[*RouteQuery]{
+		Name: "override", Priority: PriRouteOverride,
+		Fn: func(q *RouteQuery) pipeline.Verdict {
+			q.Decision, q.Err = fn(q.Dst, q.Src)
+			return pipeline.Stolen
+		},
+	})
 }
 
 // routeCacheKey identifies one memoizable lookup: the paper's
@@ -441,9 +480,9 @@ func (h *Host) syncRouteCache() {
 	h.routeCacheGen = gen
 }
 
-// RouteLookup invokes the current route-lookup function through the
-// generation-guarded decision cache. Only successful decisions are
-// cached; errors always re-consult the lookup function.
+// RouteLookup answers a route query through the generation-guarded
+// decision cache, consulting the route-resolution chain on a miss. Only
+// successful decisions are cached; errors always re-run the chain.
 func (h *Host) RouteLookup(dst, boundSrc ip.Addr) (RouteDecision, error) {
 	h.syncRouteCache()
 	key := routeCacheKey{dst: dst, src: boundSrc}
@@ -452,7 +491,7 @@ func (h *Host) RouteLookup(dst, boundSrc ip.Addr) (RouteDecision, error) {
 		return dec, nil
 	}
 	h.cacheStats.Misses++
-	dec, err := h.lookup(dst, boundSrc)
+	dec, err := h.resolveRoute(dst, boundSrc)
 	if err == nil {
 		h.routeCache[key] = dec
 	}
@@ -522,22 +561,30 @@ func (h *Host) Output(pkt *ip.Packet) error {
 	if pkt.Trace == 0 {
 		pkt.Trace = h.loop.NextSerial()
 	}
+	ctx := &PacketContext{Host: h, Pkt: pkt, stage: pipeline.Output}
 	dec, err := h.RouteLookup(pkt.Dst, pkt.Src)
 	if err != nil {
-		h.stats.DropNoRoute++
-		if h.pktlog != nil { // guard: the detail string is costly to format
-			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no route to "+pkt.Dst.String())
-		}
+		// The OUTPUT chain still runs, with RouteErr set: the terminal
+		// "unreachable" hook converts the failure into an accounted drop
+		// plus an ICMP Destination Unreachable to a bound source.
+		ctx.RouteErr = err
+		h.chains[pipeline.Output].Run(ctx)
 		return err
 	}
+	ctx.Out, ctx.NextHop, ctx.Routed = dec.Iface, dec.NextHop, true
 	if pkt.Src.IsUnspecified() {
 		pkt.Src = dec.Src
 	}
+	if h.chains[pipeline.Output].Run(ctx) != pipeline.Accept {
+		//lint:allow dropaccounting verdict bookkeeping is centralized in the chain observer middleware
+		return nil
+	}
 	h.stats.Sent++
 	if h.pktlog != nil { // guard: the detail string is costly to format
-		h.pktlog.Record(pkt.Trace, h.name, "ip.output", pkt.String()+" via "+dec.Iface.name)
+		h.pktlog.Record(pkt.Trace, h.name, "ip.output", pkt.String()+" via "+ctx.Out.name)
 	}
-	h.loop.Schedule(h.cfg.OutputDelay, func() { dec.Iface.send(pkt, dec.NextHop) })
+	out, nh := ctx.Out, ctx.NextHop
+	h.loop.Schedule(h.cfg.OutputDelay, func() { h.postroute(out, pkt, nh) })
 	return nil
 }
 
@@ -554,11 +601,17 @@ func (h *Host) OutputVia(ifc *Iface, pkt *ip.Packet, nextHop ip.Addr) error {
 	if pkt.Trace == 0 {
 		pkt.Trace = h.loop.NextSerial()
 	}
+	ctx := &PacketContext{Host: h, Out: ifc, Pkt: pkt, NextHop: nextHop, Routed: true, stage: pipeline.Output}
+	if h.chains[pipeline.Output].Run(ctx) != pipeline.Accept {
+		//lint:allow dropaccounting verdict bookkeeping is centralized in the chain observer middleware
+		return nil
+	}
 	h.stats.Sent++
 	if h.pktlog != nil { // guard: the detail string is costly to format
-		h.pktlog.Record(pkt.Trace, h.name, "ip.output", pkt.String()+" via "+ifc.name)
+		h.pktlog.Record(pkt.Trace, h.name, "ip.output", pkt.String()+" via "+ctx.Out.name)
 	}
-	h.loop.Schedule(h.cfg.OutputDelay, func() { ifc.send(pkt, nextHop) })
+	out, nh := ctx.Out, ctx.NextHop
+	h.loop.Schedule(h.cfg.OutputDelay, func() { h.postroute(out, pkt, nh) })
 	return nil
 }
 
@@ -573,108 +626,33 @@ func (h *Host) Input(ifc *Iface, pkt *ip.Packet) {
 		pkt.Trace = h.loop.NextSerial()
 	}
 	h.stats.Received++
-	switch {
-	case h.IsLocalAddr(pkt.Dst):
-		h.loop.Schedule(h.cfg.InputDelay, func() { h.deliver(ifc, pkt) })
-	case h.forwarding && !pkt.Dst.IsMulticast():
-		// Multicast is link-scoped here: unicast routers do not forward
-		// group traffic.
-		h.loop.Schedule(h.cfg.InputDelay, func() { h.forward(ifc, pkt) })
-	default:
-		h.stats.DropNotLocal++
-		if h.pktlog != nil { // guard: the detail string is costly to format
-			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "not local: dst="+pkt.Dst.String())
-		}
-	}
+	ctx := &PacketContext{Host: h, In: ifc, Pkt: pkt, stage: pipeline.Prerouting}
+	h.chains[pipeline.Prerouting].Run(ctx)
 }
 
+// deliver runs the INPUT chain: reassembly, any decapsulation hooks, then
+// the terminal protocol demux.
 func (h *Host) deliver(ifc *Iface, pkt *ip.Packet) {
-	// Reassemble fragments destined for us; routers forward fragments
-	// untouched, so this lives only on the local-delivery path.
-	if pkt.IsFragment() {
-		full, done := h.reasm.Add(pkt)
-		if !done {
-			h.armSweep()
-			//lint:allow dropaccounting fragment parked in the reassembly buffer; sweep expiry is accounted there
-			return
-		}
-		pkt = full
-	}
-	handler, ok := h.handlers[pkt.Protocol]
-	if !ok {
-		if pkt.Protocol == ip.ProtoICMP {
-			h.icmp.input(ifc, pkt)
-			h.stats.Delivered++
-			h.pktlog.Record(pkt.Trace, h.name, "ip.deliver", "icmp")
-			return
-		}
-		h.stats.DropNoHandler++
-		if h.pktlog != nil { // guard: the detail string is costly to format
-			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no handler for "+pkt.Protocol.String())
-		}
-		return
-	}
-	h.stats.Delivered++
-	if h.pktlog != nil {
-		h.pktlog.Record(pkt.Trace, h.name, "ip.deliver", pkt.Protocol.String())
-	}
-	handler(ifc, pkt)
+	ctx := &PacketContext{Host: h, In: ifc, Pkt: pkt, stage: pipeline.Input}
+	h.chains[pipeline.Input].Run(ctx)
 }
 
+// forward runs the FORWARD chain (TTL, route, filters, MTU, redirect);
+// an accepted packet is cloned, decremented, and scheduled out.
 func (h *Host) forward(in *Iface, pkt *ip.Packet) {
-	if pkt.TTL <= 1 {
-		h.stats.DropTTL++
-		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "ttl expired")
-		h.icmp.sendError(ip.ICMPTimeExceeded, 0, pkt)
+	ctx := &PacketContext{Host: h, In: in, Pkt: pkt, stage: pipeline.Forward}
+	if h.chains[pipeline.Forward].Run(ctx) != pipeline.Accept {
+		//lint:allow dropaccounting verdict bookkeeping is centralized in the chain observer middleware
 		return
-	}
-	r, ok := h.lookupForward(pkt.Dst)
-	if !ok {
-		h.stats.DropNoRoute++
-		if h.pktlog != nil { // guard: the detail string is costly to format
-			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "no route to "+pkt.Dst.String())
-		}
-		h.icmp.sendError(ip.ICMPDestUnreach, ip.CodeNetUnreach, pkt)
-		return
-	}
-	for _, f := range h.filters {
-		switch f(in, r.Iface, pkt) {
-		case Drop:
-			h.stats.DropFilter++
-			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "filtered")
-			return
-		case Reject:
-			h.stats.DropFilter++
-			h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "filtered (reject)")
-			h.icmp.sendError(ip.ICMPDestUnreach, ip.CodeAdminProhibited, pkt)
-			return
-		}
-	}
-	// Path-MTU: a DF packet too big for the next hop is bounced with the
-	// ICMP error that path-MTU discovery depends on.
-	if mtu := r.Iface.MTU(); mtu > 0 && pkt.Len() > mtu && pkt.DontFrag {
-		h.stats.DropMTU++
-		h.pktlog.Record(pkt.Trace, h.name, "ip.drop", "df packet exceeds mtu")
-		h.icmp.sendError(ip.ICMPDestUnreach, ip.CodeFragNeeded, pkt)
-		return
-	}
-	nh := r.Gateway
-	if nh.IsUnspecified() {
-		nh = pkt.Dst
-	}
-	// Forwarding back out the incoming interface to a neighbor on the same
-	// subnet means the sender could have gone direct: send a redirect,
-	// still forwarding the packet (RFC 792 behaviour).
-	if r.Iface == in && in.prefix.Contains(pkt.Src) && !in.pointToPoint {
-		h.icmp.sendRedirect(pkt, nh)
 	}
 	// The forwarded copy shares the payload: bodies are immutable once in
 	// flight, and only the header (TTL) is rewritten here.
-	fwd := pkt.ShallowClone()
+	fwd := ctx.Pkt.ShallowClone()
 	fwd.TTL--
 	h.stats.Forwarded++
 	if h.pktlog != nil { // guard: the detail string is costly to format
-		h.pktlog.Record(pkt.Trace, h.name, "ip.forward", "next hop "+nh.String()+" via "+r.Iface.name)
+		h.pktlog.Record(pkt.Trace, h.name, "ip.forward", "next hop "+ctx.NextHop.String()+" via "+ctx.Out.name)
 	}
-	h.loop.Schedule(h.cfg.ForwardDelay, func() { r.Iface.send(fwd, nh) })
+	out, nh := ctx.Out, ctx.NextHop
+	h.loop.Schedule(h.cfg.ForwardDelay, func() { h.postroute(out, fwd, nh) })
 }

@@ -1,0 +1,337 @@
+package stack
+
+import (
+	"fmt"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/pipeline"
+)
+
+// Built-in hook priorities. The datapath's own steps register at these
+// values; external hooks slot in anywhere between PriFirst and PriLast,
+// and the (priority, name) sort keeps traversal deterministic no matter
+// when or where a hook was registered.
+const (
+	// PriFirst runs before every built-in step of a chain.
+	PriFirst = -1000
+	// PriLast is the terminal built-ins' priority: PREROUTING "classify",
+	// INPUT "demux", OUTPUT "unreachable". Hooks meaning to intercept must
+	// register below it.
+	PriLast = 1000
+
+	PriReassemble      = -300 // INPUT: fragment reassembly
+	PriForwardTTL      = -300 // FORWARD: TTL check
+	PriForwardRoute    = -200 // FORWARD: route-table lookup
+	PriDecap           = -100 // INPUT: decapsulation hooks (the tunnel VIF)
+	PriRouteOverride   = -100 // route chain: the paper's ip_rt_route override
+	PriForwardFilter   = 0    // FORWARD: AddFilter adapters
+	PriForwardMTU      = 100  // FORWARD: path-MTU check
+	PriForwardRedirect = 200  // FORWARD: same-subnet redirect notification
+)
+
+// PacketContext is what every PREROUTING, INPUT, FORWARD, OUTPUT and
+// POSTROUTING hook sees: the host, the packet, and the routing state
+// accumulated so far. Hooks may rewrite Out/NextHop (steering) or Pkt
+// (reassembly swaps in the full datagram); drop bookkeeping is staged on
+// the context and performed once by the chain's observer middleware.
+type PacketContext struct {
+	Host *Host
+	In   *Iface // arrival interface; nil for locally originated packets
+	Out  *Iface // chosen egress, once routed
+	Pkt  *ip.Packet
+
+	// NextHop and Route are valid once Routed is set: after the FORWARD
+	// chain's "route" hook, and on OUTPUT/POSTROUTING contexts.
+	NextHop ip.Addr
+	Route   Route
+	Routed  bool
+
+	// RouteErr is set on OUTPUT contexts whose route lookup failed; the
+	// terminal "unreachable" hook turns it into an accounted drop.
+	RouteErr error
+
+	stage pipeline.Stage
+
+	// Drop bookkeeping staged by drop/dropICMP, consumed by the observer.
+	dropReason  string
+	dropCounter *uint64
+	icmpSend    bool
+	icmpType    ip.ICMPType
+	icmpCode    uint8
+}
+
+// Stage returns the chain stage this context is traversing.
+func (c *PacketContext) Stage() pipeline.Stage { return c.stage }
+
+// Logging reports whether packet-lifecycle logging is enabled. Hooks use
+// it to skip building costly drop-reason strings on the hot path.
+func (c *PacketContext) Logging() bool { return c.Host.pktlog != nil }
+
+// drop stages the bookkeeping for a Drop verdict: the ip.drop reason and
+// the stats counter the observer middleware will bump.
+func (c *PacketContext) drop(reason string, counter *uint64) pipeline.Verdict {
+	c.dropReason, c.dropCounter = reason, counter
+	return pipeline.Drop
+}
+
+// dropICMP is drop plus an ICMP error (with the usual RFC 792
+// suppressions) sent back to the packet's source.
+func (c *PacketContext) dropICMP(reason string, counter *uint64, typ ip.ICMPType, code uint8) pipeline.Verdict {
+	c.icmpSend, c.icmpType, c.icmpCode = true, typ, code
+	return c.drop(reason, counter)
+}
+
+// Drop discards the packet with the given trace reason, accounted under
+// the host's DropFilter counter — the verdict external policy hooks use.
+func (c *PacketContext) Drop(reason string) pipeline.Verdict {
+	return c.drop(reason, &c.Host.stats.DropFilter)
+}
+
+// Reject is Drop plus an ICMP administratively-prohibited error to the
+// source, how a polite policy hook declines transit traffic.
+func (c *PacketContext) Reject(reason string) pipeline.Verdict {
+	return c.dropICMP(reason, &c.Host.stats.DropFilter, ip.ICMPDestUnreach, ip.CodeAdminProhibited)
+}
+
+// MarkDelivered accounts a local delivery performed by a hook that is
+// about to return Stolen (a decapsulator consuming the outer packet):
+// Delivered is counted and the ip.deliver event recorded, exactly as the
+// demux built-in would have done.
+func (c *PacketContext) MarkDelivered(detail string) {
+	c.Host.stats.Delivered++
+	c.Host.pktlog.Record(c.Pkt.Trace, c.Host.name, "ip.deliver", detail)
+}
+
+// RouteQuery is the context route-resolver hooks see: the paper's
+// ip_rt_route() arguments plus a slot for the answer. A hook that resolves
+// (or definitively fails) the query sets Decision/Err and returns Stolen;
+// Accept passes the query down-chain, and an empty or all-Accept chain
+// falls back to the host's DefaultRouteLookup. Drop means "no route".
+type RouteQuery struct {
+	Host     *Host
+	Dst, Src ip.Addr
+	Decision RouteDecision
+	Err      error
+}
+
+// Hooks returns the host's chain at the given stage, for registering
+// packet hooks. Chains belong to one host; registration bumps the chain
+// generation and flushes the host's route-decision caches.
+func (h *Host) Hooks(stage pipeline.Stage) *pipeline.Chain[*PacketContext] {
+	return h.chains[stage]
+}
+
+// RouteHooks returns the route-resolution chain — the pluggable form of
+// the paper's single kernel modification. SetRouteLookup registers here;
+// mobility code can register alongside under its own name and priority.
+func (h *Host) RouteHooks() *pipeline.Chain[*RouteQuery] { return h.routeHooks }
+
+// initPipeline wires the five stage chains, the route-resolution chain,
+// the uniform accounting observer, and the built-in datapath hooks.
+func (h *Host) initPipeline() {
+	for s := pipeline.Stage(0); s < pipeline.NumStages; s++ {
+		c := pipeline.NewChain[*PacketContext](s)
+		c.SetObserver(h.observeVerdict)
+		// Conservative invalidation: any hook change might alter where a
+		// packet goes, and a stale cached decision must never shadow a
+		// newly registered hook. Bumping a generation is nearly free.
+		c.SetOnChange(h.InvalidateRoutes)
+		h.chains[s] = c
+	}
+	h.routeHooks = pipeline.NewChain[*RouteQuery](pipeline.Output)
+	h.routeHooks.SetOnChange(h.InvalidateRoutes)
+
+	reg := func(s pipeline.Stage, name string, pri int, fn func(*PacketContext) pipeline.Verdict) {
+		h.chains[s].Register(pipeline.Hook[*PacketContext]{Name: name, Priority: pri, Fn: fn})
+	}
+	reg(pipeline.Prerouting, "classify", PriLast, h.hookClassify)
+	reg(pipeline.Input, "reassemble", PriReassemble, h.hookReassemble)
+	reg(pipeline.Input, "demux", PriLast, h.hookDemux)
+	reg(pipeline.Forward, "ttl", PriForwardTTL, h.hookForwardTTL)
+	reg(pipeline.Forward, "route", PriForwardRoute, h.hookForwardRoute)
+	reg(pipeline.Forward, "mtu", PriForwardMTU, h.hookForwardMTU)
+	reg(pipeline.Forward, "redirect", PriForwardRedirect, h.hookForwardRedirect)
+	reg(pipeline.Output, "unreachable", PriLast, h.hookOutputUnreachable)
+}
+
+// observeVerdict is the uniform tracing/metrics/drop-accounting middleware
+// installed on every chain: a Drop verdict bumps the staged counter,
+// records the ip.drop event, and sends the staged ICMP error — once, no
+// matter which hook decided.
+func (h *Host) observeVerdict(ctx *PacketContext, v pipeline.Verdict) {
+	if v != pipeline.Drop {
+		return
+	}
+	ctr := ctx.dropCounter
+	if ctr == nil {
+		ctr = &h.stats.DropFilter
+	}
+	*ctr++
+	h.pktlog.Record(ctx.Pkt.Trace, h.name, "ip.drop", ctx.dropReason)
+	if ctx.icmpSend {
+		h.icmp.sendError(ctx.icmpType, ctx.icmpCode, ctx.Pkt)
+	}
+}
+
+// hookClassify is PREROUTING's terminal hook: the arrival-time local/
+// forward/drop decision. Accepted packets are scheduled past the input
+// processing delay into the INPUT or FORWARD chain.
+func (h *Host) hookClassify(ctx *PacketContext) pipeline.Verdict {
+	ifc, pkt := ctx.In, ctx.Pkt
+	switch {
+	case h.IsLocalAddr(pkt.Dst):
+		h.loop.Schedule(h.cfg.InputDelay, func() { h.deliver(ifc, pkt) })
+	case h.forwarding && !pkt.Dst.IsMulticast():
+		// Multicast is link-scoped here: unicast routers do not forward
+		// group traffic.
+		h.loop.Schedule(h.cfg.InputDelay, func() { h.forward(ifc, pkt) })
+	default:
+		reason := ""
+		if ctx.Logging() { // guard: the detail string is costly to format
+			reason = "not local: dst=" + pkt.Dst.String()
+		}
+		return ctx.drop(reason, &h.stats.DropNotLocal)
+	}
+	return pipeline.Stolen
+}
+
+// hookReassemble swaps a completing fragment for its reassembled datagram
+// and parks incomplete ones; routers forward fragments untouched, so this
+// lives only on the local-delivery (INPUT) chain.
+func (h *Host) hookReassemble(ctx *PacketContext) pipeline.Verdict {
+	if !ctx.Pkt.IsFragment() {
+		return pipeline.Accept
+	}
+	full, done := h.reasm.Add(ctx.Pkt)
+	if !done {
+		h.armSweep()
+		// Parked in the reassembly buffer, not dropped; sweep expiry is
+		// accounted there.
+		return pipeline.Stolen
+	}
+	ctx.Pkt = full
+	return pipeline.Accept
+}
+
+// hookDemux is INPUT's terminal hook: hand the packet to its protocol
+// handler, with ICMP built in as the fallback for its protocol number.
+func (h *Host) hookDemux(ctx *PacketContext) pipeline.Verdict {
+	ifc, pkt := ctx.In, ctx.Pkt
+	handler, ok := h.handlers[pkt.Protocol]
+	if !ok {
+		if pkt.Protocol == ip.ProtoICMP {
+			h.icmp.input(ifc, pkt)
+			h.stats.Delivered++
+			h.pktlog.Record(pkt.Trace, h.name, "ip.deliver", "icmp")
+			return pipeline.Stolen
+		}
+		reason := ""
+		if ctx.Logging() { // guard: the detail string is costly to format
+			reason = "no handler for " + pkt.Protocol.String()
+		}
+		return ctx.drop(reason, &h.stats.DropNoHandler)
+	}
+	h.stats.Delivered++
+	if h.pktlog != nil {
+		h.pktlog.Record(pkt.Trace, h.name, "ip.deliver", pkt.Protocol.String())
+	}
+	handler(ifc, pkt)
+	return pipeline.Stolen
+}
+
+// hookForwardTTL bounces expiring packets with the traceroute-visible
+// ICMP time-exceeded error.
+func (h *Host) hookForwardTTL(ctx *PacketContext) pipeline.Verdict {
+	if ctx.Pkt.TTL <= 1 {
+		return ctx.dropICMP("ttl expired", &h.stats.DropTTL, ip.ICMPTimeExceeded, 0)
+	}
+	return pipeline.Accept
+}
+
+// hookForwardRoute resolves the transit route through the forwarding
+// cache, filling Out/NextHop/Route. A hook registered earlier may have
+// steered the packet already (Routed set), in which case the table is
+// left unconsulted.
+func (h *Host) hookForwardRoute(ctx *PacketContext) pipeline.Verdict {
+	if ctx.Routed {
+		return pipeline.Accept
+	}
+	r, ok := h.lookupForward(ctx.Pkt.Dst)
+	if !ok {
+		reason := ""
+		if ctx.Logging() { // guard: the detail string is costly to format
+			reason = "no route to " + ctx.Pkt.Dst.String()
+		}
+		return ctx.dropICMP(reason, &h.stats.DropNoRoute, ip.ICMPDestUnreach, ip.CodeNetUnreach)
+	}
+	nh := r.Gateway
+	if nh.IsUnspecified() {
+		nh = ctx.Pkt.Dst
+	}
+	ctx.Route, ctx.Out, ctx.NextHop, ctx.Routed = r, r.Iface, nh, true
+	return pipeline.Accept
+}
+
+// hookForwardMTU bounces DF packets too big for the chosen egress with
+// the ICMP error path-MTU discovery depends on.
+func (h *Host) hookForwardMTU(ctx *PacketContext) pipeline.Verdict {
+	if mtu := ctx.Out.MTU(); mtu > 0 && ctx.Pkt.Len() > mtu && ctx.Pkt.DontFrag {
+		return ctx.dropICMP("df packet exceeds mtu", &h.stats.DropMTU, ip.ICMPDestUnreach, ip.CodeFragNeeded)
+	}
+	return pipeline.Accept
+}
+
+// hookForwardRedirect tells an on-subnet sender about a better first hop
+// when the packet leaves the way it came in, still forwarding the packet
+// (RFC 792 behaviour).
+func (h *Host) hookForwardRedirect(ctx *PacketContext) pipeline.Verdict {
+	if ctx.Out == ctx.In && ctx.In.prefix.Contains(ctx.Pkt.Src) && !ctx.In.pointToPoint {
+		h.icmp.sendRedirect(ctx.Pkt, ctx.NextHop)
+	}
+	return pipeline.Accept
+}
+
+// hookOutputUnreachable is OUTPUT's terminal hook: a locally originated
+// packet whose route lookup failed is dropped with accounting and an ICMP
+// Destination Unreachable back to the (bound) source, rather than
+// vanishing silently.
+func (h *Host) hookOutputUnreachable(ctx *PacketContext) pipeline.Verdict {
+	if ctx.RouteErr == nil {
+		return pipeline.Accept
+	}
+	reason := ""
+	if ctx.Logging() { // guard: the detail string is costly to format
+		reason = "no route to " + ctx.Pkt.Dst.String()
+	}
+	return ctx.dropICMP(reason, &h.stats.DropNoRoute, ip.ICMPDestUnreach, ip.CodeNetUnreach)
+}
+
+// resolveRoute answers one route query through the route-resolution
+// chain, falling back to the stock longest-prefix match when no hook
+// takes the query.
+func (h *Host) resolveRoute(dst, boundSrc ip.Addr) (RouteDecision, error) {
+	q := &RouteQuery{Host: h, Dst: dst, Src: boundSrc}
+	switch h.routeHooks.Run(q) {
+	case pipeline.Stolen:
+		return q.Decision, q.Err
+	case pipeline.Drop:
+		if q.Err == nil {
+			q.Err = fmt.Errorf("%w: %v", ErrNoRoute, dst)
+		}
+		return RouteDecision{}, q.Err
+	}
+	return h.DefaultRouteLookup(dst, boundSrc)
+}
+
+// postroute runs the POSTROUTING chain and hands the packet to the chosen
+// interface. Every packet leaving the host — locally originated or
+// forwarded — funnels through here; encapsulating hooks steal their VIF's
+// packets at this stage.
+func (h *Host) postroute(ifc *Iface, pkt *ip.Packet, nextHop ip.Addr) {
+	ctx := &PacketContext{Host: h, Out: ifc, Pkt: pkt, NextHop: nextHop, Routed: true, stage: pipeline.Postrouting}
+	if h.chains[pipeline.Postrouting].Run(ctx) != pipeline.Accept {
+		//lint:allow dropaccounting verdict bookkeeping is centralized in the chain observer middleware
+		return
+	}
+	ctx.Out.send(ctx.Pkt, ctx.NextHop)
+}

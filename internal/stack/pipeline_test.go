@@ -1,0 +1,370 @@
+package stack
+
+import (
+	"testing"
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+	"mosquitonet/internal/pipeline"
+	"mosquitonet/internal/sim"
+)
+
+// TestBuiltinChainLayout pins the built-in hook layout: the datapath's own
+// steps are ordinary named hooks, visible to introspection, in the classic
+// order.
+func TestBuiltinChainLayout(t *testing.T) {
+	loop := sim.New(1)
+	h := NewHost(loop, "h", Config{})
+	cases := []struct {
+		stage pipeline.Stage
+		want  []string
+	}{
+		{pipeline.Prerouting, []string{"classify"}},
+		{pipeline.Input, []string{"reassemble", "demux"}},
+		{pipeline.Forward, []string{"ttl", "route", "mtu", "redirect"}},
+		{pipeline.Output, []string{"unreachable"}},
+		{pipeline.Postrouting, nil},
+	}
+	for _, c := range cases {
+		got := h.Hooks(c.stage).Names()
+		if len(got) != len(c.want) {
+			t.Fatalf("%v chain: %v, want %v", c.stage, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%v chain: %v, want %v", c.stage, got, c.want)
+			}
+		}
+	}
+	// AddFilter adapters slot between route and mtu, in insertion order.
+	h.AddFilter(func(in, out *Iface, pkt *ip.Packet) Verdict { return Accept })
+	h.AddFilter(func(in, out *Iface, pkt *ip.Packet) Verdict { return Accept })
+	got := h.Hooks(pipeline.Forward).Names()
+	want := []string{"ttl", "route", "filter#000", "filter#001", "mtu", "redirect"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FORWARD after AddFilter: %v, want %v", got, want)
+		}
+	}
+	// SetRouteLookup is the single-slot "override" hook; nil removes it.
+	h.SetRouteLookup(func(d, s ip.Addr) (RouteDecision, error) { return RouteDecision{}, nil })
+	if n := h.RouteHooks().Names(); len(n) != 1 || n[0] != "override" {
+		t.Fatalf("route chain: %v", n)
+	}
+	h.SetRouteLookup(nil)
+	if n := h.RouteHooks().Names(); len(n) != 0 {
+		t.Fatalf("route chain after SetRouteLookup(nil): %v", n)
+	}
+}
+
+// TestPreroutingVerdicts exercises ACCEPT/DROP/STOLEN semantics on the
+// PREROUTING chain: Drop is accounted by the observer middleware under
+// the hook's chosen reason, Stolen is the hook's own responsibility, and
+// deregistration restores plain delivery.
+func TestPreroutingVerdicts(t *testing.T) {
+	loop := sim.New(1)
+	net := link.NewNetwork(loop, "n", link.Ethernet())
+	a := addNode(t, loop, net, "a", "10.0.0.1/24")
+	got := collect(a.host)
+
+	stolen := 0
+	a.host.Hooks(pipeline.Prerouting).Register(pipeline.Hook[*PacketContext]{
+		Name: "firewall", Priority: 0,
+		Fn: func(ctx *PacketContext) pipeline.Verdict {
+			switch string(ctx.Pkt.Payload) {
+			case "bad":
+				return ctx.Drop("blocked by firewall")
+			case "mine":
+				stolen++
+				return pipeline.Stolen
+			}
+			return pipeline.Accept
+		},
+	})
+
+	a.host.Input(a.ifc, udpPacket("10.0.0.9", "10.0.0.1", "ok"))
+	a.host.Input(a.ifc, udpPacket("10.0.0.9", "10.0.0.1", "bad"))
+	a.host.Input(a.ifc, udpPacket("10.0.0.9", "10.0.0.1", "mine"))
+	loop.RunFor(time.Second)
+
+	if len(*got) != 1 || string((*got)[0].Payload) != "ok" {
+		t.Fatalf("delivered %d packets", len(*got))
+	}
+	st := a.host.Stats()
+	if st.DropFilter != 1 {
+		t.Fatalf("DropFilter = %d, want 1", st.DropFilter)
+	}
+	if stolen != 1 {
+		t.Fatalf("stolen = %d", stolen)
+	}
+	if st.Received != 3 {
+		t.Fatalf("Received = %d, want 3 (verdicts happen after accounting arrival)", st.Received)
+	}
+
+	if !a.host.Hooks(pipeline.Prerouting).Deregister("firewall") {
+		t.Fatal("Deregister(firewall) = false")
+	}
+	a.host.Input(a.ifc, udpPacket("10.0.0.9", "10.0.0.1", "bad"))
+	loop.RunFor(time.Second)
+	if len(*got) != 2 {
+		t.Fatal("packet still filtered after deregistration")
+	}
+}
+
+// TestInputHookStealsBeforeDemux mirrors the tunnel's decapsulation
+// splice: an INPUT hook at PriDecap consumes its protocol's packets ahead
+// of the demux, accounting the delivery itself via MarkDelivered.
+func TestInputHookStealsBeforeDemux(t *testing.T) {
+	loop := sim.New(1)
+	net := link.NewNetwork(loop, "n", link.Ethernet())
+	a := addNode(t, loop, net, "a", "10.0.0.1/24")
+	got := collect(a.host)
+
+	grabbed := 0
+	a.host.Hooks(pipeline.Input).Register(pipeline.Hook[*PacketContext]{
+		Name: "grab-udp", Priority: PriDecap,
+		Fn: func(ctx *PacketContext) pipeline.Verdict {
+			if ctx.Pkt.Protocol != ip.ProtoUDP {
+				return pipeline.Accept
+			}
+			ctx.MarkDelivered("grab-udp")
+			grabbed++
+			return pipeline.Stolen
+		},
+	})
+	a.host.Input(a.ifc, udpPacket("10.0.0.9", "10.0.0.1", "x"))
+	loop.RunFor(time.Second)
+
+	if len(*got) != 0 {
+		t.Fatal("demux still ran the UDP handler")
+	}
+	if grabbed != 1 {
+		t.Fatalf("grabbed = %d", grabbed)
+	}
+	if d := a.host.Stats().Delivered; d != 1 {
+		t.Fatalf("Delivered = %d, want 1 (MarkDelivered accounts the steal)", d)
+	}
+}
+
+// TestForwardSteeringHook registers a FORWARD hook ahead of the route
+// built-in that steers transit packets into a virtual interface — the
+// home-agent interception pattern — for a destination the routing table
+// cannot resolve at all.
+func TestForwardSteeringHook(t *testing.T) {
+	loop := sim.New(1)
+	net := link.NewNetwork(loop, "n", link.Ethernet())
+	a := addNode(t, loop, net, "a", "10.0.0.1/24")
+	r := addNode(t, loop, net, "r", "10.0.0.254/24")
+	r.host.SetForwarding(true)
+	a.host.AddDefaultRoute(ip.MustParseAddr("10.0.0.254"), a.ifc)
+
+	var steered []*ip.Packet
+	vif := r.host.AddVirtualIface("cap0", func(pkt *ip.Packet, _ ip.Addr) { steered = append(steered, pkt) })
+	r.host.Hooks(pipeline.Forward).Register(pipeline.Hook[*PacketContext]{
+		Name: "steer", Priority: PriForwardTTL + 50, // after ttl, before route
+		Fn: func(ctx *PacketContext) pipeline.Verdict {
+			ctx.Out, ctx.NextHop, ctx.Routed = vif, ctx.Pkt.Dst, true
+			return pipeline.Accept
+		},
+	})
+
+	if err := a.host.Output(udpPacket("10.0.0.1", "77.7.7.7", "steer me")); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunFor(time.Second)
+
+	if len(steered) != 1 {
+		t.Fatalf("steered %d packets", len(steered))
+	}
+	if ttl := steered[0].TTL; ttl != ip.DefaultTTL-1 {
+		t.Fatalf("TTL = %d, want %d", ttl, ip.DefaultTTL-1)
+	}
+	st := r.host.Stats()
+	if st.Forwarded != 1 || st.DropNoRoute != 0 {
+		t.Fatalf("Forwarded = %d, DropNoRoute = %d", st.Forwarded, st.DropNoRoute)
+	}
+}
+
+// TestOutputAndPostroutingStolen checks the egress stages' STOLEN
+// semantics: an OUTPUT steal happens before Sent accounting, a
+// POSTROUTING steal after it but before the wire.
+func TestOutputAndPostroutingStolen(t *testing.T) {
+	loop := sim.New(1)
+	net := link.NewNetwork(loop, "n", link.Ethernet())
+	a := addNode(t, loop, net, "a", "10.0.0.1/24")
+	b := addNode(t, loop, net, "b", "10.0.0.2/24")
+	got := collect(b.host)
+
+	a.host.Hooks(pipeline.Output).Register(pipeline.Hook[*PacketContext]{
+		Name: "divert", Priority: 0,
+		Fn: func(ctx *PacketContext) pipeline.Verdict { return pipeline.Stolen },
+	})
+	a.host.Output(udpPacket("10.0.0.1", "10.0.0.2", "one"))
+	loop.RunFor(time.Second)
+	if s := a.host.Stats().Sent; s != 0 {
+		t.Fatalf("Sent = %d after OUTPUT steal, want 0", s)
+	}
+	a.host.Hooks(pipeline.Output).Deregister("divert")
+
+	a.host.Hooks(pipeline.Postrouting).Register(pipeline.Hook[*PacketContext]{
+		Name: "blackhole", Priority: 0,
+		Fn: func(ctx *PacketContext) pipeline.Verdict { return pipeline.Stolen },
+	})
+	a.host.Output(udpPacket("10.0.0.1", "10.0.0.2", "two"))
+	loop.RunFor(time.Second)
+	if s := a.host.Stats().Sent; s != 1 {
+		t.Fatalf("Sent = %d after POSTROUTING steal, want 1", s)
+	}
+	if len(*got) != 0 {
+		t.Fatal("stolen packet reached the wire")
+	}
+
+	a.host.Hooks(pipeline.Postrouting).Deregister("blackhole")
+	a.host.Output(udpPacket("10.0.0.1", "10.0.0.2", "three"))
+	loop.RunFor(time.Second)
+	if len(*got) != 1 || string((*got)[0].Payload) != "three" {
+		t.Fatalf("delivered %d packets after deregistration", len(*got))
+	}
+}
+
+// TestOutputNoRouteEmitsUnreachable is the satellite behavior change: a
+// locally originated packet whose route lookup fails is dropped with
+// DropNoRoute accounting AND an ICMP Destination Unreachable back to its
+// bound source, instead of vanishing silently. Unspecified sources keep
+// the RFC 792 suppression.
+func TestOutputNoRouteEmitsUnreachable(t *testing.T) {
+	loop := sim.New(1)
+	net := link.NewNetwork(loop, "n", link.Ethernet())
+	a := addNode(t, loop, net, "a", "10.0.0.1/24")
+
+	var errs []*ip.ICMP
+	a.host.ICMP().ErrorHook = func(m *ip.ICMP, from ip.Addr) { errs = append(errs, m) }
+
+	if err := a.host.Output(udpPacket("10.0.0.1", "99.1.1.1", "x")); err == nil {
+		t.Fatal("Output succeeded with no route")
+	}
+	loop.RunFor(time.Second)
+	if n := a.host.Stats().DropNoRoute; n != 1 {
+		t.Fatalf("DropNoRoute = %d, want 1", n)
+	}
+	if len(errs) != 1 || errs[0].Type != ip.ICMPDestUnreach || errs[0].Code != ip.CodeNetUnreach {
+		t.Fatalf("errors seen: %+v, want one net-unreachable", errs)
+	}
+
+	// Unspecified source: the drop is accounted but the error suppressed.
+	if err := a.host.Output(&ip.Packet{Header: ip.Header{Protocol: ip.ProtoUDP, Dst: ip.MustParseAddr("99.2.2.2")}}); err == nil {
+		t.Fatal("Output succeeded with no route")
+	}
+	loop.RunFor(time.Second)
+	if n := a.host.Stats().DropNoRoute; n != 2 {
+		t.Fatalf("DropNoRoute = %d, want 2", n)
+	}
+	if len(errs) != 1 {
+		t.Fatalf("suppression failed: %d errors", len(errs))
+	}
+}
+
+// TestRouteHookRegistrationInvalidatesRouteCache is the satellite bugfix
+// regression test (the stale-decision hazard analogous to
+// TestPolicyChangeInvalidatesRouteCache): registering or deregistering a
+// route-resolution hook after host start must flush cached decisions.
+func TestRouteHookRegistrationInvalidatesRouteCache(t *testing.T) {
+	loop := sim.New(1)
+	net := link.NewNetwork(loop, "n", link.Ethernet())
+	a := addNode(t, loop, net, "a", "10.0.0.1/24")
+	dst := ip.MustParseAddr("10.0.0.9")
+
+	def, err := a.host.RouteLookup(dst, ip.Addr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.host.RouteLookup(dst, ip.Addr{}); err != nil {
+		t.Fatal(err)
+	}
+	if h := a.host.RouteCacheStats().Hits; h == 0 {
+		t.Fatal("second lookup did not hit the cache")
+	}
+
+	want := RouteDecision{Iface: a.host.Loopback(), Src: dst, NextHop: dst}
+	a.host.RouteHooks().Register(pipeline.Hook[*RouteQuery]{
+		Name: "pin-lo", Priority: PriFirst,
+		Fn: func(q *RouteQuery) pipeline.Verdict {
+			q.Decision = want
+			return pipeline.Stolen
+		},
+	})
+	if got, err := a.host.RouteLookup(dst, ip.Addr{}); err != nil || got != want {
+		t.Fatalf("stale decision survived hook registration: %+v (err %v)", got, err)
+	}
+
+	a.host.RouteHooks().Deregister("pin-lo")
+	if got, err := a.host.RouteLookup(dst, ip.Addr{}); err != nil || got != def {
+		t.Fatalf("stale decision survived hook deregistration: %+v (err %v)", got, err)
+	}
+}
+
+// TestForwardHookRegistrationInvalidatesForwardCache covers the same
+// hazard on the forwarding path's dst-keyed cache.
+func TestForwardHookRegistrationInvalidatesForwardCache(t *testing.T) {
+	loop := sim.New(1)
+	net := link.NewNetwork(loop, "n", link.Ethernet())
+	a := addNode(t, loop, net, "a", "10.0.0.1/24")
+	dst := ip.MustParseAddr("10.0.0.9")
+
+	if _, ok := a.host.lookupForward(dst); !ok {
+		t.Fatal("no connected route")
+	}
+	if _, ok := a.host.lookupForward(dst); !ok {
+		t.Fatal("no connected route")
+	}
+	before := a.host.RouteCacheStats()
+	if before.Hits == 0 {
+		t.Fatal("second lookup did not hit the cache")
+	}
+
+	a.host.Hooks(pipeline.Forward).Register(pipeline.Hook[*PacketContext]{
+		Name: "observer", Priority: PriFirst,
+		Fn: func(*PacketContext) pipeline.Verdict { return pipeline.Accept },
+	})
+	if _, ok := a.host.lookupForward(dst); !ok {
+		t.Fatal("no connected route")
+	}
+	after := a.host.RouteCacheStats()
+	if after.Misses != before.Misses+1 || after.Invalidations != before.Invalidations+1 {
+		t.Fatalf("cache not flushed by FORWARD hook registration: before %+v, after %+v", before, after)
+	}
+}
+
+// TestRejectHookSendsAdminProhibited checks the exported Reject helper:
+// the packet is dropped under DropFilter and the source learns why.
+func TestRejectHookSendsAdminProhibited(t *testing.T) {
+	loop := sim.New(1)
+	net := link.NewNetwork(loop, "n", link.Ethernet())
+	a := addNode(t, loop, net, "a", "10.0.0.1/24")
+	r := addNode(t, loop, net, "r", "10.0.0.254/24")
+	r.host.SetForwarding(true)
+	a.host.AddDefaultRoute(ip.MustParseAddr("10.0.0.254"), a.ifc)
+	// The router can resolve the destination; the policy hook, sitting in
+	// the filter slot after the route built-in, is what declines it.
+	r.host.AddDefaultRoute(ip.MustParseAddr("10.0.0.1"), r.ifc)
+
+	r.host.Hooks(pipeline.Forward).Register(pipeline.Hook[*PacketContext]{
+		Name: "no-transit", Priority: PriForwardFilter,
+		Fn: func(ctx *PacketContext) pipeline.Verdict {
+			return ctx.Reject("transit prohibited")
+		},
+	})
+
+	var res []PingResult
+	a.host.ICMP().Ping(ip.MustParseAddr("77.7.7.7"), ip.MustParseAddr("10.0.0.1"), 8, 5*time.Second,
+		func(pr PingResult) { res = append(res, pr) })
+	loop.RunFor(10 * time.Second)
+
+	if len(res) != 1 || !res[0].Unreachable || res[0].Code != ip.CodeAdminProhibited {
+		t.Fatalf("ping results %+v, want one admin-prohibited unreachable", res)
+	}
+	if d := r.host.Stats().DropFilter; d != 1 {
+		t.Fatalf("DropFilter = %d, want 1", d)
+	}
+}

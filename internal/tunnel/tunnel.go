@@ -21,8 +21,14 @@ import (
 
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/metrics"
+	"mosquitonet/internal/pipeline"
 	"mosquitonet/internal/stack"
 )
+
+// PriEncap is the POSTROUTING priority of the encapsulation hooks; decap
+// hooks run on INPUT at stack.PriDecap, between reassembly and the
+// protocol demux.
+const PriEncap = 0
 
 // Stats counts tunnel activity.
 type Stats struct {
@@ -59,13 +65,39 @@ type Endpoint struct {
 }
 
 // New creates the endpoint, adds its virtual interface named name to the
-// host, and installs the IPIP protocol handler. outerSrc supplies the
-// physical (care-of) address for outgoing encapsulation; outerDst supplies
-// the remote tunnel endpoint for a given inner packet.
+// host, and registers the endpoint's two pipeline hooks: encapsulation on
+// POSTROUTING (stealing packets routed to the VIF) and decapsulation on
+// INPUT (stealing protocol-4 packets before the demux). outerSrc supplies
+// the physical (care-of) address for outgoing encapsulation; outerDst
+// supplies the remote tunnel endpoint for a given inner packet.
+//
+// When several endpoints share a host, their decap hooks run in VIF-name
+// order and the first steals every IPIP packet, so inbound tunneled
+// traffic is attributed to the lowest-named VIF.
 func New(host *stack.Host, name string, outerSrc func() (ip.Addr, bool), outerDst func(*ip.Packet) (ip.Addr, bool)) *Endpoint {
 	e := &Endpoint{host: host, outerSrc: outerSrc, outerDst: outerDst}
-	e.vif = host.AddVirtualIface(name, e.transmit)
-	host.RegisterHandler(ip.ProtoIPIP, e.receive)
+	e.vif = host.AddVirtualIface(name, nil) // egress is owned by the encap hook
+	host.Hooks(pipeline.Postrouting).Register(pipeline.Hook[*stack.PacketContext]{
+		Name: "ipip-encap:" + name, Priority: PriEncap,
+		Fn: func(ctx *stack.PacketContext) pipeline.Verdict {
+			if ctx.Out != e.vif {
+				return pipeline.Accept
+			}
+			e.transmit(ctx.Pkt, ctx.NextHop)
+			return pipeline.Stolen
+		},
+	})
+	host.Hooks(pipeline.Input).Register(pipeline.Hook[*stack.PacketContext]{
+		Name: "ipip-decap:" + name, Priority: stack.PriDecap,
+		Fn: func(ctx *stack.PacketContext) pipeline.Verdict {
+			if ctx.Pkt.Protocol != ip.ProtoIPIP {
+				return pipeline.Accept
+			}
+			ctx.MarkDelivered("ipip")
+			e.receive(ctx.In, ctx.Pkt)
+			return pipeline.Stolen
+		},
+	})
 	e.pktlog = metrics.PacketsFor(host.Loop())
 	// A nil registry (telemetry disabled) is valid throughout: Counter hands
 	// back a detached handle and CounterFunc is a no-op, so the endpoint must
@@ -98,7 +130,7 @@ func (e *Endpoint) Iface() *stack.Iface { return e.vif }
 // Stats returns a snapshot of the counters.
 func (e *Endpoint) Stats() Stats { return e.stats }
 
-// transmit is the VIF's send function: encapsulate and re-enter IP output.
+// transmit is the encap hook's body: encapsulate and re-enter IP output.
 func (e *Endpoint) transmit(inner *ip.Packet, _ ip.Addr) {
 	name := e.host.Name()
 	dst, ok := e.outerDst(inner)
@@ -130,7 +162,7 @@ func (e *Endpoint) transmit(inner *ip.Packet, _ ip.Addr) {
 	}
 }
 
-// receive is the protocol-4 handler: strip the outer header, validate the
+// receive is the decap hook's body: strip the outer header, validate the
 // inner packet, and re-inject it as if it had arrived on the VIF.
 func (e *Endpoint) receive(_ *stack.Iface, outer *ip.Packet) {
 	name := e.host.Name()

@@ -6,6 +6,7 @@ import (
 
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/link"
+	"mosquitonet/internal/pipeline"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
 )
@@ -174,13 +175,18 @@ func TestEncapsulationOverheadOnWire(t *testing.T) {
 	routeViaVIF(e.mh, e.mhT, "36.0.0.0/8")
 	e.ha.AddLocalAddr(ip.MustParseAddr("36.135.0.1"))
 
+	// Observe the outer packet with an INPUT hook ahead of the endpoint's
+	// decap hook (stack.PriDecap); returning Accept lets decap proceed.
 	var outerLen int
-	e.ha.RegisterHandler(ip.ProtoIPIP, func(ifc *stack.Iface, pkt *ip.Packet) {
-		outerLen = pkt.Len()
-		e.haT.Stats() // keep endpoint referenced
+	e.ha.Hooks(pipeline.Input).Register(pipeline.Hook[*stack.PacketContext]{
+		Name: "measure", Priority: stack.PriFirst,
+		Fn: func(ctx *stack.PacketContext) pipeline.Verdict {
+			if ctx.Pkt.Protocol == ip.ProtoIPIP {
+				outerLen = ctx.Pkt.Len()
+			}
+			return pipeline.Accept
+		},
 	})
-	// Re-register the endpoint handler afterwards to keep decap working is
-	// unnecessary here; we only measure.
 	inner := &ip.Packet{
 		Header:  ip.Header{Protocol: ip.ProtoUDP, Src: ip.MustParseAddr("36.135.0.7"), Dst: ip.MustParseAddr("36.135.0.1")},
 		Payload: make([]byte, 100),
