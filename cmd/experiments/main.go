@@ -8,17 +8,21 @@
 // per-scenario metrics snapshots (registration latency histograms, tunnel
 // encap/decap counters, per-device link statistics, ...) — and F7
 // additionally writes BENCH_f7_timeline.jsonl, its registration timeline
-// as one JSON event per line. Exports are byte-identical across runs with
-// the same seed.
+// as one JSON event per line. The handoff observatory writes two more:
+// BENCH_handoff_spans.jsonl (the run's span record) and
+// BENCH_handoff_trace.json (the same spans as a Chrome trace-event file,
+// loadable in chrome://tracing or https://ui.perfetto.dev). Exports are
+// byte-identical across runs with the same seed.
 //
 // Usage:
 //
-//	experiments [-seed N] [-exp all|e1|f6|f7|rtt|a1|a2|a3|scale|parallel] [-samples N] [-workers N] [-json dir]
+//	experiments [-seed N] [-exp all|e1|f6|f7|handoff|rtt|a1|a2|a3|scale|parallel] [-samples N] [-workers N] [-json dir]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,7 +33,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1996, "simulation seed (results are deterministic per seed)")
-	exp := flag.String("exp", "all", "experiment to run: all, e1, f6, f7, rtt, tput, a1, a2, a3, a4, scale, parallel")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, f6, f7, handoff, rtt, tput, a1, a2, a3, a4, scale, parallel")
 	samples := flag.Int("samples", 20, "samples for RTT/A1 measurements")
 	a2iters := flag.Int("a2-iterations", 5, "handoffs per A2 variant")
 	fleets := flag.String("a3-fleets", "1,8,32,64", "comma-separated fleet sizes for A3")
@@ -62,6 +66,15 @@ func main() {
 		fmt.Println(res)
 		writeExport(*jsonDir, res.Export)
 		writeTimeline(*jsonDir, "BENCH_f7_timeline.jsonl", res)
+	}
+	if want("handoff") {
+		ran = true
+		res, err := mosquitonet.RunHandoff(*seed)
+		exitOn(err)
+		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
+		writeArtifact(*jsonDir, "BENCH_handoff_spans.jsonl", res.Tracer.WriteSpansJSONL)
+		writeArtifact(*jsonDir, "BENCH_handoff_trace.json", res.Tracer.WriteChromeTrace)
 	}
 	if want("rtt") {
 		ran = true
@@ -135,7 +148,7 @@ func main() {
 		writeExport(*jsonDir, res.Export)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f6, f7, rtt, a1, a2, a3, a4, scale, parallel)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f6, f7, handoff, rtt, a1, a2, a3, a4, scale, parallel)\n", *exp)
 		os.Exit(2)
 	}
 }
@@ -163,6 +176,24 @@ func writeExport(dir string, e *testbed.Export) {
 	f, err := os.Create(path)
 	exitOn(err)
 	if err := e.WriteJSON(f); err != nil {
+		f.Close()
+		exitOn(err)
+	}
+	exitOn(f.Close())
+	fmt.Printf("wrote %s\n\n", path)
+}
+
+// writeArtifact serializes one extra export artifact (span JSONL, Chrome
+// trace) via the given writer function.
+func writeArtifact(dir, name string, write func(io.Writer) error) {
+	if dir == "" {
+		return
+	}
+	exitOn(os.MkdirAll(dir, 0o755))
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	exitOn(err)
+	if err := write(f); err != nil {
 		f.Close()
 		exitOn(err)
 	}

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	mnet [-seed N] [-trace] [-interval 250ms] [-metrics 5s] [-chains]
+//	mnet [-seed N] [-trace] [-interval 250ms] [-metrics 5s] [-chains] [-spans] [-dump-json file]
 package main
 
 import (
@@ -33,6 +33,8 @@ func main() {
 	interval := flag.Duration("interval", 250*time.Millisecond, "correspondent stream interval")
 	metricsEvery := flag.Duration("metrics", 0, "print the telemetry table every interval of virtual time (0 = only at the end)")
 	chains := flag.Bool("chains", false, "print each host's pipeline hook chains (iptables -L style) once the scenario is wired up")
+	spans := flag.Bool("spans", false, "record per-chain traversal spans on the MH and HA and print the span tree and kind counts at the end")
+	dumpJSON := flag.String("dump-json", "", "write a JSONL capture of every frame on every network to this file")
 	flag.Parse()
 
 	tb := testbed.New(*seed)
@@ -47,12 +49,26 @@ func main() {
 	if *showTrace {
 		tb.Tracer.Hook = func(e trace.Event) { fmt.Println("   ", e) }
 	}
-	if *dump {
-		cap := capture.New(tb.Loop, 1) // live hook only; don't buffer
-		cap.Hook = func(e capture.Entry) { fmt.Println("   #", e) }
+	var jsonCap *capture.Capture
+	if *dump || *dumpJSON != "" {
+		max := 1 // live hook only; don't buffer
+		if *dumpJSON != "" {
+			max = 0 // buffer everything for the JSONL file
+		}
+		cap := capture.New(tb.Loop, max)
+		if *dump {
+			cap.Hook = func(e capture.Entry) { fmt.Println("   #", e) }
+		}
 		for _, n := range []*link.Network{tb.HomeNet, tb.DeptNet, tb.RadioNet, tb.CampusNet, tb.SlowNet} {
 			cap.Attach(n)
 		}
+		if *dumpJSON != "" {
+			jsonCap = cap
+		}
+	}
+	if *spans {
+		tb.MH.Host().EnableChainSpans()
+		tb.HA.Host().EnableChainSpans()
 	}
 	tb.MH.OnLinkChange = func(c mosquitonet.LinkChange) {
 		where := "foreign network"
@@ -160,4 +176,29 @@ func main() {
 	fmt.Printf("mobile host stats: %+v\n", tb.MH.Stats())
 	fmt.Printf("home agent stats:  %+v\n", tb.HA.Stats())
 	fmt.Printf("\nfinal %s", tb.Metrics.Snapshot().Table())
+
+	if *spans {
+		// The lifecycle tree, with the per-packet chain-traversal spans
+		// folded into the kind-count summary below it.
+		fmt.Printf("\n== span tree (pipeline/drop spans summarized below) ==\n")
+		fmt.Print(tb.Tracer.SpanTree("pipeline.", "drop."))
+		fmt.Printf("\n== span kinds ==\n")
+		for _, kc := range tb.Tracer.SpanKindCounts() {
+			fmt.Printf("  %7d  %s\n", kc.Count, kc.Kind)
+		}
+	}
+	if jsonCap != nil {
+		f, err := os.Create(*dumpJSON)
+		if err == nil {
+			err = jsonCap.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mnet: dump-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d frames)\n", *dumpJSON, jsonCap.Len())
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"mosquitonet/internal/analysis/nowallclock"
 	"mosquitonet/internal/analysis/seededrand"
 	"mosquitonet/internal/analysis/sortedrange"
+	"mosquitonet/internal/analysis/tracekinds"
 	"mosquitonet/internal/analysis/wireroundtrip"
 )
 
@@ -25,5 +26,6 @@ func All() []*framework.Analyzer {
 		dropaccounting.Analyzer,
 		wireroundtrip.Analyzer,
 		hookorder.Analyzer,
+		tracekinds.Analyzer,
 	}
 }

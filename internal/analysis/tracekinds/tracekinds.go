@@ -1,0 +1,137 @@
+// Package tracekinds enforces the trace-kind naming contract.
+//
+// Experiment harnesses, the flight recorder, and the disruption analyzer
+// all select trace events and spans by kind prefix ("reg.", "handoff.",
+// "drop.noroute"), so the kind hierarchy is an API: kinds must be
+// lowercase dotted paths, and they must be named package constants — an
+// inline literal at the call site is invisible to a reader auditing the
+// package's vocabulary and trivially drifts from its siblings.
+//
+// The analyzer inspects the kind argument of the tracing entry points —
+// Tracer.Record, Tracer.StartSpan, Tracer.StartChild (receiver resolved
+// via type information, so PacketLog.Record and friends are untouched) —
+// and of the conventional per-object wrapper methods named trace and
+// startSpan. A string literal in kind position is always flagged; a named
+// constant is checked against ^[a-z0-9]+(\.[a-z0-9_]+)+$; a value that is
+// not a compile-time constant (a parameter, a switch result) is skipped —
+// its sources are themselves constants checked at their own call sites.
+package tracekinds
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"mosquitonet/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "tracekinds",
+	Doc:  "trace event/span kinds must be lowercase dotted package constants, never inline literals",
+	Run:  run,
+}
+
+// kindRE is the contract: at least two lowercase dotted components.
+var kindRE = regexp.MustCompile(`^[a-z0-9]+(\.[a-z0-9_]+)+$`)
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			idx := kindArgIndex(pass, call)
+			if idx < 0 || idx >= len(call.Args) {
+				return true
+			}
+			checkKind(pass, call.Args[idx])
+			return true
+		})
+	}
+	return nil
+}
+
+// kindArgIndex returns the index of the call's kind argument, or -1 when
+// the call is not a tracing entry point.
+func kindArgIndex(pass *framework.Pass, call *ast.CallExpr) int {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return -1
+	}
+	switch sel.Sel.Name {
+	case "Record":
+		// Tracer.Record(actor, kind, format, ...); PacketLog.Record and
+		// other same-named methods are excluded by the receiver type.
+		if receiverIsTracer(pass, sel.X) && len(call.Args) >= 2 {
+			return 1
+		}
+	case "StartSpan":
+		if receiverIsTracer(pass, sel.X) && len(call.Args) >= 2 {
+			return 1
+		}
+	case "StartChild":
+		if receiverIsTracer(pass, sel.X) && len(call.Args) >= 3 {
+			return 2
+		}
+	case "trace", "startSpan":
+		// The conventional wrappers (MobileHost.trace, Host.startSpan, ...)
+		// take the kind first. Guard against package-qualified selectors —
+		// there is no function trace.trace, but be explicit anyway.
+		if !isPackageQualifier(pass, sel.X) && len(call.Args) >= 1 {
+			return 0
+		}
+	}
+	return -1
+}
+
+// receiverIsTracer reports whether the expression's type is trace.Tracer
+// (possibly through a pointer). Missing type information reports false:
+// quiet beats noisy on partial packages.
+func receiverIsTracer(pass *framework.Pass, e ast.Expr) bool {
+	if pass.TypesInfo == nil {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Tracer"
+}
+
+// isPackageQualifier reports whether e is a package name (so sel is a
+// qualified identifier, not a method call).
+func isPackageQualifier(pass *framework.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || pass.TypesInfo == nil {
+		return false
+	}
+	_, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return isPkg
+}
+
+// checkKind flags literal kinds and malformed constant kinds.
+func checkKind(pass *framework.Pass, arg ast.Expr) {
+	if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		pass.Reportf(arg.Pos(), "inline kind literal %s; trace kinds must be named package constants", lit.Value)
+		return
+	}
+	if pass.TypesInfo == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // not a compile-time constant: checked where it was built
+	}
+	if s := constant.StringVal(tv.Value); !kindRE.MatchString(s) {
+		pass.Reportf(arg.Pos(), "kind constant %q is not a lowercase dotted path (want e.g. \"reg.attempt\")", s)
+	}
+}

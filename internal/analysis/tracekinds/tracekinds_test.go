@@ -1,0 +1,12 @@
+package tracekinds_test
+
+import (
+	"testing"
+
+	"mosquitonet/internal/analysis/framework/analysistest"
+	"mosquitonet/internal/analysis/tracekinds"
+)
+
+func TestTracekinds(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/tracekinds", tracekinds.Analyzer)
+}

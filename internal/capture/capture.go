@@ -6,7 +6,9 @@
 package capture
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"mosquitonet/internal/arp"
@@ -20,9 +22,9 @@ import (
 
 // Entry is one captured frame.
 type Entry struct {
-	At      sim.Time
-	Network string
-	Line    string
+	At      sim.Time `json:"at_ns"`
+	Network string   `json:"network"`
+	Line    string   `json:"line"`
 }
 
 func (e Entry) String() string {
@@ -75,6 +77,19 @@ func (c *Capture) Find(substr string) []Entry {
 		}
 	}
 	return out
+}
+
+// WriteJSONL writes the capture as one JSON object per line, in capture
+// order — the machine-readable twin of String, byte-identical across
+// same-seed runs.
+func (c *Capture) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range c.entries {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // String renders the whole capture.

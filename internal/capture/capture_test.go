@@ -1,6 +1,8 @@
 package capture
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -180,5 +182,46 @@ func TestFormatMalformed(t *testing.T) {
 	}
 	if !strings.Contains(FormatFrame(&link.Frame{Type: 0x9999, Payload: []byte{1}}), "ethertype") {
 		t.Fatal("unknown ethertype not flagged")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	s := newScenario(t)
+	cli, _ := s.a.UDP(ip.Unspecified, 0, nil)
+	cli.SendTo(ip.MustParseAddr("10.0.0.2"), 9, []byte("x"))
+	s.loop.RunFor(time.Second)
+	if s.cap.Len() == 0 {
+		t.Fatal("nothing captured")
+	}
+
+	var buf bytes.Buffer
+	if err := s.cap.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != s.cap.Len() {
+		t.Fatalf("want %d lines, got %d", s.cap.Len(), len(lines))
+	}
+	for i, line := range lines {
+		var e struct {
+			AtNS    int64  `json:"at_ns"`
+			Network string `json:"network"`
+			Line    string `json:"line"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+		if e.Network != "lab" || e.Line == "" {
+			t.Fatalf("line %d incomplete: %+v", i, e)
+		}
+	}
+
+	// Same capture, same bytes.
+	var again bytes.Buffer
+	if err := s.cap.WriteJSONL(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Fatal("WriteJSONL is not stable")
 	}
 }

@@ -8,8 +8,14 @@ import (
 	"mosquitonet/internal/link"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
+	"mosquitonet/internal/trace"
 	"mosquitonet/internal/transport"
 )
+
+// kSpanAcquire bounds one DISCOVER/OFFER/REQUEST/ACK exchange in the
+// loop-associated tracer's span tree; under a mobile-host handoff it nests
+// inside the "handoff.dhcp" phase.
+const kSpanAcquire = "dhcp.acquire"
 
 // ClientConfig tunes the client's retry behaviour.
 type ClientConfig struct {
@@ -65,6 +71,7 @@ type Client struct {
 	lease    Lease
 	acquired bool
 	done     func(Lease, error)
+	span     *trace.Span // "dhcp.acquire": one exchange, Acquire to outcome
 
 	// OnRenewed fires after each successful renewal; OnExpired fires if
 	// the lease lapses without one.
@@ -105,6 +112,8 @@ func (c *Client) Acquire(done func(Lease, error)) error {
 	c.xid = c.loop.Rand().Uint32()
 	c.tries = 0
 	c.state = stateDiscover
+	c.span = trace.For(c.loop).StartSpan(c.ts.Host().Name(), kSpanAcquire)
+	c.span.SetAttr("iface", c.ifc.Name())
 	c.sendDiscover()
 	return nil
 }
@@ -132,6 +141,10 @@ func (c *Client) Release() {
 // Stop abandons any exchange in progress and stops renewal without
 // notifying the server (the device is going away).
 func (c *Client) Stop() {
+	if c.span.Open() {
+		c.span.SetAttr("result", "stopped")
+		c.span.Done()
+	}
 	c.stopTimers()
 	c.state = stateIdle
 	c.dropWildcardSock()
@@ -167,6 +180,8 @@ func (c *Client) stopTimers() {
 func (c *Client) fail(err error) {
 	c.state = stateIdle
 	c.dropWildcardSock()
+	c.span.Attrf("tries", "%d", c.tries)
+	c.span.Fail(err)
 	if c.done != nil {
 		done := c.done
 		c.done = nil
@@ -264,6 +279,9 @@ func (c *Client) bind(m *Message) {
 	}
 	c.acquired = true
 	c.state = stateBound
+	c.span.SetAttr("addr", c.lease.Addr.String())
+	c.span.SetAttr("server", c.lease.Server.String())
+	c.span.Done()
 	// Configure the interface so unicast (renewal) traffic to the leased
 	// address is ARP-answered and accepted. Callers that stage-manage
 	// configuration (the mobile host charging its configuration latency)

@@ -19,6 +19,14 @@ import (
 
 	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/sim"
+	"mosquitonet/internal/trace"
+)
+
+// Carrier-transition span kinds, recorded as instants against the
+// loop-associated tracer; actor is the device name.
+const (
+	kSpanLinkUp   = "link.up"
+	kSpanLinkDown = "link.down"
 )
 
 // HWAddr is a 6-byte link-layer (MAC-style) hardware address.
@@ -270,6 +278,7 @@ func (d *Device) BringUp(done func()) time.Duration {
 		}
 		d.state = StateUp
 		d.upSince = d.loop.Now()
+		d.markLinkChange(kSpanLinkUp)
 		d.notifyChange()
 		if done != nil {
 			done()
@@ -286,7 +295,23 @@ func (d *Device) BringDown() {
 		return
 	}
 	d.state = StateDown
+	d.markLinkChange(kSpanLinkDown)
 	d.notifyChange()
+}
+
+// markLinkChange records an instant span for a carrier transition in the
+// loop-associated tracer — the "link change" that roots every handoff's
+// causal chain. No-op when the loop has no tracer (scale runs).
+func (d *Device) markLinkChange(kind string) {
+	t := trace.For(d.loop)
+	if t == nil {
+		return
+	}
+	sp := t.StartChild(nil, d.name, kind)
+	if d.net != nil {
+		sp.SetAttr("net", d.net.Name())
+	}
+	sp.Done()
 }
 
 // UpSince returns when the device last transitioned to up.

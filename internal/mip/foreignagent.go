@@ -204,7 +204,7 @@ func (fa *ForeignAgent) relayRequest(d transport.Datagram) {
 	}
 	fa.pending[req.ID] = req.HomeAddr
 	fa.stats.RequestsRelayed++
-	fa.cfg.Tracer.Record(fa.host.Name(), "fa.relay.request", "home=%v id=%d", req.HomeAddr, req.ID)
+	fa.cfg.Tracer.Record(fa.host.Name(), kFARelayRequest, "home=%v id=%d", req.HomeAddr, req.ID)
 	fa.sock.SendTo(req.HomeAgent, Port, req.Marshal())
 }
 
@@ -229,7 +229,7 @@ func (fa *ForeignAgent) relayReply(d transport.Datagram) {
 		fa.removeVisitor(home)
 	}
 	fa.stats.RepliesRelayed++
-	fa.cfg.Tracer.Record(fa.host.Name(), "fa.relay.reply", "home=%v %s", home, CodeString(reply.Code))
+	fa.cfg.Tracer.Record(fa.host.Name(), kFARelayReply, "home=%v %s", home, CodeString(reply.Code))
 	fa.sock.SendTo(home, Port, reply.Marshal())
 }
 
@@ -293,12 +293,12 @@ func (fa *ForeignAgent) handlePFANotify(d transport.Datagram) {
 	})
 	if n.NewCareOf.IsUnspecified() {
 		v.buffering = true
-		fa.cfg.Tracer.Record(fa.host.Name(), "fa.buffering", "home=%v", n.HomeAddr)
+		fa.cfg.Tracer.Record(fa.host.Name(), kFABuffering, "home=%v", n.HomeAddr)
 		return
 	}
 	v.forwardTo = n.NewCareOf
 	v.buffering = false
-	fa.cfg.Tracer.Record(fa.host.Name(), "fa.forwarding", "home=%v to=%v buffered=%d", n.HomeAddr, n.NewCareOf, len(v.queue))
+	fa.cfg.Tracer.Record(fa.host.Name(), kFAForwarding, "home=%v to=%v buffered=%d", n.HomeAddr, n.NewCareOf, len(v.queue))
 	queued := v.queue
 	v.queue = nil
 	for _, pkt := range queued {
@@ -313,7 +313,7 @@ func (fa *ForeignAgent) handlePFANotify(d transport.Datagram) {
 // its home address on the visited link, uses the agent as its default
 // router, and registers with the agent's address as care-of.
 func (m *MobileHost) ConnectViaForeignAgent(mi *ManagedIface, faAddr ip.Addr, done func(error)) {
-	m.trace("handoff.fa.start", "iface=%s fa=%v", mi.Name(), faAddr)
+	m.trace(kFAStart, "iface=%s fa=%v", mi.Name(), faAddr)
 	mi.ifc.Device().BringUp(func() {
 		m.host.Loop().Schedule(m.jit(m.cfg.ConfigureDelay), func() {
 			if arp := mi.ifc.ARP(); arp != nil {
@@ -351,7 +351,9 @@ func (m *MobileHost) registerViaFA(faAddr ip.Addr, done func(error)) {
 		CareOf:    faAddr,
 		ID:        m.regID,
 	}
-	m.pending = &regAttempt{req: req, dst: faAddr, done: done}
+	m.pending = &regAttempt{req: req, dst: faAddr, done: done, span: m.startSpan(kSpanRegAttempt)}
+	m.pending.span.SetAttr("careof", faAddr.String())
+	m.pending.span.SetAttr("via", "fa")
 	m.sendPending()
 }
 
@@ -392,7 +394,7 @@ func (m *MobileHost) DiscoverForeignAgent(mi *ManagedIface, timeout time.Duratio
 				m.stats.DropMalformed++
 				return
 			}
-			m.trace("fa.discovered", "agent=%v seq=%d", adv.Agent, adv.Seq)
+			m.trace(kFADiscovered, "agent=%v seq=%d", adv.Agent, adv.Seq)
 			finish(DiscoveredAgent{
 				Agent:    adv.Agent,
 				Lifetime: time.Duration(adv.Lifetime) * time.Second,
@@ -435,7 +437,7 @@ var ErrNoAgentFound = errors.New("mip: no foreign agent advertisement heard")
 // called after a successful registration on the new network.
 func (m *MobileHost) NotifyPreviousFA(fa ip.Addr, newCareOf ip.Addr, lifetime time.Duration) {
 	n := &PFANotify{HomeAddr: m.cfg.HomeAddr, NewCareOf: newCareOf, Lifetime: uint16(lifetime / time.Second)}
-	m.trace("pfa.notify", "fa=%v newCareOf=%v", fa, newCareOf)
+	m.trace(kPFANotify, "fa=%v newCareOf=%v", fa, newCareOf)
 	if m.regSock != nil {
 		m.regSock.SendTo(fa, Port, n.Marshal())
 	}
@@ -448,7 +450,7 @@ func (m *MobileHost) NotifyPreviousFA(fa ip.Addr, newCareOf ip.Addr, lifetime ti
 // interface down.
 func (m *MobileHost) AnnounceDeparture(fa ip.Addr, lifetime time.Duration) {
 	n := &PFANotify{HomeAddr: m.cfg.HomeAddr, Lifetime: uint16(lifetime / time.Second)}
-	m.trace("pfa.departing", "fa=%v", fa)
+	m.trace(kPFADeparting, "fa=%v", fa)
 	if m.regSock != nil {
 		m.regSock.SendTo(fa, Port, n.Marshal())
 	}

@@ -217,7 +217,7 @@ func (ha *HomeAgent) input(d transport.Datagram) {
 		return
 	}
 	ha.stats.Requests++
-	ha.cfg.Tracer.Record(ha.host.Name(), "reg.request.received", "home=%v careof=%v lifetime=%ds id=%d",
+	ha.cfg.Tracer.Record(ha.host.Name(), kRegRequestReceived, "home=%v careof=%v lifetime=%ds id=%d",
 		req.HomeAddr, req.CareOf, req.Lifetime, req.ID)
 	ha.process(req, d)
 }
@@ -228,6 +228,11 @@ func (ha *HomeAgent) input(d transport.Datagram) {
 // processing delay, the 1.48 ms the paper measures between receiving a
 // request and sending its reply.
 func (ha *HomeAgent) process(req *RegRequest, d transport.Datagram) {
+	// An explicit root: overlapping requests (a fleet re-registering) must
+	// not nest under one another in the agent's ambient span context.
+	sp := ha.cfg.Tracer.StartChild(nil, ha.host.Name(), kSpanRegServe)
+	sp.Attrf("home", "%v", req.HomeAddr)
+	sp.Attrf("id", "%d", req.ID)
 	code := uint8(CodeAccepted)
 	granted := req.Lifetime
 	switch {
@@ -259,7 +264,9 @@ func (ha *HomeAgent) process(req *RegRequest, d transport.Datagram) {
 	}
 	sendReply := func() {
 		reply := &RegReply{Code: code, Lifetime: granted, HomeAddr: req.HomeAddr, HomeAgent: ha.Addr(), ID: req.ID}
-		ha.cfg.Tracer.Record(ha.host.Name(), "reg.reply.sent", "%s lifetime=%ds id=%d", CodeString(code), granted, req.ID)
+		ha.cfg.Tracer.Record(ha.host.Name(), kRegReplySent, "%s lifetime=%ds id=%d", CodeString(code), granted, req.ID)
+		sp.SetAttr("code", CodeString(code))
+		sp.Done()
 		ha.sock.SendTo(d.From, d.FromPort, reply.Marshal())
 	}
 	if ha.cfg.ProcessingDelay > 0 {
@@ -296,7 +303,7 @@ func (ha *HomeAgent) register(req *RegRequest, granted uint16) {
 	b.timer = ha.host.Loop().Schedule(life, func() {
 		if cur, ok := ha.bindings[req.HomeAddr]; ok && cur == b {
 			ha.stats.Expired++
-			ha.cfg.Tracer.Record(ha.host.Name(), "binding.expired", "home=%v", req.HomeAddr)
+			ha.cfg.Tracer.Record(ha.host.Name(), kBindingExpired, "home=%v", req.HomeAddr)
 			ha.remove(req.HomeAddr)
 		}
 	})
@@ -314,7 +321,7 @@ func (ha *HomeAgent) register(req *RegRequest, granted uint16) {
 			Iface: ha.tun.Iface(),
 		})
 	}
-	ha.cfg.Tracer.Record(ha.host.Name(), "binding.installed", "home=%v careof=%v", req.HomeAddr, req.CareOf)
+	ha.cfg.Tracer.Record(ha.host.Name(), kBindingInstalled, "home=%v careof=%v", req.HomeAddr, req.CareOf)
 }
 
 // deregister handles an explicit deregistration; removing an absent
@@ -337,5 +344,5 @@ func (ha *HomeAgent) remove(home ip.Addr) {
 		arp.Unpublish(home)
 	}
 	ha.host.Routes().Delete(ip.Prefix{Addr: home, Bits: 32})
-	ha.cfg.Tracer.Record(ha.host.Name(), "binding.removed", "home=%v", home)
+	ha.cfg.Tracer.Record(ha.host.Name(), kBindingRemoved, "home=%v", home)
 }

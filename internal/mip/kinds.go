@@ -1,0 +1,83 @@
+package mip
+
+// Trace kinds recorded by the mobility layer. All kinds are lowercase
+// dotted constants (enforced tree-wide by the tracekinds analyzer);
+// experiment harnesses select them by prefix ("reg.", "handoff."), so the
+// hierarchy is part of the contract.
+//
+// Flat events (Tracer.Record) mark instants for the Figure 7 timeline;
+// span kinds (Tracer.StartSpan) bound the same operations as intervals for
+// the disruption observatory. An operation's span kind is the shared
+// prefix of its start/done event kinds (e.g. span "handoff.cold" brackets
+// events "handoff.cold.start" and "handoff.cold.done").
+const (
+	// Mobile-host lifecycle events.
+	kHomeAttachStart  = "home.attach.start"
+	kHomeAttachDone   = "home.attach.done"
+	kBringupStart     = "handoff.bringup.start"
+	kBringupDone      = "handoff.bringup.done"
+	kConfigureDone    = "handoff.configure.done"
+	kRouteStaged      = "handoff.route.staged"
+	kRouteSwitched    = "handoff.route.switched"
+	kDHCPStart        = "handoff.dhcp.start"
+	kDHCPDone         = "handoff.dhcp.done"
+	kAddrSwitchStart  = "addrswitch.start"
+	kAddrSwitchConfig = "addrswitch.configure.done"
+	kAddrSwitchRoute  = "addrswitch.route.done"
+	kColdStart        = "handoff.cold.start"
+	kColdDone         = "handoff.cold.done"
+	kHotStart         = "handoff.hot.start"
+	kHotDone          = "handoff.hot.done"
+	kIfaceDown        = "iface.down"
+
+	// Registration events (both ends).
+	kRegTimeout         = "reg.timeout"
+	kRegRequestSent     = "reg.request.sent"
+	kRegDeregSent       = "reg.dereg.sent"
+	kRegReplyReceived   = "reg.reply.received"
+	kRegRenew           = "reg.renew"
+	kRegRequestReceived = "reg.request.received"
+	kRegReplySent       = "reg.reply.sent"
+	kBindingExpired     = "binding.expired"
+	kBindingInstalled   = "binding.installed"
+	kBindingRemoved     = "binding.removed"
+
+	// Policy probing.
+	kProbeStart = "policy.probe.start"
+	kProbeDone  = "policy.probe.done"
+
+	// Foreign-agent extension.
+	kFAStart        = "handoff.fa.start"
+	kFADiscovered   = "fa.discovered"
+	kFARelayRequest = "fa.relay.request"
+	kFARelayReply   = "fa.relay.reply"
+	kFABuffering    = "fa.buffering"
+	kFAForwarding   = "fa.forwarding"
+	kPFANotify      = "pfa.notify"
+	kPFADeparting   = "pfa.departing"
+
+	// Roaming daemon.
+	kRoamerProbeFailed   = "roamer.probe.failed"
+	kRoamerFailover      = "roamer.failover"
+	kRoamerUpgradeFailed = "roamer.upgrade.failed"
+	kRoamerUpgrade       = "roamer.upgrade"
+)
+
+// Span kinds. Roots ("handoff.cold", "handoff.hot", "handoff.addrswitch",
+// "handoff.home", "handoff.connect") bound whole handoffs — the windows
+// the disruption analyzer correlates flow probes against; the rest are
+// their phase children.
+const (
+	kSpanHandoffCold = "handoff.cold"
+	kSpanHandoffHot  = "handoff.hot"
+	kSpanHomeAttach  = "handoff.home"
+	kSpanConnect     = "handoff.connect"
+	kSpanAddrSwitch  = "handoff.addrswitch"
+	kSpanBringup     = "handoff.bringup"
+	kSpanDHCP        = "handoff.dhcp"
+	kSpanConfigure   = "handoff.configure"
+	kSpanRoute       = "handoff.route"
+	kSpanRegAttempt  = "reg.attempt"
+	kSpanRegServe    = "reg.serve"
+	kSpanTunnelUp    = "tunnel.established"
+)

@@ -171,6 +171,7 @@ type regAttempt struct {
 	tries     int
 	firstSent sim.Time
 	done      func(error)
+	span      *trace.Span // "reg.attempt": first transmission to outcome
 }
 
 // NewMobileHost wraps ts's host with mobility support: it installs the
@@ -313,6 +314,12 @@ func (m *MobileHost) trace(kind, format string, args ...any) {
 	m.cfg.Tracer.Record(m.host.Name(), kind, format, args...)
 }
 
+// startSpan opens a span under the host's ambient span context (nil-safe,
+// like trace).
+func (m *MobileHost) startSpan(kind string) *trace.Span {
+	return m.cfg.Tracer.StartSpan(m.host.Name(), kind)
+}
+
 // --- Connectivity operations -------------------------------------------
 
 // ConnectHome brings mi up on the home subnet: the home address goes on
@@ -320,11 +327,26 @@ func (m *MobileHost) trace(kind, format string, args ...any) {
 // the home agent, and a gratuitous ARP reclaims the address from the
 // agent's proxy. done receives the deregistration outcome.
 func (m *MobileHost) ConnectHome(mi *ManagedIface, gateway ip.Addr, done func(error)) {
-	m.trace("home.attach.start", "iface=%s", mi.Name())
+	sp := m.startSpan(kSpanHomeAttach)
+	sp.SetAttr("iface", mi.Name())
+	finish := func(err error) {
+		sp.Fail(err)
+		if done != nil {
+			done(err)
+		}
+	}
+	m.trace(kHomeAttachStart, "iface=%s", mi.Name())
+	bu := m.startSpan(kSpanBringup)
+	bu.SetAttr("iface", mi.Name())
 	mi.ifc.Device().BringUp(func() {
+		bu.Done()
+		cs := m.startSpan(kSpanConfigure)
 		m.host.Loop().Schedule(m.jit(m.cfg.ConfigureDelay), func() {
 			mi.ifc.SetAddr(m.cfg.HomeAddr, m.cfg.HomePrefix)
 			mi.addr, mi.prefix, mi.gateway = m.cfg.HomeAddr, m.cfg.HomePrefix, gateway
+			cs.SetAttr("addr", m.cfg.HomeAddr.String())
+			cs.Done()
+			rs := m.startSpan(kSpanRoute)
 			m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
 				m.installRoutes(mi)
 				mi.ready = true
@@ -332,15 +354,16 @@ func (m *MobileHost) ConnectHome(mi *ManagedIface, gateway ip.Addr, done func(er
 				m.atHome = true
 				m.careOf = ip.Addr{}
 				m.host.InvalidateRoutes()
+				rs.Done()
 				if arp := mi.ifc.ARP(); arp != nil {
 					arp.Gratuitous(m.cfg.HomeAddr, mi.ifc.Device().HW())
 				}
 				m.notifyLink(mi)
-				m.trace("home.attach.done", "addr=%v", m.cfg.HomeAddr)
+				m.trace(kHomeAttachDone, "addr=%v", m.cfg.HomeAddr)
 				if m.registered {
-					m.deregister(done)
-				} else if done != nil {
-					done(nil)
+					m.deregister(finish)
+				} else {
+					finish(nil)
 				}
 			})
 		})
@@ -352,17 +375,26 @@ func (m *MobileHost) ConnectHome(mi *ManagedIface, gateway ip.Addr, done func(er
 // installed, and the care-of address is registered with the home agent.
 // done receives the registration outcome.
 func (m *MobileHost) ConnectForeign(mi *ManagedIface, done func(error)) {
-	m.trace("handoff.bringup.start", "iface=%s", mi.Name())
+	sp := m.startSpan(kSpanConnect)
+	sp.SetAttr("iface", mi.Name())
+	finish := func(err error) {
+		sp.Fail(err)
+		if done != nil {
+			done(err)
+		}
+	}
+	m.trace(kBringupStart, "iface=%s", mi.Name())
+	bu := m.startSpan(kSpanBringup)
+	bu.SetAttr("iface", mi.Name())
 	mi.ifc.Device().BringUp(func() {
-		m.trace("handoff.bringup.done", "iface=%s", mi.Name())
+		bu.Done()
+		m.trace(kBringupDone, "iface=%s", mi.Name())
 		m.Prepare(mi, func(err error) {
 			if err != nil {
-				if done != nil {
-					done(err)
-				}
+				finish(err)
 				return
 			}
-			m.Activate(mi, done)
+			m.Activate(mi, finish)
 		})
 	})
 }
@@ -371,14 +403,20 @@ func (m *MobileHost) ConnectForeign(mi *ManagedIface, done func(error)) {
 // interface without making it active — the staging step of a hot switch.
 func (m *MobileHost) Prepare(mi *ManagedIface, done func(error)) {
 	finish := func(addr ip.Addr, prefix ip.Prefix, gw ip.Addr) {
+		cs := m.startSpan(kSpanConfigure)
+		cs.SetAttr("iface", mi.Name())
 		m.host.Loop().Schedule(m.jit(m.cfg.ConfigureDelay), func() {
 			mi.ifc.SetAddr(addr, prefix)
 			mi.addr, mi.prefix, mi.gateway = addr, prefix, gw
-			m.trace("handoff.configure.done", "iface=%s addr=%v", mi.Name(), addr)
+			cs.SetAttr("addr", addr.String())
+			cs.Done()
+			m.trace(kConfigureDone, "iface=%s addr=%v", mi.Name(), addr)
+			rs := m.startSpan(kSpanRoute)
 			m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
 				m.host.Routes().Add(stack.Route{Dst: prefix, Iface: mi.ifc, Metric: 10})
 				mi.ready = true
-				m.trace("handoff.route.staged", "iface=%s", mi.Name())
+				rs.Done()
+				m.trace(kRouteStaged, "iface=%s", mi.Name())
 				if done != nil {
 					done(nil)
 				}
@@ -389,19 +427,27 @@ func (m *MobileHost) Prepare(mi *ManagedIface, done func(error)) {
 		finish(mi.static.Addr, mi.static.Prefix, mi.static.Gateway)
 		return
 	}
-	m.trace("handoff.dhcp.start", "iface=%s", mi.Name())
+	m.trace(kDHCPStart, "iface=%s", mi.Name())
+	ds := m.startSpan(kSpanDHCP)
+	ds.SetAttr("iface", mi.Name())
 	err := mi.dhcpc.Acquire(func(l dhcp.Lease, err error) {
 		if err != nil {
+			ds.Fail(err)
 			if done != nil {
 				done(fmt.Errorf("mip: acquiring care-of address: %w", err))
 			}
 			return
 		}
-		m.trace("handoff.dhcp.done", "iface=%s addr=%v", mi.Name(), l.Addr)
+		ds.SetAttr("addr", l.Addr.String())
+		ds.Done()
+		m.trace(kDHCPDone, "iface=%s addr=%v", mi.Name(), l.Addr)
 		finish(l.Addr, l.Prefix, l.Gateway)
 	})
-	if err != nil && done != nil {
-		done(err)
+	if err != nil {
+		ds.Fail(err)
+		if done != nil {
+			done(err)
+		}
 	}
 }
 
@@ -415,12 +461,15 @@ func (m *MobileHost) Activate(mi *ManagedIface, done func(error)) {
 		}
 		return
 	}
+	rs := m.startSpan(kSpanRoute)
+	rs.SetAttr("iface", mi.Name())
 	m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
 		m.active = mi
 		m.atHome = m.cfg.HomePrefix.Contains(mi.addr) && mi.addr == m.cfg.HomeAddr
 		m.host.InvalidateRoutes()
 		m.switchDefaultRoute(mi)
-		m.trace("handoff.route.switched", "iface=%s", mi.Name())
+		rs.Done()
+		m.trace(kRouteSwitched, "iface=%s", mi.Name())
 		m.notifyLink(mi)
 		if m.atHome {
 			m.careOf = ip.Addr{}
@@ -449,14 +498,27 @@ func (m *MobileHost) SwitchAddress(newAddr ip.Addr, done func(error)) {
 		return
 	}
 	m.stats.AddressSwitches++
-	m.trace("addrswitch.start", "old=%v new=%v", mi.addr, newAddr)
+	sp := m.startSpan(kSpanAddrSwitch)
+	sp.SetAttr("old", mi.addr.String())
+	sp.SetAttr("new", newAddr.String())
+	finish := func(err error) {
+		sp.Fail(err)
+		if done != nil {
+			done(err)
+		}
+	}
+	m.trace(kAddrSwitchStart, "old=%v new=%v", mi.addr, newAddr)
+	cs := m.startSpan(kSpanConfigure)
 	m.host.Loop().Schedule(m.jit(m.cfg.ConfigureDelay), func() {
 		mi.ifc.SetAddr(newAddr, mi.prefix) // the old address stops receiving here
 		mi.addr = newAddr
-		m.trace("addrswitch.configure.done", "addr=%v", newAddr)
+		cs.Done()
+		m.trace(kAddrSwitchConfig, "addr=%v", newAddr)
+		rs := m.startSpan(kSpanRoute)
 		m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
-			m.trace("addrswitch.route.done", "")
-			m.register(newAddr, m.cfg.Lifetime, done)
+			rs.Done()
+			m.trace(kAddrSwitchRoute, "")
+			m.register(newAddr, m.cfg.Lifetime, finish)
 		})
 	})
 }
@@ -478,13 +540,17 @@ func (m *MobileHost) ColdSwitchHome(to *ManagedIface, gateway ip.Addr, done func
 func (m *MobileHost) coldSwitch(to *ManagedIface, done func(error), connect func(func(error))) {
 	from := m.active
 	m.stats.ColdSwitches++
-	m.trace("handoff.cold.start", "from=%s to=%s", nameOf(from), to.Name())
+	sp := m.startSpan(kSpanHandoffCold)
+	sp.SetAttr("from", nameOf(from))
+	sp.SetAttr("to", to.Name())
+	m.trace(kColdStart, "from=%s to=%s", nameOf(from), to.Name())
 	m.host.Loop().Schedule(m.jit(m.cfg.RouteChangeDelay), func() {
 		if from != nil {
 			m.teardown(from)
 		}
 		connect(func(err error) {
-			m.trace("handoff.cold.done", "err=%v", err)
+			sp.Fail(err)
+			m.trace(kColdDone, "err=%v", err)
 			if done != nil {
 				done(err)
 			}
@@ -496,9 +562,13 @@ func (m *MobileHost) coldSwitch(to *ManagedIface, done func(error), connect func
 // prepared, keeping the old interface up until the switch completes.
 func (m *MobileHost) HotSwitch(to *ManagedIface, done func(error)) {
 	m.stats.HotSwitches++
-	m.trace("handoff.hot.start", "from=%s to=%s", nameOf(m.active), to.Name())
+	sp := m.startSpan(kSpanHandoffHot)
+	sp.SetAttr("from", nameOf(m.active))
+	sp.SetAttr("to", to.Name())
+	m.trace(kHotStart, "from=%s to=%s", nameOf(m.active), to.Name())
 	m.Activate(to, func(err error) {
-		m.trace("handoff.hot.done", "err=%v", err)
+		sp.Fail(err)
+		m.trace(kHotDone, "err=%v", err)
 		if done != nil {
 			done(err)
 		}
@@ -529,7 +599,7 @@ func (m *MobileHost) teardown(mi *ManagedIface) {
 	mi.ifc.SetAddr(ip.Unspecified, ip.Prefix{})
 	mi.addr = ip.Addr{}
 	mi.ready = false
-	m.trace("iface.down", "iface=%s", mi.Name())
+	m.trace(kIfaceDown, "iface=%s", mi.Name())
 }
 
 // installRoutes installs connected + default routes for the active iface.
@@ -586,7 +656,8 @@ func (m *MobileHost) register(careOf ip.Addr, lifetime time.Duration, done func(
 		CareOf:    careOf,
 		ID:        m.regID,
 	}
-	m.pending = &regAttempt{req: req, done: done}
+	m.pending = &regAttempt{req: req, done: done, span: m.startSpan(kSpanRegAttempt)}
+	m.pending.span.SetAttr("careof", careOf.String())
 	m.sendPending()
 }
 
@@ -602,13 +673,18 @@ func (m *MobileHost) deregister(done func(error)) {
 		CareOf:    m.cfg.HomeAddr,
 		ID:        m.regID,
 	}
-	m.pending = &regAttempt{req: req, done: done}
+	m.pending = &regAttempt{req: req, done: done, span: m.startSpan(kSpanRegAttempt)}
+	m.pending.span.SetAttr("dereg", "true")
 	m.sendPending()
 }
 
 func (m *MobileHost) cancelPending() {
 	m.regTimer.Stop()
 	m.reregT.Stop()
+	if m.pending != nil && m.pending.span.Open() {
+		m.pending.span.SetAttr("result", "cancelled")
+		m.pending.span.Done()
+	}
 	m.pending = nil
 }
 
@@ -634,7 +710,9 @@ func (m *MobileHost) sendPending() {
 	p.tries++
 	if p.tries > m.cfg.RegMaxRetries {
 		m.stats.RegTimeouts++
-		m.trace("reg.timeout", "id=%d", p.req.ID)
+		m.trace(kRegTimeout, "id=%d", p.req.ID)
+		p.span.SetAttr("result", "timeout")
+		p.span.Done()
 		m.pending = nil
 		if p.done != nil {
 			p.done(ErrRegistrationTimeout)
@@ -652,10 +730,11 @@ func (m *MobileHost) sendPending() {
 		p.firstSent = m.host.Loop().Now()
 	}
 	m.stats.RegRequestsSent++
-	kind := "reg.request.sent"
+	kind := kRegRequestSent
 	if p.req.IsDeregistration() {
-		kind = "reg.dereg.sent"
+		kind = kRegDeregSent
 	}
+	p.span.Attrf("tries", "%d", p.tries)
 	m.trace(kind, "careof=%v id=%d try=%d", p.req.CareOf, p.req.ID, p.tries)
 	dst := p.dst
 	if dst.IsUnspecified() {
@@ -687,9 +766,11 @@ func (m *MobileHost) regInput(d transport.Datagram) {
 	}
 	m.pending = nil
 	m.regTimer.Stop()
-	m.trace("reg.reply.received", "%s lifetime=%ds id=%d", CodeString(reply.Code), reply.Lifetime, reply.ID)
+	m.trace(kRegReplyReceived, "%s lifetime=%ds id=%d", CodeString(reply.Code), reply.Lifetime, reply.ID)
 	if !reply.Accepted() {
 		m.stats.RegDenied++
+		p.span.SetAttr("result", CodeString(reply.Code))
+		p.span.Done()
 		if p.done != nil {
 			p.done(fmt.Errorf("%w: %s", ErrRegistrationDenied, CodeString(reply.Code)))
 		}
@@ -698,6 +779,8 @@ func (m *MobileHost) regInput(d transport.Datagram) {
 	if p.req.IsDeregistration() {
 		m.registered = false
 		m.stats.Deregistrations++
+		p.span.SetAttr("result", "deregistered")
+		p.span.Done()
 		if m.OnDeregistered != nil {
 			m.OnDeregistered()
 		}
@@ -709,6 +792,13 @@ func (m *MobileHost) regInput(d transport.Datagram) {
 		if wasRenewal {
 			m.stats.Renewals++
 		}
+		// The accepted binding re-arms the tunnel: mark the instant the
+		// datapath to the new care-of address is live.
+		ts := m.cfg.Tracer.StartChild(p.span, m.host.Name(), kSpanTunnelUp)
+		ts.SetAttr("careof", p.req.CareOf.String())
+		ts.Done()
+		p.span.SetAttr("result", "accepted")
+		p.span.Done()
 		m.scheduleRenewal(time.Duration(reply.Lifetime) * time.Second)
 		if m.OnRegistered != nil {
 			m.OnRegistered(p.req.CareOf)
@@ -729,10 +819,10 @@ func (m *MobileHost) scheduleRenewal(granted time.Duration) {
 		switch {
 		case !m.registered || m.atHome:
 		case !m.faAddr.IsUnspecified():
-			m.trace("reg.renew", "via-fa=%v", m.faAddr)
+			m.trace(kRegRenew, "via-fa=%v", m.faAddr)
 			m.registerViaFA(m.faAddr, nil)
 		case !m.careOf.IsUnspecified():
-			m.trace("reg.renew", "careof=%v", m.careOf)
+			m.trace(kRegRenew, "careof=%v", m.careOf)
 			m.register(m.careOf, m.cfg.Lifetime, nil)
 		}
 	})
@@ -747,7 +837,7 @@ func (m *MobileHost) scheduleRenewal(granted time.Duration) {
 func (m *MobileHost) ProbeTriangle(ch ip.Addr, timeout time.Duration, done func(ok bool)) {
 	prior := m.policy.Lookup(ch)
 	m.policy.SetHost(ch, PolicyTriangle)
-	m.trace("policy.probe.start", "ch=%v", ch)
+	m.trace(kProbeStart, "ch=%v", ch)
 	m.host.ICMP().Ping(ch, m.cfg.HomeAddr, 8, timeout, func(r stack.PingResult) {
 		ok := !r.TimedOut && !r.Unreachable
 		if ok {
@@ -759,7 +849,7 @@ func (m *MobileHost) ProbeTriangle(ch ip.Addr, timeout time.Duration, done func(
 			}
 			m.policy.SetHost(ch, PolicyTunnel)
 		}
-		m.trace("policy.probe.done", "ch=%v ok=%v", ch, ok)
+		m.trace(kProbeDone, "ch=%v ok=%v", ch, ok)
 		if done != nil {
 			done(ok)
 		}
@@ -871,6 +961,11 @@ func (m *MobileHost) oneShotExchange(req *RegRequest, bound ip.Addr, done func(e
 	var sock *transport.UDPSocket
 	var timer sim.Timer
 	finished := false
+	sp := m.startSpan(kSpanRegAttempt)
+	sp.SetAttr("careof", req.CareOf.String())
+	if req.Simultaneous() {
+		sp.SetAttr("simultaneous", "true")
+	}
 	finish := func(err error) {
 		if finished {
 			return
@@ -880,6 +975,7 @@ func (m *MobileHost) oneShotExchange(req *RegRequest, bound ip.Addr, done func(e
 		if sock != nil {
 			sock.Close()
 		}
+		sp.Fail(err)
 		if done != nil {
 			done(err)
 		}
@@ -895,7 +991,7 @@ func (m *MobileHost) oneShotExchange(req *RegRequest, bound ip.Addr, done func(e
 			m.stats.DropStaleReply++
 			return
 		}
-		m.trace("reg.reply.received", "%s lifetime=%ds id=%d", CodeString(reply.Code), reply.Lifetime, reply.ID)
+		m.trace(kRegReplyReceived, "%s lifetime=%ds id=%d", CodeString(reply.Code), reply.Lifetime, reply.ID)
 		if !reply.Accepted() {
 			m.stats.RegDenied++
 			finish(fmt.Errorf("%w: %s", ErrRegistrationDenied, CodeString(reply.Code)))
@@ -925,7 +1021,8 @@ func (m *MobileHost) oneShotExchange(req *RegRequest, bound ip.Addr, done func(e
 			m.stats.RegRetransmits++
 		}
 		m.stats.RegRequestsSent++
-		m.trace("reg.request.sent", "careof=%v id=%d try=%d simultaneous=%v", req.CareOf, req.ID, tries, req.Simultaneous())
+		sp.Attrf("tries", "%d", tries)
+		m.trace(kRegRequestSent, "careof=%v id=%d try=%d simultaneous=%v", req.CareOf, req.ID, tries, req.Simultaneous())
 		sock.SendTo(m.cfg.HomeAgent, Port, req.Marshal())
 		timer = m.host.Loop().Schedule(m.cfg.RegRetryInterval, attempt)
 	}

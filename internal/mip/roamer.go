@@ -153,7 +153,7 @@ func (r *Roamer) probe() {
 func (r *Roamer) noteFailure() {
 	r.stats.ProbeFails++
 	r.fails++
-	r.m.trace("roamer.probe.failed", "consecutive=%d", r.fails)
+	r.m.trace(kRoamerProbeFailed, "consecutive=%d", r.fails)
 	if r.fails >= r.cfg.FailThreshold {
 		r.fails = 0
 		r.failover()
@@ -169,7 +169,7 @@ func (r *Roamer) failover() {
 			continue
 		}
 		r.stats.Failovers++
-		r.m.trace("roamer.failover", "from=%s to=%s", nameOf(from), c.Iface.Name())
+		r.m.trace(kRoamerFailover, "from=%s to=%s", nameOf(from), c.Iface.Name())
 		r.connect(c, func(err error) {
 			if err == nil && r.OnFailover != nil {
 				r.OnFailover(from, c.Iface)
@@ -177,7 +177,7 @@ func (r *Roamer) failover() {
 		})
 		return
 	}
-	r.m.trace("roamer.failover", "no alternative candidate")
+	r.m.trace(kRoamerFailover, "no alternative candidate")
 }
 
 // tryUpgrade attempts to move back to a higher-preference candidate than
@@ -244,11 +244,11 @@ func (r *Roamer) rank(active *ManagedIface) int {
 func (r *Roamer) finishUpgrade(from, to *ManagedIface, err error) {
 	r.switching = false
 	if err != nil {
-		r.m.trace("roamer.upgrade.failed", "to=%s err=%v", to.Name(), err)
+		r.m.trace(kRoamerUpgradeFailed, "to=%s err=%v", to.Name(), err)
 		return
 	}
 	r.stats.Upgrades++
-	r.m.trace("roamer.upgrade", "from=%s to=%s", nameOf(from), to.Name())
+	r.m.trace(kRoamerUpgrade, "from=%s to=%s", nameOf(from), to.Name())
 	if r.OnUpgrade != nil {
 		r.OnUpgrade(from, to)
 	}

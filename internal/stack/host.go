@@ -11,6 +11,7 @@ import (
 	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/pipeline"
 	"mosquitonet/internal/sim"
+	"mosquitonet/internal/trace"
 )
 
 // Config tunes a host's per-packet software costs. The paper's numbers are
@@ -126,6 +127,13 @@ type Host struct {
 	stats            Stats
 	idSeq            uint16
 	pktlog           *metrics.PacketLog
+
+	// tracer is the loop's span tracer, resolved lazily because hosts may
+	// be built before trace.New associates one with the loop. Drop spans
+	// are always recorded when a tracer exists; chainSpans additionally
+	// records a traversal span per chain run (opt-in, hot).
+	tracer     *trace.Tracer
+	chainSpans bool
 }
 
 // reassemblySweepInterval drives partial-fragment expiry; with MaxAge 2
@@ -161,6 +169,24 @@ func NewHost(loop *sim.Loop, name string, cfg Config) *Host {
 	h.registerMetrics(metrics.For(loop))
 	return h
 }
+
+// spanTracer returns the loop's tracer, caching the first successful
+// lookup. Hosts are often built before trace.New runs, so NewHost cannot
+// resolve it eagerly; a miss retries on the next call (a cheap registry
+// load, and only on already-slow paths like drops).
+func (h *Host) spanTracer() *trace.Tracer {
+	if h.tracer == nil {
+		h.tracer = trace.For(h.loop)
+	}
+	return h.tracer
+}
+
+// EnableChainSpans turns on per-chain traversal spans: every run of every
+// stage chain records an instant span ("pipeline.forward", ...) with the
+// final verdict attached. Off by default — at scale this is one span per
+// packet per stage — it exists for interactive introspection (mnet -spans)
+// and targeted tests. Requires a tracer associated with the host's loop.
+func (h *Host) EnableChainSpans() { h.chainSpans = true }
 
 // registerMetrics exposes the host's counters in the loop's registry as
 // polled views; the Stats struct stays the source of truth.

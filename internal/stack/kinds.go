@@ -1,0 +1,62 @@
+package stack
+
+import "mosquitonet/internal/pipeline"
+
+// Span kinds recorded by the datapath. All kinds are lowercase dotted
+// constants (enforced tree-wide by the tracekinds analyzer).
+//
+// Drop spans are instants: every accounted Drop verdict records one, so
+// the flight recorder can trigger on bursts (a roam-induced "drop.noroute"
+// storm) without the stack knowing who is watching. Chain-traversal spans
+// ("pipeline.*") are opt-in via EnableChainSpans — one instant per chain
+// run is too hot for the default path at scale.
+const (
+	kSpanDropNoRoute   = "drop.noroute"
+	kSpanDropNotLocal  = "drop.notlocal"
+	kSpanDropTTL       = "drop.ttl"
+	kSpanDropMTU       = "drop.mtu"
+	kSpanDropNoHandler = "drop.nohandler"
+	kSpanDropFilter    = "drop.filter"
+
+	kSpanChainPrerouting  = "pipeline.prerouting"
+	kSpanChainInput       = "pipeline.input"
+	kSpanChainForward     = "pipeline.forward"
+	kSpanChainOutput      = "pipeline.output"
+	kSpanChainPostrouting = "pipeline.postrouting"
+)
+
+// dropSpanKind maps the staged drop counter back to its span kind by
+// pointer identity — the same dispatch observeVerdict already performs
+// for accounting, so the two can never disagree.
+func (h *Host) dropSpanKind(ctr *uint64) string {
+	switch ctr {
+	case &h.stats.DropNoRoute:
+		return kSpanDropNoRoute
+	case &h.stats.DropNotLocal:
+		return kSpanDropNotLocal
+	case &h.stats.DropTTL:
+		return kSpanDropTTL
+	case &h.stats.DropMTU:
+		return kSpanDropMTU
+	case &h.stats.DropNoHandler:
+		return kSpanDropNoHandler
+	default:
+		return kSpanDropFilter
+	}
+}
+
+// chainSpanKind maps a pipeline stage to its traversal-span kind.
+func chainSpanKind(s pipeline.Stage) string {
+	switch s {
+	case pipeline.Prerouting:
+		return kSpanChainPrerouting
+	case pipeline.Input:
+		return kSpanChainInput
+	case pipeline.Forward:
+		return kSpanChainForward
+	case pipeline.Output:
+		return kSpanChainOutput
+	default:
+		return kSpanChainPostrouting
+	}
+}

@@ -159,6 +159,15 @@ func (h *Host) initPipeline() {
 // records the ip.drop event, and sends the staged ICMP error — once, no
 // matter which hook decided.
 func (h *Host) observeVerdict(ctx *PacketContext, v pipeline.Verdict) {
+	if h.chainSpans {
+		if t := h.spanTracer(); t != nil {
+			// Explicit root: chain runs interleave across packets, so
+			// ambient parenting would nest unrelated traversals.
+			sp := t.StartChild(nil, h.name, chainSpanKind(ctx.stage))
+			sp.SetAttr("verdict", v.String())
+			sp.Done()
+		}
+	}
 	if v != pipeline.Drop {
 		return
 	}
@@ -168,6 +177,13 @@ func (h *Host) observeVerdict(ctx *PacketContext, v pipeline.Verdict) {
 	}
 	*ctr++
 	h.pktlog.Record(ctx.Pkt.Trace, h.name, "ip.drop", ctx.dropReason)
+	if t := h.spanTracer(); t != nil {
+		sp := t.StartChild(nil, h.name, h.dropSpanKind(ctr))
+		if ctx.dropReason != "" {
+			sp.SetAttr("reason", ctx.dropReason)
+		}
+		sp.Done()
+	}
 	if ctx.icmpSend {
 		h.icmp.sendError(ctx.icmpType, ctx.icmpCode, ctx.Pkt)
 	}

@@ -1,0 +1,109 @@
+package testbed
+
+import (
+	"bytes"
+	"testing"
+
+	"mosquitonet/internal/trace"
+)
+
+// The observatory's export contract: same seed, byte-identical artifacts —
+// the disruption rows, the span record, and the Chrome trace.
+func TestHandoffDeterminism(t *testing.T) {
+	run := func() (export, spans, chrome string) {
+		res, err := RunHandoff(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ej, sj, cj bytes.Buffer
+		if err := res.Export.WriteJSON(&ej); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Tracer.WriteSpansJSONL(&sj); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Tracer.WriteChromeTrace(&cj); err != nil {
+			t.Fatal(err)
+		}
+		return ej.String(), sj.String(), cj.String()
+	}
+	e1, s1, c1 := run()
+	e2, s2, c2 := run()
+	if e1 != e2 {
+		t.Error("BENCH_handoff export diverged between same-seed runs")
+	}
+	if s1 != s2 {
+		t.Error("span JSONL diverged between same-seed runs")
+	}
+	if c1 != c2 {
+		t.Error("Chrome trace diverged between same-seed runs")
+	}
+}
+
+func TestHandoffSpanTreeAndReports(t *testing.T) {
+	res, err := RunHandoff(1996)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The itinerary yields six root windows: the initial home attach, two
+	// cold switches out, the address switch, the hot switch, and the cold
+	// switch home.
+	if got := len(res.Rows.Handoffs); got != 6 {
+		t.Fatalf("want 6 handoff windows, got %d: %+v", got, res.Rows.Handoffs)
+	}
+
+	// Cold switches through the radio must cost the flow something.
+	lost := 0
+	for _, r := range res.Rows.Handoffs {
+		lost += r.PacketsLost
+	}
+	if lost == 0 {
+		t.Error("no packets attributed lost across five moves")
+	}
+	if res.Rows.PacketsSent == 0 || res.Rows.PacketsReceived == 0 {
+		t.Fatalf("flow did not run: %+v", res.Rows)
+	}
+	if res.Rows.PacketsLost < lost {
+		t.Errorf("window-attributed loss %d exceeds flow total %d", lost, res.Rows.PacketsLost)
+	}
+
+	// The span tree must connect link change -> registration -> tunnel:
+	// every registration attempt hangs off a handoff root, and tunnel
+	// establishment hangs off a registration attempt.
+	spans := res.Tracer.Spans()
+	byID := make(map[uint64]trace.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	rootOf := func(sp trace.Span) trace.Span {
+		for sp.Parent != 0 {
+			sp = byID[sp.Parent]
+		}
+		return sp
+	}
+	regs := res.Tracer.FindSpans("reg.attempt")
+	if len(regs) == 0 {
+		t.Fatal("no reg.attempt spans recorded")
+	}
+	for _, sp := range regs {
+		if root := rootOf(sp); !handoffRootKinds[root.Kind] {
+			t.Errorf("reg.attempt %d roots at %q, not a handoff window", sp.ID, root.Kind)
+		}
+	}
+	tunnels := res.Tracer.FindSpans("tunnel.established")
+	if len(tunnels) == 0 {
+		t.Fatal("no tunnel.established spans recorded")
+	}
+	for _, sp := range tunnels {
+		if sp.Parent == 0 || byID[sp.Parent].Kind != "reg.attempt" {
+			t.Errorf("tunnel.established %d not parented to a reg.attempt", sp.ID)
+		}
+	}
+	if len(res.Tracer.FindSpans("link.up")) == 0 {
+		t.Error("no link.up spans recorded")
+	}
+	if len(res.Tracer.FindSpans("handoff.dhcp")) == 0 {
+		t.Error("no handoff.dhcp spans recorded")
+	}
+}

@@ -1,7 +1,9 @@
-// Package trace provides structured event recording for experiments and
-// debugging: timestamped events with a kind, an actor, and free-form
-// detail, filterable after the fact. The registration time-line of the
-// paper's Figure 7 is reconstructed from these events.
+// Package trace provides structured recording for experiments and
+// debugging: flat timestamped events (kind, actor, free-form detail) and
+// causal spans (timed operations with parents and attributes), both against
+// the simulation clock. The registration time-line of the paper's Figure 7
+// is reconstructed from events; the handoff-disruption observatory is built
+// on spans.
 package trace
 
 import (
@@ -9,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"mosquitonet/internal/sim"
 )
@@ -25,17 +28,107 @@ func (e Event) String() string {
 	return fmt.Sprintf("%12v %-12s %-28s %s", e.At, e.Actor, e.Kind, e.Detail)
 }
 
-// Tracer records events against a simulation clock. A nil Tracer is valid
-// and records nothing, so call sites never need nil checks.
+// Tracer records events and spans against a simulation clock. A nil Tracer
+// is valid and records nothing, so call sites never need nil checks.
+//
+// A Tracer is unbounded by default; SetCapacity turns both stores into
+// rings with deterministic oldest-first eviction, which is what keeps an
+// always-on flight recorder affordable on long runs.
 type Tracer struct {
-	loop   *sim.Loop
-	events []Event
+	loop *sim.Loop
+
+	cap     int // 0 = unbounded; otherwise ring capacity for events and spans
+	events  []Event
+	start   int // ring read position when len(events) == cap
+	dropped uint64
+
+	spans        []*Span
+	spanStart    int
+	droppedSpans uint64
+	nextSpanID   uint64
+	active       map[string][]*Span // per-actor stacks of open spans
+
 	// Hook, if set, observes every event as it is recorded.
 	Hook func(Event)
+	// SpanHook, if set, observes every span as it is closed.
+	SpanHook func(Span)
 }
 
-// New creates a tracer on the given clock.
-func New(loop *sim.Loop) *Tracer { return &Tracer{loop: loop} }
+// loopTracers associates loops with tracers so deep layers (stack drops,
+// DHCP, tunnels, link devices) can record spans without threading a Tracer
+// through every constructor, mirroring metrics.Enable/For. Keyed by *Loop,
+// entries are created under New and dropped by Release; each loop's tracer
+// is only ever used from that loop's goroutine, so sharded runs stay
+// deterministic.
+var loopTracers sync.Map //lint:allow nosharedstate per-loop registry keyed by *sim.Loop, same pattern as metrics
+
+// New creates a tracer on the given clock and associates it with the loop
+// for For lookups. The first tracer created on a loop keeps the
+// association; later tracers (e.g. a private tracer for one experiment
+// fleet) still work but are not discoverable via For.
+func New(loop *sim.Loop) *Tracer {
+	t := &Tracer{loop: loop}
+	loopTracers.LoadOrStore(loop, t)
+	return t
+}
+
+// For returns the tracer associated with the loop, or nil (a valid,
+// no-op tracer) when tracing is not enabled for it.
+func For(loop *sim.Loop) *Tracer {
+	if v, ok := loopTracers.Load(loop); ok {
+		return v.(*Tracer)
+	}
+	return nil
+}
+
+// Release drops the loop's tracer association. Call when discarding a loop
+// so the registry does not retain it.
+func Release(loop *sim.Loop) { loopTracers.Delete(loop) }
+
+// SetCapacity bounds the tracer to retain at most n events and n spans,
+// evicting oldest-first (deterministically — eviction depends only on the
+// record sequence). If more than n are already retained, the oldest are
+// discarded now. n <= 0 restores unbounded growth.
+func (t *Tracer) SetCapacity(n int) {
+	if t == nil {
+		return
+	}
+	ev := t.ordered()
+	sp := t.orderedSpans()
+	if n > 0 {
+		if excess := len(ev) - n; excess > 0 {
+			t.dropped += uint64(excess)
+			ev = ev[excess:]
+		}
+		if excess := len(sp) - n; excess > 0 {
+			t.droppedSpans += uint64(excess)
+			sp = sp[excess:]
+		}
+	}
+	t.events = append([]Event(nil), ev...)
+	t.spans = append([]*Span(nil), sp...)
+	t.start, t.spanStart = 0, 0
+	if n <= 0 {
+		n = 0
+	}
+	t.cap = n
+}
+
+// Capacity returns the ring capacity (0 = unbounded).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.cap
+}
+
+// Dropped returns how many events the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
 
 // Record appends an event. Detail follows fmt.Sprintf conventions.
 func (t *Tracer) Record(actor, kind, format string, args ...any) {
@@ -43,18 +136,35 @@ func (t *Tracer) Record(actor, kind, format string, args ...any) {
 		return
 	}
 	e := Event{At: t.loop.Now(), Kind: kind, Actor: actor, Detail: fmt.Sprintf(format, args...)}
-	t.events = append(t.events, e)
+	if t.cap > 0 && len(t.events) == t.cap {
+		t.events[t.start] = e
+		t.start = (t.start + 1) % t.cap
+		t.dropped++
+	} else {
+		t.events = append(t.events, e)
+	}
 	if t.Hook != nil {
 		t.Hook(e)
 	}
 }
 
-// Events returns all recorded events in order.
+// ordered returns the retained events oldest-first.
+func (t *Tracer) ordered() []Event {
+	if t.start == 0 {
+		return t.events
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}
+
+// Events returns all retained events in order.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	return append([]Event(nil), t.events...)
+	return append([]Event(nil), t.ordered()...)
 }
 
 // Find returns events whose kind has the given prefix.
@@ -63,7 +173,7 @@ func (t *Tracer) Find(kindPrefix string) []Event {
 		return nil
 	}
 	var out []Event
-	for _, e := range t.events {
+	for _, e := range t.ordered() {
 		if strings.HasPrefix(e.Kind, kindPrefix) {
 			out = append(out, e)
 		}
@@ -76,9 +186,10 @@ func (t *Tracer) Last(kindPrefix string) (Event, bool) {
 	if t == nil {
 		return Event{}, false
 	}
-	for i := len(t.events) - 1; i >= 0; i-- {
-		if strings.HasPrefix(t.events[i].Kind, kindPrefix) {
-			return t.events[i], true
+	ev := t.ordered()
+	for i := len(ev) - 1; i >= 0; i-- {
+		if strings.HasPrefix(ev[i].Kind, kindPrefix) {
+			return ev[i], true
 		}
 	}
 	return Event{}, false
@@ -95,7 +206,7 @@ func (t *Tracer) Filter(kindPrefixes ...string) *Tracer {
 		return nil
 	}
 	out := &Tracer{loop: t.loop}
-	for _, e := range t.events {
+	for _, e := range t.ordered() {
 		if len(kindPrefixes) == 0 {
 			out.events = append(out.events, e)
 			continue
@@ -112,12 +223,14 @@ func (t *Tracer) Filter(kindPrefixes ...string) *Tracer {
 
 // WriteJSONL writes the recorded events as one JSON object per line, the
 // machine-readable export external tooling (e.g. a Figure 7 timeline
-// plotter) consumes.
+// plotter) consumes. Spans are exported separately (WriteSpansJSONL,
+// WriteChromeTrace), so this stream's format is unchanged by span
+// recording.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	for _, e := range t.events {
+	for _, e := range t.ordered() {
 		b, err := json.Marshal(e)
 		if err != nil {
 			return err
@@ -130,12 +243,17 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// Reset discards recorded events (between experiment iterations).
+// Reset discards recorded events and spans (between experiment
+// iterations). Open spans are orphaned: their Done still runs but they are
+// no longer retained. Eviction counters are preserved.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.events = t.events[:0]
+	t.spans = t.spans[:0]
+	t.start, t.spanStart = 0, 0
+	t.active = nil
 }
 
 // String renders the full trace, one event per line.
@@ -144,7 +262,7 @@ func (t *Tracer) String() string {
 		return ""
 	}
 	var b strings.Builder
-	for _, e := range t.events {
+	for _, e := range t.ordered() {
 		fmt.Fprintln(&b, e)
 	}
 	return b.String()

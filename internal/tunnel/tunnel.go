@@ -23,7 +23,13 @@ import (
 	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/pipeline"
 	"mosquitonet/internal/stack"
+	"mosquitonet/internal/trace"
 )
+
+// kSpanRebound marks the instant the endpoint first emits with a new outer
+// source — the moment a handoff's re-established tunnel actually carries
+// traffic from the new care-of address.
+const kSpanRebound = "tunnel.rebound"
 
 // PriEncap is the POSTROUTING priority of the encapsulation hooks; decap
 // hooks run on INPUT at stack.PriDecap, between reassembly and the
@@ -62,6 +68,8 @@ type Endpoint struct {
 
 	encapBytes, decapBytes *metrics.Counter
 	pktlog                 *metrics.PacketLog
+	tracer                 *trace.Tracer
+	lastSrc                ip.Addr // outer source of the last transmit
 }
 
 // New creates the endpoint, adds its virtual interface named name to the
@@ -99,6 +107,7 @@ func New(host *stack.Host, name string, outerSrc func() (ip.Addr, bool), outerDs
 		},
 	})
 	e.pktlog = metrics.PacketsFor(host.Loop())
+	e.tracer = trace.For(host.Loop())
 	// A nil registry (telemetry disabled) is valid throughout: Counter hands
 	// back a detached handle and CounterFunc is a no-op, so the endpoint must
 	// never gate its own construction on metrics being enabled.
@@ -153,6 +162,16 @@ func (e *Endpoint) transmit(inner *ip.Packet, _ ip.Addr) {
 	}
 	e.stats.Encapsulated++
 	e.encapBytes.Add(uint64(outer.Len()))
+	if e.tracer != nil && src != e.lastSrc {
+		if !e.lastSrc.IsUnspecified() {
+			sp := e.tracer.StartSpan(name, kSpanRebound)
+			sp.SetAttr("vif", e.vif.Name())
+			sp.SetAttr("old", e.lastSrc.String())
+			sp.SetAttr("new", src.String())
+			sp.Done()
+		}
+		e.lastSrc = src
+	}
 	if e.pktlog != nil { // guard: the detail string is costly to format
 		e.pktlog.Record(outer.Trace, name, "tunnel.encap", outer.Src.String()+"->"+outer.Dst.String())
 	}

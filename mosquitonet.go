@@ -32,6 +32,7 @@ import (
 	"mosquitonet/internal/mip"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
+	"mosquitonet/internal/stats"
 	"mosquitonet/internal/testbed"
 	"mosquitonet/internal/trace"
 	"mosquitonet/internal/transport"
@@ -206,6 +207,26 @@ type (
 	Testbed = testbed.Testbed
 	// EchoProbe is the paper's UDP echo measurement workload.
 	EchoProbe = testbed.EchoProbe
+	// FlowProbe is the one-way sequence-numbered disruption workload.
+	FlowProbe = testbed.FlowProbe
+	// HandoffResult is the handoff observatory's full result.
+	HandoffResult = testbed.HandoffResult
+)
+
+// Observability types (the span observatory).
+type (
+	// Span is one timed operation in a tracer's span record.
+	Span = trace.Span
+	// FlightRecorder dumps the recent trace on anomalies.
+	FlightRecorder = trace.FlightRecorder
+	// FlightDump is one captured anomaly snapshot.
+	FlightDump = trace.FlightDump
+	// FlowTracker follows one probe flow's loss/latency/reordering.
+	FlowTracker = stats.FlowTracker
+	// DisruptionReport quantifies what one handoff cost a flow.
+	DisruptionReport = stats.DisruptionReport
+	// DisruptionWindow is one interval disruption is attributed to.
+	DisruptionWindow = stats.Window
 )
 
 // Mobile Policy Table policies.
@@ -286,6 +307,19 @@ var (
 	RunA4         = testbed.RunA4
 	RunThroughput = testbed.RunThroughput
 	RunScale      = testbed.RunScale
+
+	// RunHandoff drives the roaming itinerary under the span observatory:
+	// per-handoff disruption reports, a flight recorder armed on anomalies,
+	// and Chrome-loadable trace export. NewFlowProbe is its one-way
+	// sequence-numbered measurement flow.
+	RunHandoff   = testbed.RunHandoff
+	NewFlowProbe = testbed.NewFlowProbe
+
+	// NewFlightRecorder arms dump-on-anomaly capture over a tracer's
+	// bounded event/span rings.
+	NewFlightRecorder = trace.NewFlightRecorder
+	// TracerFor returns the tracer associated with a loop, or nil.
+	TracerFor = trace.For
 
 	// RunScaleWorkers and RunParallel drive the sharded scale fleet on a
 	// worker pool: same byte-identical results at any worker count, less
