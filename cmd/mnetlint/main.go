@@ -5,11 +5,19 @@
 //
 //	go run ./cmd/mnetlint ./...
 //	go run ./cmd/mnetlint -json ./internal/mip ./internal/stack
+//	go run ./cmd/mnetlint -sarif ./... > mnetlint.sarif
+//	go run ./cmd/mnetlint -stale-allows ./...
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
 // Findings are suppressed by a `//lint:allow <analyzer> <reason>` comment
 // on the same line or the line above; the reason is mandatory and
 // directives missing one are themselves reported.
+//
+// -stale-allows inverts the audit: instead of findings it reports the
+// allow directives that no longer suppress anything — escape hatches
+// whose justification has rotted into noise. The analyzers still run
+// (usage is observable only by running them); their findings are not
+// printed in this mode.
 package main
 
 import (
@@ -34,6 +42,8 @@ type finding struct {
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	staleAllows := flag.Bool("stale-allows", false, "report //lint:allow directives that no longer suppress any diagnostic")
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	flag.Parse()
 
@@ -63,6 +73,46 @@ func main() {
 		fatal(err)
 	}
 
+	findings, err := runLint(loader, pkgs, suite, *staleAllows)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *sarifOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(buildSARIF(suite, findings)); err != nil {
+			fatal(err)
+		}
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+		if len(findings) > 0 {
+			fmt.Printf("mnetlint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runLint executes the suite over pkgs and returns sorted findings. In
+// staleAllows mode the analyzer findings are used only to mark directives
+// as earning their keep; the returned findings are the directives that
+// suppressed nothing (plus directives naming unknown analyzers).
+func runLint(loader *framework.Loader, pkgs []*framework.Package, suite []*framework.Analyzer, staleAllows bool) ([]finding, error) {
+	known := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		known[a.Name] = true
+	}
 	var findings []finding
 	for _, pkg := range pkgs {
 		if len(pkg.Files) == 0 {
@@ -76,21 +126,46 @@ func main() {
 				Message:  "//lint:allow directive without a reason: write //lint:allow <analyzer> <why the invariant holds anyway>",
 			})
 		}
+		var diagFindings []finding
 		for _, a := range suite {
 			diags, err := pkg.Run(a)
 			if err != nil {
-				fatal(err)
+				return nil, err
 			}
 			for _, d := range diags {
 				pos := pkg.Fset.Position(d.Pos)
-				findings = append(findings, finding{
+				diagFindings = append(diagFindings, finding{
 					File: rel(loader, pos.Filename), Line: pos.Line, Col: pos.Column,
 					Analyzer: d.Analyzer, Message: d.Message,
 				})
 			}
 		}
+		if staleAllows {
+			for _, d := range pkg.AllowDirectives() {
+				switch {
+				case d.Analyzer != "all" && !known[d.Analyzer]:
+					findings = append(findings, finding{
+						File: rel(loader, d.File), Line: d.Line, Col: 1,
+						Analyzer: "staleallow",
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", d.Analyzer),
+					})
+				case !pkg.AllowUsed(d.Pos):
+					findings = append(findings, finding{
+						File: rel(loader, d.File), Line: d.Line, Col: 1,
+						Analyzer: "staleallow",
+						Message:  fmt.Sprintf("//lint:allow %s no longer suppresses any diagnostic: delete it or re-justify (reason was: %s)", d.Analyzer, d.Reason),
+					})
+				}
+			}
+		} else {
+			findings = append(findings, diagFindings...)
+		}
 	}
+	sortFindings(findings)
+	return findings, nil
+}
 
+func sortFindings(findings []finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -104,24 +179,6 @@ func main() {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
-			fatal(err)
-		}
-	} else {
-		for _, f := range findings {
-			fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
-		}
-	}
-	if len(findings) > 0 {
-		if !*jsonOut {
-			fmt.Printf("mnetlint: %d finding(s)\n", len(findings))
-		}
-		os.Exit(1)
-	}
 }
 
 // rel shortens absolute paths to module-relative for stable output.

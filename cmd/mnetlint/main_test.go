@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mosquitonet/internal/analysis"
+	"mosquitonet/internal/analysis/framework"
+)
+
+// writeModule materializes a throwaway Go module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// lintModule runs the full suite over a temp module.
+func lintModule(t *testing.T, dir string, staleAllows bool) []finding {
+	t.Helper()
+	loader, err := framework.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := runLint(loader, pkgs, analysis.All(), staleAllows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+const testGoMod = "module lintfixture\n\ngo 1.21\n"
+
+func TestMissingReasonDirectiveIsReported(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"p.go": `package p
+
+import "time"
+
+func now() time.Time {
+	//lint:allow nowallclock
+	return time.Now()
+}
+`,
+	})
+	findings := lintModule(t, dir, false)
+	var sawDirective, sawClock bool
+	for _, f := range findings {
+		if f.Analyzer == "lintdirective" && strings.Contains(f.Message, "without a reason") {
+			sawDirective = true
+		}
+		// The reasonless directive must NOT suppress.
+		if f.Analyzer == "nowallclock" {
+			sawClock = true
+		}
+	}
+	if !sawDirective {
+		t.Errorf("no lintdirective finding for reasonless allow; findings: %+v", findings)
+	}
+	if !sawClock {
+		t.Errorf("reasonless allow suppressed the diagnostic; findings: %+v", findings)
+	}
+}
+
+func TestStaleAllowsAudit(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"p.go": `package p
+
+import "time"
+
+func now() time.Time {
+	//lint:allow nowallclock harness measures real time outside the simulation
+	return time.Now()
+}
+
+func idle() {
+	//lint:allow seededrand there is no randomness here at all
+	_ = 1
+}
+
+func typo() {
+	//lint:allow frobnicator no such analyzer exists
+	_ = 2
+}
+`,
+	})
+	findings := lintModule(t, dir, true)
+	var staleSeeded, unknownNamed, staleClock bool
+	for _, f := range findings {
+		if f.Analyzer != "staleallow" {
+			t.Errorf("stale-allows mode leaked a %s finding: %+v", f.Analyzer, f)
+			continue
+		}
+		switch {
+		case strings.Contains(f.Message, "seededrand"):
+			staleSeeded = true
+		case strings.Contains(f.Message, "frobnicator"):
+			unknownNamed = true
+		case strings.Contains(f.Message, "nowallclock"):
+			staleClock = true
+		}
+	}
+	if !staleSeeded {
+		t.Errorf("stale seededrand allow not reported; findings: %+v", findings)
+	}
+	if !unknownNamed {
+		t.Errorf("unknown-analyzer allow not reported; findings: %+v", findings)
+	}
+	if staleClock {
+		t.Errorf("the used nowallclock allow was wrongly reported stale; findings: %+v", findings)
+	}
+}
+
+// TestSARIFShape pins the output against the SARIF 2.1.0 shape: schema
+// URI, version, run/tool/driver nesting, rule table consistency, and
+// physical locations on every result.
+func TestSARIFShape(t *testing.T) {
+	suite := analysis.All()
+	findings := []finding{
+		{File: "internal/stack/host.go", Line: 10, Col: 2, Analyzer: "dropaccounting", Message: "silent discard"},
+		{File: "internal/arp/arp.go", Line: 99, Col: 1, Analyzer: "bufownership", Message: "pooled buffer may leak"},
+		{File: "internal/link/link.go", Line: 7, Col: 1, Analyzer: "staleallow", Message: "stale directive"},
+	}
+	data, err := json.Marshal(buildSARIF(suite, findings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	schema, _ := doc["$schema"].(string)
+	if !strings.Contains(schema, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %q, want the 2.1.0 schema URI", schema)
+	}
+	if v, _ := doc["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+	runs, _ := doc["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("runs length = %d, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "mnetlint" {
+		t.Errorf("driver name = %v, want mnetlint", driver["name"])
+	}
+	rules, _ := driver["rules"].([]any)
+	if len(rules) < len(suite)+2 {
+		t.Errorf("rules = %d, want at least suite (%d) plus lintdirective and staleallow", len(rules), len(suite))
+	}
+	ruleIDs := make([]string, len(rules))
+	for i, r := range rules {
+		rm := r.(map[string]any)
+		ruleIDs[i] = rm["id"].(string)
+		if sd, ok := rm["shortDescription"].(map[string]any); !ok || sd["text"] == "" {
+			t.Errorf("rule %v lacks shortDescription.text", rm["id"])
+		}
+	}
+	results, _ := run["results"].([]any)
+	if len(results) != len(findings) {
+		t.Fatalf("results = %d, want %d", len(results), len(findings))
+	}
+	for i, r := range results {
+		rm := r.(map[string]any)
+		idx := int(rm["ruleIndex"].(float64))
+		if idx < 0 || idx >= len(ruleIDs) || ruleIDs[idx] != rm["ruleId"].(string) {
+			t.Errorf("result %d: ruleIndex %d does not point at ruleId %v", i, idx, rm["ruleId"])
+		}
+		locs, _ := rm["locations"].([]any)
+		if len(locs) != 1 {
+			t.Fatalf("result %d: locations = %d, want 1", i, len(locs))
+		}
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		if uri := phys["artifactLocation"].(map[string]any)["uri"]; uri != findings[i].File {
+			t.Errorf("result %d: uri = %v, want %s", i, uri, findings[i].File)
+		}
+		region := phys["region"].(map[string]any)
+		if int(region["startLine"].(float64)) != findings[i].Line {
+			t.Errorf("result %d: startLine = %v, want %d", i, region["startLine"], findings[i].Line)
+		}
+	}
+}
+
+// TestCleanModule pins exit-0 behaviour: no findings on conforming code.
+func TestCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"p.go":   "package p\n\nfunc ok() int { return 4 }\n",
+	})
+	if findings := lintModule(t, dir, false); len(findings) != 0 {
+		t.Errorf("clean module produced findings: %+v", findings)
+	}
+	if findings := lintModule(t, dir, true); len(findings) != 0 {
+		t.Errorf("clean module produced stale-allow findings: %+v", findings)
+	}
+}

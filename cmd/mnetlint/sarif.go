@@ -1,0 +1,113 @@
+package main
+
+import "mosquitonet/internal/analysis/framework"
+
+// SARIF 2.1.0 output, minimal but schema-shaped: one run, one driver, a
+// rule per analyzer (plus the driver's own lintdirective/staleallow
+// pseudo-rules), and one result per finding with a physical location.
+// CI uploads this artifact so findings annotate the code view.
+
+const sarifSchema = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// driverRules are findings mnetlint itself produces, outside any analyzer.
+var driverRules = []sarifRule{
+	{ID: "lintdirective", ShortDescription: sarifMessage{Text: "//lint:allow directives must carry a reason"}},
+	{ID: "staleallow", ShortDescription: sarifMessage{Text: "//lint:allow directives must still suppress something"}},
+}
+
+// buildSARIF renders findings as one SARIF run.
+func buildSARIF(suite []*framework.Analyzer, findings []finding) sarifLog {
+	rules := make([]sarifRule, 0, len(suite)+len(driverRules))
+	index := make(map[string]int)
+	for _, a := range suite {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	for _, r := range driverRules {
+		index[r.ID] = len(rules)
+		rules = append(rules, r)
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := index[f.Analyzer]
+		if !ok {
+			// A finding from a rule outside the suite (should not happen):
+			// register it so ruleIndex stays valid.
+			idx = len(rules)
+			index[f.Analyzer] = idx
+			rules = append(rules, sarifRule{ID: f.Analyzer, ShortDescription: sarifMessage{Text: f.Analyzer}})
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	return sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "mnetlint", Rules: rules}}, Results: results}},
+	}
+}

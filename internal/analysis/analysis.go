@@ -5,6 +5,7 @@
 package analysis
 
 import (
+	"mosquitonet/internal/analysis/bufownership"
 	"mosquitonet/internal/analysis/dropaccounting"
 	"mosquitonet/internal/analysis/framework"
 	"mosquitonet/internal/analysis/hookorder"
@@ -13,6 +14,7 @@ import (
 	"mosquitonet/internal/analysis/seededrand"
 	"mosquitonet/internal/analysis/sortedrange"
 	"mosquitonet/internal/analysis/tracekinds"
+	"mosquitonet/internal/analysis/verdictflow"
 	"mosquitonet/internal/analysis/wireroundtrip"
 )
 
@@ -27,5 +29,7 @@ func All() []*framework.Analyzer {
 		wireroundtrip.Analyzer,
 		hookorder.Analyzer,
 		tracekinds.Analyzer,
+		bufownership.Analyzer,
+		verdictflow.Analyzer,
 	}
 }

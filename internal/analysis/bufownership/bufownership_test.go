@@ -1,0 +1,12 @@
+package bufownership_test
+
+import (
+	"testing"
+
+	"mosquitonet/internal/analysis/bufownership"
+	"mosquitonet/internal/analysis/framework/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/bufownership", bufownership.Analyzer)
+}

@@ -11,9 +11,17 @@
 // diagnostic. The fixture may also carry //lint:allow directives; suppressed
 // diagnostics must NOT have a want — fixtures thereby double as tests of
 // the escape hatch.
+//
+// Fact-exporting analyzers can additionally assert on the facts themselves:
+//
+//	// want fact:"regexp"
+//
+// on a declaration line requires that an object declared on that line carry
+// a fact whose "Name: String()" rendering matches the pattern.
 package analysistest
 
 import (
+	"fmt"
 	"go/ast"
 	"regexp"
 	"strings"
@@ -22,7 +30,10 @@ import (
 	"mosquitonet/internal/analysis/framework"
 )
 
-var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+var (
+	wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+	factRE = regexp.MustCompile(`// want fact:"((?:[^"\\]|\\.)*)"`)
+)
 
 type want struct {
 	file    string
@@ -51,7 +62,7 @@ func Run(t *testing.T, dir string, a *framework.Analyzer) {
 		t.Fatalf("analysistest: running %s: %v", a.Name, err)
 	}
 
-	wants := collectWants(t, pkg)
+	wants, factWants := collectWants(t, pkg)
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
 		if w := matchWant(wants, pos.Filename, pos.Line, d.Message); w == nil {
@@ -63,15 +74,69 @@ func Run(t *testing.T, dir string, a *framework.Analyzer) {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
 		}
 	}
+	checkFactWants(t, loader, pkg, a, factWants)
 }
 
-func collectWants(t *testing.T, pkg *framework.Package) []*want {
+// checkFactWants matches "// want fact:" assertions against the facts the
+// analyzer exported: each assertion's line must declare an object whose
+// "Name: fact" rendering matches the pattern.
+func checkFactWants(t *testing.T, loader *framework.Loader, pkg *framework.Package, a *framework.Analyzer, factWants []*want) {
 	t.Helper()
-	var wants []*want
+	if len(factWants) == 0 {
+		return
+	}
+	type rendered struct {
+		file string
+		line int
+		text string
+	}
+	var facts []rendered
+	for _, of := range loader.ObjectFacts(a.Name) {
+		pos := pkg.Fset.Position(of.Obj.Pos())
+		facts = append(facts, rendered{
+			file: pos.Filename,
+			line: pos.Line,
+			text: fmt.Sprintf("%s: %v", of.Obj.Name(), of.Fact),
+		})
+	}
+	for _, w := range factWants {
+		for _, f := range facts {
+			if f.file == w.file && f.line == w.line && w.pattern.MatchString(f.text) {
+				w.matched = true
+				break
+			}
+		}
+		if !w.matched {
+			var onLine []string
+			for _, f := range facts {
+				if f.file == w.file && f.line == w.line {
+					onLine = append(onLine, f.text)
+				}
+			}
+			t.Errorf("%s:%d: expected fact matching %q, got none (facts on line: %v)",
+				w.file, w.line, w.pattern, onLine)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *framework.Package) (wants, factWants []*want) {
+	t.Helper()
 	files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				compile := func(pat string) *regexp.Regexp {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", pat, err)
+					}
+					return re
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if m := factRE.FindStringSubmatch(c.Text); m != nil {
+					factWants = append(factWants, &want{file: pos.Filename, line: pos.Line, pattern: compile(m[1])})
+					continue
+				}
 				m := wantRE.FindStringSubmatch(c.Text)
 				if m == nil {
 					if strings.Contains(c.Text, "// want ") {
@@ -79,16 +144,11 @@ func collectWants(t *testing.T, pkg *framework.Package) []*want {
 					}
 					continue
 				}
-				pat, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("bad want pattern %q: %v", m[1], err)
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: pat})
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: compile(m[1])})
 			}
 		}
 	}
-	return wants
+	return wants, factWants
 }
 
 func matchWant(wants []*want, file string, line int, msg string) *want {

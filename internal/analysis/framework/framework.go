@@ -39,6 +39,11 @@ type Analyzer struct {
 	Doc string
 	// Run reports diagnostics for one package through the pass.
 	Run func(*Pass) error
+	// FactTypes lists the fact types the analyzer exports/imports (sample
+	// pointer values, e.g. []Fact{(*OwnershipFact)(nil)}). A non-empty
+	// list makes the loader analyze a package's module-internal imports
+	// first, so facts flow from dependency to importer.
+	FactTypes []Fact
 }
 
 // Diagnostic is one finding.
@@ -66,6 +71,7 @@ type Pass struct {
 	// TypesInfo holds expression types and identifier uses, best effort.
 	TypesInfo *types.Info
 
+	pkg   *Package
 	diags []Diagnostic
 }
 
@@ -129,11 +135,14 @@ func importName(f *ast.File, path string) (string, bool) {
 	return "", false
 }
 
-// allowDirective is one parsed //lint:allow comment.
-type allowDirective struct {
-	line     int
-	analyzer string
-	reason   string
+// AllowDirective is one parsed //lint:allow comment: the escape hatch's
+// position, the analyzer it silences, and the mandatory justification.
+type AllowDirective struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
 }
 
 // BrokenDirective is an allow directive missing its mandatory reason.
@@ -144,7 +153,7 @@ type BrokenDirective struct {
 const allowPrefix = "//lint:allow"
 
 // parseAllows extracts allow directives from a file's comments.
-func parseAllows(fset *token.FileSet, f *ast.File) (allows []allowDirective, broken []BrokenDirective) {
+func parseAllows(fset *token.FileSet, f *ast.File) (allows []AllowDirective, broken []BrokenDirective) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, allowPrefix) {
@@ -158,10 +167,13 @@ func parseAllows(fset *token.FileSet, f *ast.File) (allows []allowDirective, bro
 				broken = append(broken, BrokenDirective{Pos: c.Pos()})
 				continue
 			}
-			allows = append(allows, allowDirective{
-				line:     fset.Position(c.Pos()).Line,
-				analyzer: fields[0],
-				reason:   strings.Join(fields[1:], " "),
+			pos := fset.Position(c.Pos())
+			allows = append(allows, AllowDirective{
+				Pos:      c.Pos(),
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Analyzer: fields[0],
+				Reason:   strings.Join(fields[1:], " "),
 			})
 		}
 	}
@@ -169,8 +181,20 @@ func parseAllows(fset *token.FileSet, f *ast.File) (allows []allowDirective, bro
 }
 
 // Run executes the analyzer over the package and returns its diagnostics
-// with suppression applied, sorted by position.
+// with suppression applied, sorted by position. When the analyzer declares
+// FactTypes and the package was produced by a Loader, the analyzer first
+// runs (memoized) over the package's module-internal imports so their
+// exported facts are visible; results per (package, analyzer) are memoized
+// on the loader, so a driver iterating packages never re-runs a pass.
 func (pkg *Package) Run(a *Analyzer) ([]Diagnostic, error) {
+	if pkg.loader != nil {
+		return pkg.loader.runWithDeps(a, pkg)
+	}
+	return pkg.runLocal(a)
+}
+
+// runLocal executes the analyzer over just this package.
+func (pkg *Package) runLocal(a *Analyzer) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
@@ -179,6 +203,7 @@ func (pkg *Package) Run(a *Analyzer) ([]Diagnostic, error) {
 		PkgPath:   pkg.PkgPath,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		pkg:       pkg,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
@@ -192,30 +217,22 @@ func (pkg *Package) Run(a *Analyzer) ([]Diagnostic, error) {
 }
 
 // filterSuppressed drops diagnostics covered by an allow directive for the
-// analyzer (or for "all") on the same line or the line above.
+// analyzer (or for "all") on the same line or the line above, recording
+// which directives earned their keep so the driver's -stale-allows audit
+// can report the ones that no longer suppress anything.
 func (pkg *Package) filterSuppressed(analyzer string, diags []Diagnostic) []Diagnostic {
 	if len(diags) == 0 {
 		return nil
 	}
-	// filename -> line -> suppressing analyzers present on that line.
-	byFile := make(map[string]map[int]map[string]bool)
-	for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
-		allows, _ := parseAllows(pkg.Fset, f)
-		if len(allows) == 0 {
-			continue
-		}
-		name := pkg.Fset.Position(f.Pos()).Filename
-		lines := byFile[name]
+	// filename -> line -> directives present on that line.
+	byFile := make(map[string]map[int][]AllowDirective)
+	for _, a := range pkg.AllowDirectives() {
+		lines := byFile[a.File]
 		if lines == nil {
-			lines = make(map[int]map[string]bool)
-			byFile[name] = lines
+			lines = make(map[int][]AllowDirective)
+			byFile[a.File] = lines
 		}
-		for _, a := range allows {
-			if lines[a.line] == nil {
-				lines[a.line] = make(map[string]bool)
-			}
-			lines[a.line][a.analyzer] = true
-		}
+		lines[a.Line] = append(lines[a.Line], a)
 	}
 	var kept []Diagnostic
 	for _, d := range diags {
@@ -223,8 +240,16 @@ func (pkg *Package) filterSuppressed(analyzer string, diags []Diagnostic) []Diag
 		lines := byFile[pos.Filename]
 		suppressed := false
 		for _, line := range []int{pos.Line, pos.Line - 1} {
-			if as, ok := lines[line]; ok && (as[analyzer] || as["all"]) {
-				suppressed = true
+			for _, a := range lines[line] {
+				if a.Analyzer == analyzer || a.Analyzer == "all" {
+					suppressed = true
+					if pkg.usedAllows == nil {
+						pkg.usedAllows = make(map[token.Pos]bool)
+					}
+					pkg.usedAllows[a.Pos] = true
+				}
+			}
+			if suppressed {
 				break
 			}
 		}
@@ -234,6 +259,23 @@ func (pkg *Package) filterSuppressed(analyzer string, diags []Diagnostic) []Diag
 	}
 	return kept
 }
+
+// AllowDirectives returns every well-formed //lint:allow directive in the
+// package (sources and test files), memoized, in file order.
+func (pkg *Package) AllowDirectives() []AllowDirective {
+	if pkg.allows == nil {
+		pkg.allows = []AllowDirective{} // non-nil: memo even when empty
+		for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
+			allows, _ := parseAllows(pkg.Fset, f)
+			pkg.allows = append(pkg.allows, allows...)
+		}
+	}
+	return pkg.allows
+}
+
+// AllowUsed reports whether the directive at pos suppressed at least one
+// diagnostic during the analyzer runs performed so far.
+func (pkg *Package) AllowUsed(pos token.Pos) bool { return pkg.usedAllows[pos] }
 
 // BrokenDirectives returns allow directives in the package that are
 // missing their mandatory reason, for the driver to surface.

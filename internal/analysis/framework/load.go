@@ -26,6 +26,11 @@ type Package struct {
 	// TypeErrors collects type-checker complaints. Analysis proceeds on
 	// partial information, but the driver can surface these in -debug runs.
 	TypeErrors []error
+
+	loader     *Loader            // back-pointer for facts and dep-ordered runs; nil for hand-built packages
+	localFacts *factStore         // fallback store when loader is nil
+	allows     []AllowDirective   // memoized AllowDirectives result
+	usedAllows map[token.Pos]bool // directives that suppressed ≥1 diagnostic
 }
 
 // Loader loads packages of one module, resolving module-internal imports
@@ -38,6 +43,28 @@ type Loader struct {
 	std     types.ImporterFrom
 	source  types.Importer
 	loaded  map[string]*Package // by import path, non-test typecheck memo
+
+	// facts memoizes every exported analysis fact alongside the type
+	// info, so an analyzer running on an importing package sees what its
+	// dependencies' passes learned.
+	facts *factStore
+	// byTypes maps a type-checked package back to its loaded Package, for
+	// resolving pkg.Types.Imports() entries to analyzable sources.
+	byTypes map[*types.Package]*Package
+	// results memoizes Run outcomes per (analyzer, package) so the
+	// dependency-first traversal never re-analyzes.
+	results map[runKey]runResult
+	running map[runKey]bool // cycle guard (impossible in well-formed Go)
+}
+
+type runKey struct {
+	analyzer string
+	pkgPath  string
+}
+
+type runResult struct {
+	diags []Diagnostic
+	err   error
 }
 
 // NewLoader creates a loader for the module containing dir.
@@ -52,6 +79,10 @@ func NewLoader(dir string) (*Loader, error) {
 		modRoot: root,
 		modPath: path,
 		loaded:  make(map[string]*Package),
+		facts:   newFactStore(),
+		byTypes: make(map[*types.Package]*Package),
+		results: make(map[runKey]runResult),
+		running: make(map[runKey]bool),
 	}
 	if imp, ok := importer.Default().(types.ImporterFrom); ok {
 		l.std = imp
@@ -191,7 +222,7 @@ func (l *Loader) load(pkgPath, dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkg := &Package{PkgPath: pkgPath, Dir: dir, Fset: l.Fset}
+	pkg := &Package{PkgPath: pkgPath, Dir: dir, Fset: l.Fset, loader: l}
 	// Memoize before type-checking so recursive imports terminate; Go
 	// forbids import cycles, so the partially filled entry is never
 	// observed by a well-formed tree.
@@ -232,7 +263,44 @@ func (l *Loader) load(pkgPath, dir string) (*Package, error) {
 	// Check ignores the returned error: Info is filled best effort and
 	// conf.Error already captured the details.
 	pkg.Types, _ = conf.Check(pkgPath, l.Fset, pkg.Files, pkg.Info)
+	if pkg.Types != nil {
+		l.byTypes[pkg.Types] = pkg
+	}
 	return pkg, nil
+}
+
+// runWithDeps executes the analyzer over pkg, first (for fact-bearing
+// analyzers) over every module-internal dependency in deterministic
+// import order, memoizing each (analyzer, package) outcome.
+func (l *Loader) runWithDeps(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	key := runKey{analyzer: a.Name, pkgPath: pkg.PkgPath}
+	if res, ok := l.results[key]; ok {
+		return res.diags, res.err
+	}
+	if l.running[key] {
+		// Import cycles cannot occur in well-formed Go; break anyway.
+		return nil, nil
+	}
+	l.running[key] = true
+	defer delete(l.running, key)
+
+	if len(a.FactTypes) > 0 && pkg.Types != nil {
+		imps := append([]*types.Package(nil), pkg.Types.Imports()...)
+		sort.Slice(imps, func(i, j int) bool { return imps[i].Path() < imps[j].Path() })
+		for _, imp := range imps {
+			dep, ok := l.byTypes[imp]
+			if !ok || len(dep.Files) == 0 {
+				continue // stdlib or unloaded: no sources to analyze
+			}
+			if _, err := l.runWithDeps(a, dep); err != nil {
+				l.results[key] = runResult{err: err}
+				return nil, err
+			}
+		}
+	}
+	diags, err := pkg.runLocal(a)
+	l.results[key] = runResult{diags: diags, err: err}
+	return diags, err
 }
 
 // moduleImporter resolves module-internal imports from source and defers
@@ -247,14 +315,12 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	}
 	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
-		pkg, err := l.LoadDir(filepath.Join(l.modRoot, filepath.FromSlash(rel)))
-		if err != nil {
-			return nil, err
-		}
-		if pkg.Types == nil {
-			return nil, fmt.Errorf("framework: type-checking %s failed", path)
-		}
-		return pkg.Types, nil
+		return m.fromSource(path, rel)
+	}
+	// Synthetic fixture paths (see importPathFor): testdata packages import
+	// each other as "fixture/<module-relative-dir>".
+	if rel, ok := strings.CutPrefix(path, "fixture/"); ok {
+		return m.fromSource(path, rel)
 	}
 	if l.std != nil {
 		if p, err := l.std.ImportFrom(path, l.modRoot, 0); err == nil {
@@ -262,4 +328,16 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 		}
 	}
 	return l.source.Import(path)
+}
+
+// fromSource loads the module-relative directory rel and returns its types.
+func (m *moduleImporter) fromSource(path, rel string) (*types.Package, error) {
+	pkg, err := m.l.LoadDir(filepath.Join(m.l.modRoot, filepath.FromSlash(rel)))
+	if err != nil {
+		return nil, err
+	}
+	if pkg.Types == nil {
+		return nil, fmt.Errorf("framework: type-checking %s failed", path)
+	}
+	return pkg.Types, nil
 }

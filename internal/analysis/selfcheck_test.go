@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mosquitonet/internal/analysis/bufownership"
+	"mosquitonet/internal/analysis/framework"
+	"mosquitonet/internal/analysis/verdictflow"
+)
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestDatapathOwnershipSelfCheck runs the dataflow analyzers over the real
+// datapath packages and requires a clean bill. This is the regression net
+// for the send-path buffer contract: removing the bufpool.Put on arp's
+// queue-overflow branch, or retaining a delivered frame payload in the
+// stack, fails this test with a concrete use-after-recycle/leak report
+// instead of an intermittent data race.
+func TestDatapathOwnershipSelfCheck(t *testing.T) {
+	root := moduleRoot(t)
+	loader, err := framework.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{
+		"./internal/arp",
+		"./internal/link",
+		"./internal/stack",
+		"./internal/ip",
+		"./internal/bufpool",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded %d packages, want 5", len(pkgs))
+	}
+	for _, a := range []*framework.Analyzer{bufownership.Analyzer, verdictflow.Analyzer} {
+		for _, pkg := range pkgs {
+			diags, err := pkg.Run(a)
+			if err != nil {
+				t.Fatalf("%s over %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s: %s", a.Name, pkg.Fset.Position(d.Pos), d.Message)
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package fixture exercises the bufownership analyzer: every pooled buffer
+// is recycled or ownership-transferred exactly once on every path, and
+// borrowed frame payloads are never retained. Each violation class has a
+// flagged variant and an allowed (suppressed) variant.
+package fixture
+
+import (
+	"errors"
+
+	dep "fixture/internal/analysis/testdata/src/bufowndep"
+	"mosquitonet/internal/bufpool"
+)
+
+func work(b []byte) {}
+
+// ---- use-after-recycle ----
+
+func useAfterRecycle(n int) {
+	buf := bufpool.Get(n)
+	bufpool.Put(buf)
+	work(buf) // want "use of pooled buffer buf after recycle"
+}
+
+func allowedUseAfterRecycle(n int) {
+	buf := bufpool.Get(n)
+	bufpool.Put(buf)
+	work(buf) //lint:allow bufownership fixture exercises the escape hatch
+}
+
+func useOnLivePathOnly(n int, cold bool) {
+	buf := bufpool.Get(n)
+	if cold {
+		work(buf)
+		bufpool.Put(buf)
+		return
+	}
+	bufpool.Put(buf)
+}
+
+// ---- double recycle ----
+
+func doubleRecycle(n int) {
+	buf := bufpool.Get(n)
+	bufpool.Put(buf)
+	bufpool.Put(buf) // want "double recycle"
+}
+
+func allowedDoubleRecycle(n int) {
+	buf := bufpool.Get(n)
+	bufpool.Put(buf)
+	bufpool.Put(buf) //lint:allow bufownership fixture exercises the escape hatch
+}
+
+func recycleOncePerPath(n int, early bool) {
+	buf := bufpool.Get(n)
+	if early {
+		bufpool.Put(buf)
+		return
+	}
+	work(buf)
+	bufpool.Put(buf)
+}
+
+// ---- leak at a terminal ----
+
+func leakOnError(n int, fail bool) error {
+	buf := bufpool.Get(n) // want "may leak"
+	if fail {
+		return errors.New("send failed")
+	}
+	bufpool.Put(buf)
+	return nil
+}
+
+func allowedLeak(n int) {
+	buf := bufpool.Get(n) //lint:allow bufownership fixture keeps the buffer on purpose
+	work(buf)
+}
+
+func deferRecycle(n int) {
+	buf := bufpool.Get(n)
+	defer bufpool.Put(buf)
+	work(buf)
+}
+
+func recyclePerIteration(rounds int) {
+	for i := 0; i < rounds; i++ {
+		buf := bufpool.Get(64)
+		work(buf)
+		bufpool.Put(buf)
+	}
+}
+
+// marshalAndSend is the stack's sendOne pattern: marshal into an owned
+// buffer through an aliasing callee, recycle on the error path, transfer
+// on success.
+func marshalAndSend(n int) error {
+	buf := bufpool.Get(n)
+	raw, err := dep.FillErr(buf)
+	if err != nil {
+		bufpool.Put(buf)
+		return err
+	}
+	dep.Consume(raw)
+	return nil
+}
+
+// ---- cross-package ownership transfer (facts) ----
+
+func useAfterTransfer(n int) {
+	buf := bufpool.Get(n)
+	dep.Consume(buf)
+	work(buf) // want "after its ownership was transferred"
+}
+
+func transferTwice(n int) {
+	buf := bufpool.Get(n)
+	dep.Consume(buf)
+	dep.Consume(buf) // want "ownership transferred twice"
+}
+
+func recycleAfterTransfer(n int) {
+	buf := bufpool.Get(n)
+	dep.Consume(buf)
+	bufpool.Put(buf) // want "ownership was already transferred"
+}
+
+func leakFromDep(n int) {
+	buf := dep.NewBuf(n) // want "may leak"
+	work(buf)
+}
+
+func recycleFromDep(n int) {
+	buf := dep.NewBuf(n)
+	bufpool.Put(buf)
+}
+
+func aliasRecycled(n int) {
+	buf := bufpool.Get(n)
+	out := dep.Fill(buf)
+	bufpool.Put(out)
+}
+
+// viaHandoff transfers through a func-typed struct field's contract, the
+// link.Network handoff shape.
+func viaHandoff(n *dep.Network, size int) {
+	payload := bufpool.Get(size)
+	n.Handoff(&dep.Frame{Payload: payload})
+}
+
+// sendThenRecycle: a borrowing callee does not take the buffer, so the
+// caller still recycles.
+func sendThenRecycle(size int) {
+	payload := bufpool.Get(size)
+	dep.Send(&dep.Frame{Payload: payload})
+	bufpool.Put(payload)
+}
+
+func handAndTouch(n int, enqueue func(fn func())) {
+	buf := bufpool.Get(n)
+	enqueue(func() { bufpool.Put(buf) })
+	work(buf) // want "after its ownership was transferred"
+}
+
+// ---- retained borrowed frame payloads ----
+
+type sink struct{ stash []byte }
+
+func (s *sink) retainPayload(f *dep.Frame) {
+	s.stash = f.Payload // want "retained past synchronous delivery"
+}
+
+func (s *sink) allowedRetain(f *dep.Frame) {
+	s.stash = f.Payload //lint:allow bufownership fixture retains deliberately
+}
+
+func recycleBorrowed(f *dep.Frame) {
+	bufpool.Put(f.Payload) // want "bufpool.Put of borrowed frame payload"
+}
+
+func transferBorrowed(f *dep.Frame) {
+	dep.Consume(f.Payload) // want "ownership of borrowed frame payload"
+}
+
+func captureBorrowed(f *dep.Frame, later func(fn func())) {
+	later(func() { work(f.Payload) }) // want "captured by a closure"
+}
+
+// borrowOK is the sanctioned pattern: read the payload, copy what must
+// outlive delivery into an owned buffer, keep only the copy.
+func borrowOK(s *sink, f *dep.Frame) {
+	n := dep.Peek(f.Payload)
+	c := bufpool.Get(n)
+	copy(c, f.Payload)
+	s.stash = c
+}
+
+// ---- takes-frame entry: a DeliverLocal-shaped owner ----
+
+//mnet:ownership takes f
+func deliverLocal(f *dep.Frame) { // want fact:"deliverLocal: ownership\(takes=\[0\]\)"
+	work(f.Payload)
+	bufpool.Put(f.Payload)
+}
+
+//mnet:ownership takes f
+func deliverLeak(f *dep.Frame) { // want "may leak"
+	work(f.Payload)
+}
+
+// ---- malformed annotations are surfaced, not silently dropped ----
+
+//mnet:ownership takes nosuch
+func badParam(buf []byte) { // want "no parameter named nosuch"
+	work(buf)
+}
+
+//mnet:ownership retains buf
+func badVerb(buf []byte) { // want "unknown verb retains"
+	work(buf)
+}

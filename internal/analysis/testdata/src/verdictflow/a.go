@@ -1,0 +1,119 @@
+// Package fixture exercises the verdictflow analyzer: every path that
+// returns pipeline.Drop must first touch drop accounting.
+package fixture
+
+import "mosquitonet/internal/pipeline"
+
+type stats struct{ DropFilter uint64 }
+
+type recorder struct{}
+
+func (recorder) Record(args ...any) {}
+
+// PacketContext mirrors the stack's hook context.
+type PacketContext struct {
+	stats *stats
+	log   recorder
+	drops uint64
+}
+
+// Drop mirrors the real context helper: staging the counter bump is the
+// accounting.
+func (c *PacketContext) Drop(reason string) pipeline.Verdict {
+	c.drops++
+	return pipeline.Drop
+}
+
+func silentDrop(ctx *PacketContext, bad bool) pipeline.Verdict {
+	if bad {
+		return pipeline.Drop // want "without drop accounting"
+	}
+	return pipeline.Accept
+}
+
+func allowedSilentDrop(ctx *PacketContext, bad bool) pipeline.Verdict {
+	if bad {
+		return pipeline.Drop //lint:allow verdictflow fixture exercises the escape hatch
+	}
+	return pipeline.Accept
+}
+
+func countedDrop(ctx *PacketContext, bad bool) pipeline.Verdict {
+	if bad {
+		ctx.stats.DropFilter++
+		return pipeline.Drop
+	}
+	return pipeline.Accept
+}
+
+func helperDrop(ctx *PacketContext, bad bool) pipeline.Verdict {
+	if bad {
+		return ctx.Drop("bad checksum")
+	}
+	return pipeline.Accept
+}
+
+func recordedDrop(ctx *PacketContext, bad bool) pipeline.Verdict {
+	if bad {
+		ctx.log.Record("drop", "bad checksum")
+		return pipeline.Drop
+	}
+	return pipeline.Accept
+}
+
+// partialPath accounts in one arm only: the must-analysis refuses to let
+// the a-arm's counter excuse the b-return.
+func partialPath(ctx *PacketContext, a, b bool) pipeline.Verdict {
+	if a {
+		ctx.stats.DropFilter++
+	}
+	if b {
+		return pipeline.Drop // want "without drop accounting"
+	}
+	return pipeline.Accept
+}
+
+// loopMayNotRun: a counter bumped inside a loop body does not cover the
+// zero-iteration path.
+func loopMayNotRun(ctx *PacketContext, tries int) pipeline.Verdict {
+	for i := 0; i < tries; i++ {
+		ctx.stats.DropFilter++
+	}
+	return pipeline.Drop // want "without drop accounting"
+}
+
+// viaVariable: the verdict travels through a local before the return.
+func viaVariable(ctx *PacketContext, bad bool) pipeline.Verdict {
+	v := pipeline.Accept
+	if bad {
+		v = pipeline.Drop
+	}
+	return v // want "may be pipeline.Drop"
+}
+
+func viaVariableCounted(ctx *PacketContext, bad bool) pipeline.Verdict {
+	v := pipeline.Accept
+	if bad {
+		ctx.stats.DropFilter++
+		v = pipeline.Drop
+	}
+	return v
+}
+
+// deferredAccountingDoesNotCount: accounting inside a closure that may
+// never run on this path is not accounting.
+func deferredAccountingDoesNotCount(ctx *PacketContext, enqueue func(fn func()), bad bool) pipeline.Verdict {
+	if bad {
+		enqueue(func() { ctx.stats.DropFilter++ })
+		return pipeline.Drop // want "without drop accounting"
+	}
+	return pipeline.Accept
+}
+
+// otherVerdicts: Accept and Stolen need no accounting.
+func otherVerdicts(ctx *PacketContext, steal bool) pipeline.Verdict {
+	if steal {
+		return pipeline.Stolen
+	}
+	return pipeline.Accept
+}

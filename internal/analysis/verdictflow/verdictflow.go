@@ -1,0 +1,259 @@
+// Package verdictflow proves drop accounting for pipeline hooks
+// path-sensitively: in any function that takes a *PacketContext and
+// returns a pipeline.Verdict, every control-flow path that returns
+// pipeline.Drop must first flow through a drop-accounting touch — a
+// ctx.drop/dropICMP/Drop/Reject call, an increment of a drop-ish stats
+// field, or a Record call that writes the event into the timeline.
+//
+// This is the dataflow sibling of the dropaccounting analyzer: where
+// dropaccounting pattern-matches discard-shaped if-blocks, verdictflow
+// runs a must-analysis ("has this path accounted yet?") over the
+// framework's CFG, so a counter bumped in only one arm of a branch does
+// not excuse the other arm. The telemetry identity encap = decap + drops
+// holds only if DROP verdicts and drop counters move in lockstep.
+package verdictflow
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strings"
+
+	"mosquitonet/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "verdictflow",
+	Doc:  "every hook path returning pipeline.Drop must flow through a drop-accounting touch",
+	Run:  run,
+}
+
+// accountingField matches stats-field names whose update accounts for a
+// dropped packet (shared vocabulary with the dropaccounting analyzer).
+var accountingField = regexp.MustCompile(`(?i)drop|expired|denied|discard|filtered|bad|refused|rejected|lost|exhaust|stale|unreach`)
+
+// accountingCall matches method names that stage drop bookkeeping or
+// record the event: the PacketContext helpers plus Record.
+var accountingCall = map[string]bool{
+	"drop":     true,
+	"dropICMP": true,
+	"Drop":     true,
+	"Reject":   true,
+	"Record":   true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftyp *ast.FuncType
+			var body *ast.BlockStmt
+			var recv *ast.FieldList
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftyp, body, recv = fn.Type, fn.Body, fn.Recv
+			case *ast.FuncLit:
+				ftyp, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body != nil && inScope(ftyp, recv) {
+				check(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inScope reports whether the function returns a Verdict and sees a
+// *PacketContext (parameter or receiver) — i.e. it is a per-packet hook
+// whose DROP verdicts the observer will count.
+func inScope(ftyp *ast.FuncType, recv *ast.FieldList) bool {
+	if ftyp.Results == nil || len(ftyp.Results.List) == 0 {
+		return false
+	}
+	if finalTypeName(ftyp.Results.List[0].Type) != "Verdict" {
+		return false
+	}
+	fields := []*ast.FieldList{ftyp.Params, recv}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			if finalTypeName(f.Type) == "PacketContext" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func finalTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return finalTypeName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	case *ast.Ident:
+		return t.Name
+	}
+	return ""
+}
+
+// vfState is the dataflow fact: accounted is a must-property (true only if
+// every path to this point touched accounting); dropVars is the may-set of
+// locals currently holding pipeline.Drop.
+type vfState struct {
+	accounted bool
+	dropVars  map[types.Object]bool
+}
+
+func (s vfState) clone() vfState {
+	n := vfState{accounted: s.accounted, dropVars: make(map[types.Object]bool, len(s.dropVars))}
+	for k := range s.dropVars {
+		n.dropVars[k] = true
+	}
+	return n
+}
+
+func joinVF(a, b vfState) vfState {
+	out := a.clone()
+	out.accounted = a.accounted && b.accounted
+	for k := range b.dropVars {
+		out.dropVars[k] = true
+	}
+	return out
+}
+
+type checker struct {
+	pass *framework.Pass
+}
+
+func check(pass *framework.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass}
+	g := framework.BuildCFG(body)
+	transfer := func(s vfState, n ast.Node) vfState {
+		ns := s.clone()
+		c.apply(&ns, n)
+		return ns
+	}
+	eq := func(a, b vfState) bool { return reflect.DeepEqual(a, b) }
+	in := framework.Solve(g, vfState{dropVars: map[types.Object]bool{}}, transfer, joinVF, eq)
+	for _, blk := range g.Blocks {
+		s, ok := in[blk]
+		if !ok {
+			continue
+		}
+		s = s.clone()
+		for _, n := range blk.Nodes {
+			c.checkReturn(&s, n)
+			c.apply(&s, n)
+		}
+	}
+}
+
+// apply is the transfer function for one CFG node.
+func (c *checker) apply(s *vfState, n ast.Node) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		// Accounting-field assignment (stats.DropFilter += 1, = old + 1).
+		for _, l := range x.Lhs {
+			if sel, ok := l.(*ast.SelectorExpr); ok && accountingField.MatchString(sel.Sel.Name) {
+				s.accounted = true
+			}
+		}
+		// Verdict variables: v = pipeline.Drop on a not-yet-accounted path
+		// joins the may-unaccounted-Drop set; any other RHS — or a Drop
+		// assigned after accounting — clears the binding.
+		if len(x.Lhs) == len(x.Rhs) {
+			for i, l := range x.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.identObj(id)
+				if obj == nil {
+					continue
+				}
+				if c.isDropConst(x.Rhs[i]) && !s.accounted {
+					s.dropVars[obj] = true
+				} else {
+					delete(s.dropVars, obj)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if sel, ok := x.X.(*ast.SelectorExpr); ok && accountingField.MatchString(sel.Sel.Name) {
+			s.accounted = true
+		}
+	}
+	// Accounting calls anywhere in the node (conditions included), not
+	// descending into function literals: a deferred or stored closure's
+	// accounting does not run on this path.
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				if accountingCall[name] || strings.Contains(strings.ToLower(name), "drop") {
+					s.accounted = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkReturn flags a DROP-returning statement reached by an unaccounted
+// path.
+func (c *checker) checkReturn(s *vfState, n ast.Node) {
+	ret, ok := n.(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 || s.accounted {
+		return
+	}
+	res := ret.Results[0]
+	if c.isDropConst(res) {
+		c.pass.Reportf(ret.Pos(), "return of pipeline.Drop without drop accounting on every path to this return")
+		return
+	}
+	if id, ok := res.(*ast.Ident); ok {
+		if obj := c.identObj(id); obj != nil && s.dropVars[obj] {
+			c.pass.Reportf(ret.Pos(), "verdict %s may be pipeline.Drop here, without drop accounting on every path to this return", id.Name)
+		}
+	}
+}
+
+// isDropConst reports whether e is the pipeline.Drop constant, by type
+// information when available and by selector shape otherwise.
+func (c *checker) isDropConst(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Drop" {
+		return false
+	}
+	if c.pass.TypesInfo != nil {
+		if obj := c.pass.TypesInfo.Uses[sel.Sel]; obj != nil {
+			if _, isConst := obj.(*types.Const); isConst && obj.Pkg() != nil {
+				p := obj.Pkg().Path()
+				return p == "pipeline" || strings.HasSuffix(p, "/pipeline")
+			}
+		}
+	}
+	base, ok := sel.X.(*ast.Ident)
+	return ok && base.Name == "pipeline"
+}
+
+func (c *checker) identObj(id *ast.Ident) types.Object {
+	info := c.pass.TypesInfo
+	if info == nil {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

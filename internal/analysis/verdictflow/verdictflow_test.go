@@ -1,0 +1,12 @@
+package verdictflow_test
+
+import (
+	"testing"
+
+	"mosquitonet/internal/analysis/framework/analysistest"
+	"mosquitonet/internal/analysis/verdictflow"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/verdictflow", verdictflow.Analyzer)
+}

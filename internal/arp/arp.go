@@ -216,6 +216,8 @@ func (c *Cache) Published(a ip.Addr) bool { return c.published[a] }
 // SendIP takes ownership of payload: once it returns, the buffer may have
 // been recycled into bufpool (immediately on the resolved path, later when
 // a queued packet is flushed or dropped), so callers must not retain it.
+//
+//mnet:ownership takes payload
 func (c *Cache) SendIP(dst ip.Addr, payload []byte, trace uint64) {
 	if hw, ok := c.Lookup(dst); ok {
 		c.dev.Send(&link.Frame{Dst: hw, Type: link.EtherTypeIPv4, Payload: payload, Trace: trace})
@@ -238,6 +240,8 @@ func (c *Cache) SendIP(dst ip.Addr, payload []byte, trace uint64) {
 
 // SendBroadcastIP transmits an IPv4 payload to the link broadcast address.
 // Like SendIP it takes ownership of payload.
+//
+//mnet:ownership takes payload
 func (c *Cache) SendBroadcastIP(payload []byte, trace uint64) {
 	c.dev.Send(&link.Frame{Dst: link.BroadcastHW, Type: link.EtherTypeIPv4, Payload: payload, Trace: trace})
 	bufpool.Put(payload)

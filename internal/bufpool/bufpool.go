@@ -65,6 +65,8 @@ func class(n int) int {
 // Get returns a buffer of length n backed by a pooled array. Requests
 // larger than the largest size class fall back to a plain allocation
 // (which Put will decline to recycle).
+//
+//mnet:ownership returns-pooled
 func Get(n int) []byte {
 	c := class(n)
 	if c < 0 {

@@ -129,7 +129,6 @@ func (r *Reassembler) Add(p *Packet) (*Packet, bool) {
 		if overlaps(q, p) {
 			delete(r.partial, key)
 			r.stats.DropOverlap++
-			//lint:allow dropaccounting overlapping fragments make the packet unassemblable; counted in DropOverlap
 			return nil, false
 		}
 	}

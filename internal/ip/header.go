@@ -115,6 +115,8 @@ func (p *Packet) Marshal() ([]byte, error) {
 // (allocate, equivalent to Marshal) or a buffer of exactly Len() bytes
 // (e.g. from bufpool.Get). It is the allocation-free form of Marshal for
 // hot paths that own scratch buffers.
+//
+//mnet:ownership returns-alias dst
 func (p *Packet) MarshalInto(dst []byte) ([]byte, error) {
 	total := HeaderLen + len(p.Payload)
 	if total > MaxTotalLen {

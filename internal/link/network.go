@@ -135,7 +135,10 @@ type Network struct {
 	// handoff, when set, makes this network one end of a cross-shard
 	// trunk: transmitted frames are handed to the hook (with their
 	// computed arrival time) instead of being delivered locally. The far
-	// end injects them via DeliverLocal on its own shard.
+	// end injects them via DeliverLocal on its own shard. Ownership of the
+	// frame's pooled payload copy transfers to the hook.
+	//
+	//mnet:ownership takes f
 	handoff func(f *Frame, arrival sim.Time)
 
 	// flights recycles in-flight frame records (payload copy + receiver
@@ -307,6 +310,8 @@ func (n *Network) SetHandoff(fn func(f *Frame, arrival sim.Time)) {
 // network's own loop (the coordinator schedules it at the arrival time the
 // transmit side computed). The frame's payload must be pool-owned by the
 // caller; ownership transfers here.
+//
+//mnet:ownership takes f
 func (n *Network) DeliverLocal(f *Frame) {
 	for _, d := range n.devices {
 		n.stats.Delivered++

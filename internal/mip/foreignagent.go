@@ -160,7 +160,8 @@ func (fa *ForeignAgent) tunnelDst(inner *ip.Packet) (ip.Addr, bool) {
 	if v.buffering && len(v.queue) < visitorQueueLimit {
 		v.queue = append(v.queue, inner.Clone())
 	}
-	//lint:allow dropaccounting packet was buffered above, or the tunnel VIF accounts drop_no_dst
+	// Conservation holds without a counter here: the packet was either
+	// buffered above or the tunnel VIF accounts drop_no_dst on this path.
 	return ip.Addr{}, false
 }
 

@@ -137,6 +137,8 @@ func (i *Iface) sendOne(pkt *ip.Packet, nextHop ip.Addr) error {
 // both for genuine broadcasts and for ARP-less (point-to-point/Starmode)
 // media where IP filtering happens at the receiver. It takes ownership of
 // raw and recycles it after the synchronous send.
+//
+//mnet:ownership takes raw
 func (i *Iface) broadcastRaw(raw []byte, trace uint64) {
 	if i.arp != nil {
 		i.arp.SendBroadcastIP(raw, trace)
