@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-exp all|e1|f6|f7|handoff|rtt|a1|a2|a3|scale|parallel] [-samples N] [-workers N] [-json dir]
+//	experiments [-seed N] [-exp all|e1|f6|f7|handoff|loadedhandoff|rtt|a1|a2|a3|scale|parallel] [-samples N] [-workers N] [-json dir]
 package main
 
 import (
@@ -33,7 +33,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1996, "simulation seed (results are deterministic per seed)")
-	exp := flag.String("exp", "all", "experiment to run: all, e1, f6, f7, handoff, rtt, tput, a1, a2, a3, a4, scale, parallel")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, f6, f7, handoff, loadedhandoff, rtt, tput, a1, a2, a3, a4, scale, parallel")
 	samples := flag.Int("samples", 20, "samples for RTT/A1 measurements")
 	a2iters := flag.Int("a2-iterations", 5, "handoffs per A2 variant")
 	fleets := flag.String("a3-fleets", "1,8,32,64", "comma-separated fleet sizes for A3")
@@ -75,6 +75,13 @@ func main() {
 		writeExport(*jsonDir, res.Export)
 		writeArtifact(*jsonDir, "BENCH_handoff_spans.jsonl", res.Tracer.WriteSpansJSONL)
 		writeArtifact(*jsonDir, "BENCH_handoff_trace.json", res.Tracer.WriteChromeTrace)
+	}
+	if want("loadedhandoff") {
+		ran = true
+		res, err := mosquitonet.RunLoadedHandoff(*seed)
+		exitOn(err)
+		fmt.Println(res)
+		writeExport(*jsonDir, res.Export)
 	}
 	if want("rtt") {
 		ran = true
@@ -148,7 +155,7 @@ func main() {
 		writeExport(*jsonDir, res.Export)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f6, f7, handoff, rtt, a1, a2, a3, a4, scale, parallel)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f6, f7, handoff, loadedhandoff, rtt, a1, a2, a3, a4, scale, parallel)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,379 @@
+package app
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/trace"
+	"mosquitonet/internal/transport"
+)
+
+// The HTTP/1.x-style protocol: text-framed request/response over one
+// keep-alive stream connection, with pipelining. A request is
+//
+//	<METHOD> <path> MNET/1.0\r\n
+//	Content-Length: <n>\r\n
+//	\r\n
+//	<n body bytes>
+//
+// and a response is
+//
+//	MNET/1.0 <code>\r\n
+//	Content-Length: <n>\r\n
+//	\r\n
+//	<n body bytes>
+//
+// The client may send any number of requests without waiting; the server
+// answers strictly in order, so the client matches responses to requests
+// FIFO — exactly HTTP/1.1 pipelining semantics.
+const httpVersion = "MNET/1.0"
+
+// maxHTTPHead bounds the header block of one message.
+const maxHTTPHead = 4096
+
+// HTTPRequest is one parsed request.
+type HTTPRequest struct {
+	Method string
+	Path   string
+	Body   []byte
+}
+
+// HTTPResponse is one response.
+type HTTPResponse struct {
+	Code int
+	Body []byte
+}
+
+// HTTPHandler produces the response for one request. Handlers run inline
+// in the simulation loop.
+type HTTPHandler func(req HTTPRequest) HTTPResponse
+
+// httpParser incrementally splits a text-framed message stream into
+// (head lines, body) pairs.
+type httpParser struct {
+	buf []byte
+}
+
+// feed appends chunk and delivers every complete message. It returns false
+// on a malformed message (oversized head, bad Content-Length), at which
+// point the caller should drop the connection.
+func (p *httpParser) feed(chunk []byte, deliver func(start string, body []byte)) bool {
+	p.buf = append(p.buf, chunk...)
+	for {
+		head := strings.Index(string(p.buf), "\r\n\r\n")
+		if head < 0 {
+			return len(p.buf) <= maxHTTPHead
+		}
+		if head > maxHTTPHead {
+			return false
+		}
+		lines := strings.Split(string(p.buf[:head]), "\r\n")
+		clen := 0
+		for _, l := range lines[1:] {
+			if v, ok := strings.CutPrefix(l, "Content-Length:"); ok {
+				n, err := strconv.Atoi(strings.TrimSpace(v))
+				if err != nil || n < 0 || n > maxFrameBody {
+					return false
+				}
+				clen = n
+			}
+		}
+		total := head + 4 + clen
+		if len(p.buf) < total {
+			return true
+		}
+		body := make([]byte, clen)
+		copy(body, p.buf[head+4:total])
+		start := lines[0]
+		p.buf = p.buf[total:]
+		deliver(start, body)
+	}
+}
+
+// appendHTTPRequest serializes one request.
+func appendHTTPRequest(dst []byte, method, path string, body []byte) []byte {
+	dst = append(dst, method...)
+	dst = append(dst, ' ')
+	dst = append(dst, path...)
+	dst = append(dst, ' ')
+	dst = append(dst, httpVersion...)
+	dst = append(dst, "\r\nContent-Length: "...)
+	dst = strconv.AppendInt(dst, int64(len(body)), 10)
+	dst = append(dst, "\r\n\r\n"...)
+	return append(dst, body...)
+}
+
+// appendHTTPResponse serializes one response.
+func appendHTTPResponse(dst []byte, code int, body []byte) []byte {
+	dst = append(dst, httpVersion...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(code), 10)
+	dst = append(dst, "\r\nContent-Length: "...)
+	dst = strconv.AppendInt(dst, int64(len(body)), 10)
+	dst = append(dst, "\r\n\r\n"...)
+	return append(dst, body...)
+}
+
+// HTTPServerStats counts server activity.
+type HTTPServerStats struct {
+	Accepted    uint64
+	Requests    uint64
+	Responses   uint64
+	BadRequests uint64 // malformed message; connection dropped
+	ConnsClosed uint64
+}
+
+// HTTPServer serves the request/response protocol on one TCP port with
+// keep-alive connections.
+type HTTPServer struct {
+	ts      *transport.Stack
+	loop    *sim.Loop
+	name    string
+	handler HTTPHandler
+
+	listener *transport.Listener
+	conns    []*httpServerConn
+	stats    HTTPServerStats
+}
+
+type httpServerConn struct {
+	srv    *HTTPServer
+	conn   *transport.Conn
+	parser httpParser
+	closed bool
+}
+
+// NewHTTPServer starts a server on (bound, port). handler runs for every
+// request, in arrival order.
+func NewHTTPServer(ts *transport.Stack, bound ip.Addr, port uint16, name string, handler HTTPHandler) (*HTTPServer, error) {
+	s := &HTTPServer{ts: ts, loop: ts.Host().Loop(), name: name, handler: handler}
+	l, err := ts.Listen(bound, port, s.accept)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = l
+	return s, nil
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *HTTPServer) Stats() HTTPServerStats { return s.stats }
+
+// Close stops accepting and aborts every connection.
+func (s *HTTPServer) Close() {
+	s.listener.Close()
+	for len(s.conns) > 0 {
+		c := s.conns[0]
+		c.close()
+		c.conn.Abort()
+	}
+}
+
+func (s *HTTPServer) accept(conn *transport.Conn) {
+	sc := &httpServerConn{srv: s, conn: conn}
+	s.stats.Accepted++
+	s.conns = append(s.conns, sc)
+	conn.OnData = func(chunk []byte) {
+		if !sc.parser.feed(chunk, sc.request) {
+			s.stats.BadRequests++
+			sc.close()
+			conn.Abort()
+		}
+	}
+	conn.OnRemoteClose = func() { sc.close(); conn.Close() }
+	conn.OnError = func(error) { sc.close() }
+}
+
+func (sc *httpServerConn) close() {
+	if sc.closed {
+		return
+	}
+	sc.closed = true
+	sc.srv.stats.ConnsClosed++
+	for i, other := range sc.srv.conns {
+		if other == sc {
+			sc.srv.conns = append(sc.srv.conns[:i], sc.srv.conns[i+1:]...)
+			break
+		}
+	}
+}
+
+// request handles one parsed request line + body.
+func (sc *httpServerConn) request(start string, body []byte) {
+	if sc.closed {
+		return
+	}
+	parts := strings.SplitN(start, " ", 3)
+	if len(parts) != 3 || parts[2] != httpVersion {
+		sc.srv.stats.BadRequests++
+		sc.close()
+		sc.conn.Abort()
+		return
+	}
+	sc.srv.stats.Requests++
+	resp := sc.srv.handler(HTTPRequest{Method: parts[0], Path: parts[1], Body: body})
+	sc.srv.stats.Responses++
+	sc.conn.Write(appendHTTPResponse(nil, resp.Code, resp.Body))
+}
+
+// HTTPClientStats counts client activity.
+type HTTPClientStats struct {
+	RequestsSent      uint64
+	ResponsesReceived uint64
+	Failed            uint64 // requests failed by connection death
+}
+
+// HTTPClient issues pipelined requests over one keep-alive connection.
+type HTTPClient struct {
+	ts     *transport.Stack
+	loop   *sim.Loop
+	tracer *trace.Tracer
+	id     string
+
+	conn    *transport.Conn
+	parser  httpParser
+	up      bool
+	closed  bool
+	onUp    func(error)
+	pending []*httpPending // FIFO: responses arrive in request order
+
+	// OnDisconnect, if set, fires when the connection dies.
+	OnDisconnect func(error)
+
+	stats HTTPClientStats
+}
+
+type httpPending struct {
+	span *trace.Span
+	done func(HTTPResponse, error)
+}
+
+// NewHTTPClient creates a client on the given transport stack.
+func NewHTTPClient(ts *transport.Stack, id string) *HTTPClient {
+	return &HTTPClient{
+		ts:     ts,
+		loop:   ts.Host().Loop(),
+		tracer: trace.For(ts.Host().Loop()),
+		id:     id,
+	}
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *HTTPClient) Stats() HTTPClientStats { return c.stats }
+
+// Up reports whether the connection is established.
+func (c *HTTPClient) Up() bool { return c.up }
+
+// InFlight returns the number of requests awaiting a response.
+func (c *HTTPClient) InFlight() int { return len(c.pending) }
+
+// Connect dials the server. onUp (optional) fires when the connection is
+// established, or with an error if it fails first. Requests may be issued
+// immediately after Connect returns — they queue behind the handshake.
+func (c *HTTPClient) Connect(server ip.Addr, port uint16, onUp func(error)) error {
+	if c.closed {
+		return ErrClosed
+	}
+	conn, err := c.ts.Connect(ip.Unspecified, server, port)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.onUp = onUp
+	conn.OnEstablished = func() {
+		c.up = true
+		if c.onUp != nil {
+			cb := c.onUp
+			c.onUp = nil
+			cb(nil)
+		}
+	}
+	conn.OnData = func(chunk []byte) {
+		if !c.parser.feed(chunk, c.response) {
+			c.fail(fmt.Errorf("app: malformed response from %s:%d", server, port))
+		}
+	}
+	conn.OnError = func(err error) { c.fail(err) }
+	conn.OnRemoteClose = func() { c.fail(ErrClosed) }
+	return nil
+}
+
+// Do issues one request. done fires with the response, or with an error if
+// the connection dies first. Multiple outstanding requests pipeline.
+func (c *HTTPClient) Do(method, path string, body []byte, done func(HTTPResponse, error)) error {
+	if c.closed || c.conn == nil {
+		return ErrNotConnected
+	}
+	// Root span: pipelined requests overlap and must not ambient-nest.
+	sp := c.tracer.StartChild(nil, c.actor(), kSpanHTTPRequest)
+	sp.SetAttr("path", path)
+	c.pending = append(c.pending, &httpPending{span: sp, done: done})
+	c.stats.RequestsSent++
+	return c.conn.Write(appendHTTPRequest(nil, method, path, body))
+}
+
+func (c *HTTPClient) actor() string { return c.ts.Host().Name() + "/" + c.id }
+
+// Close ends the session with an orderly stream close.
+func (c *HTTPClient) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.up = false
+	c.failPending(ErrClosed)
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// fail marks the client dead and flushes every pending callback.
+func (c *HTTPClient) fail(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.up = false
+	if c.onUp != nil {
+		cb := c.onUp
+		c.onUp = nil
+		cb(err)
+	}
+	c.failPending(err)
+	if c.OnDisconnect != nil {
+		c.OnDisconnect(err)
+	}
+}
+
+func (c *HTTPClient) failPending(err error) {
+	pending := c.pending
+	c.pending = nil
+	for _, p := range pending {
+		c.stats.Failed++
+		p.span.Fail(err)
+		if p.done != nil {
+			p.done(HTTPResponse{}, err)
+		}
+	}
+}
+
+// response handles one parsed response line + body, matched FIFO.
+func (c *HTTPClient) response(start string, body []byte) {
+	if len(c.pending) == 0 {
+		return
+	}
+	parts := strings.SplitN(start, " ", 2)
+	code := 0
+	if len(parts) == 2 && parts[0] == httpVersion {
+		code, _ = strconv.Atoi(strings.TrimSpace(parts[1]))
+	}
+	p := c.pending[0]
+	c.pending = c.pending[1:]
+	c.stats.ResponsesReceived++
+	p.span.Done()
+	if p.done != nil {
+		p.done(HTTPResponse{Code: code, Body: body}, nil)
+	}
+}

@@ -1,0 +1,26 @@
+package app
+
+// Span kinds recorded by the application layer. All kinds are lowercase
+// dotted constants (enforced tree-wide by the tracekinds analyzer); the
+// loaded-handoff observatory selects them by the "app." prefix, so the
+// hierarchy is part of the contract.
+//
+// Session-scoped spans stay open for the connection's life; operation
+// spans (connect, publish, request) bound one exchange and close on its
+// acknowledgment, so their virtual duration is the end-to-end application
+// latency — including every transport-level stall a handoff causes.
+const (
+	// kSpanSession brackets one broker-side client session, accept to
+	// close.
+	kSpanSession = "app.mqtt.session"
+	// kSpanConnect brackets a client's CONNECT -> CONNACK exchange.
+	kSpanConnect = "app.mqtt.connect"
+	// kSpanPublish brackets a QoS 1 PUBLISH -> PUBACK exchange at the
+	// publishing client.
+	kSpanPublish = "app.mqtt.publish"
+	// kSpanSubscribe brackets a SUBSCRIBE -> SUBACK exchange.
+	kSpanSubscribe = "app.mqtt.subscribe"
+	// kSpanHTTPRequest brackets one request -> response exchange at the
+	// requesting client (pipelined requests overlap).
+	kSpanHTTPRequest = "app.http.request"
+)

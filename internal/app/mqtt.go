@@ -1,0 +1,585 @@
+package app
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/trace"
+	"mosquitonet/internal/transport"
+)
+
+// The MQTT-style wire protocol: framed messages (see app.go) over one
+// stream connection per client. The shape follows MQTT 3.1.1's control
+// packets — CONNECT/CONNACK, SUBSCRIBE/SUBACK, PUBLISH/PUBACK — with the
+// simulator's own fixed framing instead of MQTT's variable-length header.
+// QoS 0 is fire-and-forget; QoS 1 carries a message ID and is acknowledged
+// with a PUBACK by whichever side received the PUBLISH. There is no
+// app-level retransmission: the stream below is reliable, so a QoS 1
+// message in flight across a handoff is delivered exactly once — that
+// invariant is pinned by the testbed's conformance test.
+const (
+	mqttConnect   = 1
+	mqttConnAck   = 2
+	mqttPublish   = 3
+	mqttPubAck    = 4
+	mqttSubscribe = 8
+	mqttSubAck    = 9
+)
+
+// PUBLISH flag bits.
+const (
+	pubFlagRetain = 1 << 0
+	pubFlagQoS1   = 1 << 1
+	pubFlagDup    = 1 << 2
+)
+
+// App-layer errors.
+var (
+	ErrNotConnected = errors.New("app: client not connected")
+	ErrBadTopic     = errors.New("app: malformed topic or filter")
+	ErrClosed       = errors.New("app: closed")
+)
+
+// Message is one delivered publication.
+type Message struct {
+	Topic    string
+	Payload  []byte
+	QoS      byte
+	Retained bool // delivered from the broker's retained store
+	Dup      bool
+}
+
+// BrokerStats counts broker activity.
+type BrokerStats struct {
+	Connects           uint64 // CONNECT frames accepted
+	Subscribes         uint64
+	Publishes          uint64 // PUBLISH frames received from clients
+	Delivered          uint64 // PUBLISH frames fanned out to subscribers
+	RetainedDelivered  uint64 // retained messages replayed on subscribe
+	PubAcksSent        uint64 // acks to publishing clients (QoS 1 inbound)
+	PubAcksReceived    uint64 // acks from subscribers (QoS 1 outbound)
+	SessionsClosed     uint64
+	DropBadFrame       uint64 // malformed frame or oversized body; session dropped
+	DropUnknownSession uint64 // frame before CONNECT; session dropped
+}
+
+// Broker is an MQTT-style pub/sub broker listening on one TCP port. All
+// state lives in the simulation loop; a Broker must only be touched from
+// loop callbacks.
+type Broker struct {
+	ts     *transport.Stack
+	loop   *sim.Loop
+	tracer *trace.Tracer
+	name   string
+
+	listener *transport.Listener
+	sessions []*brokerSession // accept order; closed sessions removed in place
+	tree     TopicTree[*brokerSub]
+	nextSub  uint64
+	stats    BrokerStats
+}
+
+// brokerSub is one subscription entry in the topic tree.
+type brokerSub struct {
+	sess *brokerSession
+	qos  byte
+}
+
+// brokerSession is the broker-side state for one client connection.
+type brokerSession struct {
+	b          *Broker
+	conn       *transport.Conn
+	reader     frameReader
+	clientID   string
+	connected  bool
+	closed     bool
+	span       *trace.Span
+	subs       []sessionSub
+	nextMsgID  uint16
+	pendingOut map[uint16]struct{} // QoS 1 deliveries awaiting PUBACK
+}
+
+type sessionSub struct {
+	filter string
+	id     uint64
+}
+
+// NewBroker starts a broker on (bound, port) of the given transport stack.
+// The tracer is taken from the stack's loop association (trace.For), so
+// testbeds that enabled tracing get app.* spans for free.
+func NewBroker(ts *transport.Stack, bound ip.Addr, port uint16, name string) (*Broker, error) {
+	b := &Broker{
+		ts:     ts,
+		loop:   ts.Host().Loop(),
+		tracer: trace.For(ts.Host().Loop()),
+		name:   name,
+	}
+	l, err := ts.Listen(bound, port, b.accept)
+	if err != nil {
+		return nil, err
+	}
+	b.listener = l
+	return b, nil
+}
+
+// Stats returns a snapshot of the broker's counters.
+func (b *Broker) Stats() BrokerStats { return b.stats }
+
+// Sessions returns the number of live client sessions.
+func (b *Broker) Sessions() int { return len(b.sessions) }
+
+// Close stops accepting and aborts every session.
+func (b *Broker) Close() {
+	b.listener.Close()
+	for len(b.sessions) > 0 {
+		s := b.sessions[0]
+		s.close()
+		s.conn.Abort()
+	}
+}
+
+func (b *Broker) accept(conn *transport.Conn) {
+	s := &brokerSession{b: b, conn: conn, pendingOut: make(map[uint16]struct{})}
+	s.span = b.tracer.StartChild(nil, b.name, kSpanSession)
+	b.sessions = append(b.sessions, s)
+	conn.OnData = func(chunk []byte) {
+		if !s.reader.Feed(chunk, s.frame) {
+			b.stats.DropBadFrame++
+			s.drop("bad frame")
+		}
+	}
+	conn.OnRemoteClose = func() { s.close() }
+	conn.OnError = func(error) { s.close() }
+}
+
+// drop aborts a misbehaving session.
+func (s *brokerSession) drop(reason string) {
+	s.span.SetAttr("drop", reason)
+	s.close()
+	s.conn.Abort()
+}
+
+// close tears down session state (idempotent).
+func (s *brokerSession) close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.b.stats.SessionsClosed++
+	for _, sub := range s.subs {
+		s.b.tree.Unsubscribe(sub.filter, sub.id)
+	}
+	for i, other := range s.b.sessions {
+		if other == s {
+			s.b.sessions = append(s.b.sessions[:i], s.b.sessions[i+1:]...)
+			break
+		}
+	}
+	s.span.Done()
+}
+
+// frame handles one decoded frame from the client.
+func (s *brokerSession) frame(typ, flags byte, body []byte) {
+	if s.closed {
+		return
+	}
+	if !s.connected && typ != mqttConnect {
+		s.b.stats.DropUnknownSession++
+		s.drop("frame before connect")
+		return
+	}
+	switch typ {
+	case mqttConnect:
+		id, _, ok := readString(body)
+		if !ok {
+			s.b.stats.DropBadFrame++
+			s.drop("bad connect")
+			return
+		}
+		s.clientID = id
+		s.connected = true
+		s.b.stats.Connects++
+		s.span.SetAttr("client", id)
+		s.conn.Write(encodeFrame(nil, mqttConnAck, 0, []byte{0}))
+	case mqttSubscribe:
+		if len(body) < 2 {
+			s.b.stats.DropBadFrame++
+			s.drop("bad subscribe")
+			return
+		}
+		msgID := binary.BigEndian.Uint16(body)
+		filter, rest, ok := readString(body[2:])
+		if !ok || len(rest) != 1 || !ValidFilter(filter) {
+			s.b.stats.DropBadFrame++
+			s.drop("bad subscribe")
+			return
+		}
+		qos := rest[0] & 1
+		s.b.stats.Subscribes++
+		s.b.nextSub++
+		subID := s.b.nextSub
+		s.b.tree.Subscribe(filter, subID, &brokerSub{sess: s, qos: qos})
+		s.subs = append(s.subs, sessionSub{filter: filter, id: subID})
+		s.conn.Write(encodeFrame(nil, mqttSubAck, 0, []byte{byte(msgID >> 8), byte(msgID), qos}))
+		// Replay retained messages matching the new subscription, in
+		// lexicographic topic order.
+		for _, rm := range s.b.tree.Retained(filter) {
+			s.b.stats.RetainedDelivered++
+			s.deliver(rm.Topic, rm.Payload, qos, true)
+		}
+	case mqttPublish:
+		topic, rest, ok := readString(body)
+		if !ok || !ValidTopic(topic) {
+			s.b.stats.DropBadFrame++
+			s.drop("bad publish")
+			return
+		}
+		qos := byte(0)
+		var msgID uint16
+		if flags&pubFlagQoS1 != 0 {
+			if len(rest) < 2 {
+				s.b.stats.DropBadFrame++
+				s.drop("bad publish")
+				return
+			}
+			qos = 1
+			msgID = binary.BigEndian.Uint16(rest)
+			rest = rest[2:]
+		}
+		s.b.stats.Publishes++
+		if flags&pubFlagRetain != 0 {
+			s.b.tree.SetRetained(topic, rest)
+		}
+		s.b.route(topic, rest, qos)
+		if qos == 1 {
+			s.b.stats.PubAcksSent++
+			s.conn.Write(encodeFrame(nil, mqttPubAck, 0, []byte{byte(msgID >> 8), byte(msgID)}))
+		}
+	case mqttPubAck:
+		if len(body) < 2 {
+			s.b.stats.DropBadFrame++
+			s.drop("bad puback")
+			return
+		}
+		s.b.stats.PubAcksReceived++
+		delete(s.pendingOut, binary.BigEndian.Uint16(body))
+	default:
+		s.b.stats.DropBadFrame++
+		s.drop(fmt.Sprintf("unknown type %d", typ))
+	}
+}
+
+// route fans a publication out to every matching subscription. Delivery
+// QoS is the minimum of the publish QoS and the subscription's granted
+// QoS, per MQTT.
+func (b *Broker) route(topic string, payload []byte, qos byte) {
+	for _, sub := range b.tree.Match(topic) {
+		dq := qos
+		if sub.qos < dq {
+			dq = sub.qos
+		}
+		sub.sess.deliver(topic, payload, dq, false)
+	}
+}
+
+// deliver sends one PUBLISH to this session's client.
+func (s *brokerSession) deliver(topic string, payload []byte, qos byte, retained bool) {
+	if s.closed {
+		return
+	}
+	var flags byte
+	if retained {
+		flags |= pubFlagRetain
+	}
+	body := appendString(nil, topic)
+	if qos == 1 {
+		flags |= pubFlagQoS1
+		s.nextMsgID++
+		if s.nextMsgID == 0 {
+			s.nextMsgID = 1
+		}
+		s.pendingOut[s.nextMsgID] = struct{}{}
+		body = append(body, byte(s.nextMsgID>>8), byte(s.nextMsgID))
+	}
+	body = append(body, payload...)
+	s.b.stats.Delivered++
+	s.conn.Write(encodeFrame(nil, mqttPublish, flags, body))
+}
+
+// ClientStats counts client activity.
+type ClientStats struct {
+	PublishesSent    uint64
+	PubAcksReceived  uint64
+	MessagesReceived uint64
+	PubAcksSent      uint64 // acks for QoS 1 deliveries from the broker
+}
+
+// Client is an MQTT-style client over one stream connection.
+type Client struct {
+	ts     *transport.Stack
+	loop   *sim.Loop
+	tracer *trace.Tracer
+	id     string
+
+	conn      *transport.Conn
+	reader    frameReader
+	connected bool
+	closed    bool
+
+	connectSpan *trace.Span
+	onConnack   func(error)
+
+	subs       []clientSub
+	subAcks    []func() // SUBACK callbacks, FIFO
+	pendingPub map[uint16]*clientPending
+	nextMsgID  uint16
+
+	// OnDisconnect, if set, fires when the connection dies (reset,
+	// timeout, remote close).
+	OnDisconnect func(error)
+
+	stats ClientStats
+}
+
+type clientSub struct {
+	filter  string
+	handler func(Message)
+}
+
+type clientPending struct {
+	span  *trace.Span
+	onAck func()
+}
+
+// NewClient creates a client on the given transport stack. Call Connect to
+// dial the broker.
+func NewClient(ts *transport.Stack, id string) *Client {
+	return &Client{
+		ts:         ts,
+		loop:       ts.Host().Loop(),
+		tracer:     trace.For(ts.Host().Loop()),
+		id:         id,
+		pendingPub: make(map[uint16]*clientPending),
+	}
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// Connected reports whether the CONNACK has been received.
+func (c *Client) Connected() bool { return c.connected }
+
+// Connect dials the broker (binding to the unspecified address, so the
+// connection is subject to mobile IP on a mobile host and survives moves)
+// and sends CONNECT. onConnack fires when the CONNACK arrives, or with an
+// error if the connection fails first.
+func (c *Client) Connect(broker ip.Addr, port uint16, onConnack func(error)) error {
+	if c.closed {
+		return ErrClosed
+	}
+	conn, err := c.ts.Connect(ip.Unspecified, broker, port)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.onConnack = onConnack
+	c.connectSpan = c.tracer.StartChild(nil, c.actor(), kSpanConnect)
+	conn.OnEstablished = func() {
+		conn.Write(encodeFrame(nil, mqttConnect, 0, appendString(nil, c.id)))
+	}
+	conn.OnData = func(chunk []byte) {
+		if !c.reader.Feed(chunk, c.frame) {
+			c.fail(errors.New("app: malformed frame from broker"))
+		}
+	}
+	conn.OnError = func(err error) { c.fail(err) }
+	conn.OnRemoteClose = func() { c.fail(ErrClosed) }
+	return nil
+}
+
+func (c *Client) actor() string { return c.ts.Host().Name() + "/" + c.id }
+
+// fail marks the client dead and flushes every pending callback.
+func (c *Client) fail(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.connected = false
+	if c.connectSpan.Open() {
+		c.connectSpan.Fail(err)
+	}
+	if c.onConnack != nil {
+		cb := c.onConnack
+		c.onConnack = nil
+		cb(err)
+	}
+	flushPending(c.pendingPub, err)
+	if c.OnDisconnect != nil {
+		c.OnDisconnect(err)
+	}
+}
+
+// Close ends the session with an orderly stream close.
+func (c *Client) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.connected = false
+	c.connectSpan.Done()
+	flushPending(c.pendingPub, ErrClosed)
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// Subscribe registers a handler for every publication matching filter and
+// sends SUBSCRIBE. onAck (optional) fires on SUBACK. QoS 1 deliveries are
+// acknowledged automatically.
+func (c *Client) Subscribe(filter string, qos byte, handler func(Message), onAck func()) error {
+	if !c.connected {
+		return ErrNotConnected
+	}
+	if !ValidFilter(filter) {
+		return ErrBadTopic
+	}
+	// Root span: overlapping operations must not ambient-nest.
+	sp := c.tracer.StartChild(nil, c.actor(), kSpanSubscribe)
+	sp.SetAttr("filter", filter)
+	c.subs = append(c.subs, clientSub{filter: filter, handler: handler})
+	c.subAcks = append(c.subAcks, func() {
+		sp.Done()
+		if onAck != nil {
+			onAck()
+		}
+	})
+	c.nextMsgID++
+	body := []byte{byte(c.nextMsgID >> 8), byte(c.nextMsgID)}
+	body = appendString(body, filter)
+	body = append(body, qos&1)
+	c.conn.Write(encodeFrame(nil, mqttSubscribe, 0, body))
+	return nil
+}
+
+// Publish sends a publication. For QoS 1 the message carries a message ID
+// and onAck (optional) fires when the broker's PUBACK arrives; for QoS 0
+// onAck fires immediately after the frame is queued.
+func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool, onAck func()) error {
+	if !c.connected {
+		return ErrNotConnected
+	}
+	if !ValidTopic(topic) {
+		return ErrBadTopic
+	}
+	var flags byte
+	if retain {
+		flags |= pubFlagRetain
+	}
+	body := appendString(nil, topic)
+	if qos == 1 {
+		flags |= pubFlagQoS1
+		c.nextMsgID++
+		if c.nextMsgID == 0 {
+			c.nextMsgID = 1
+		}
+		sp := c.tracer.StartChild(nil, c.actor(), kSpanPublish)
+		sp.SetAttr("topic", topic)
+		c.pendingPub[c.nextMsgID] = &clientPending{span: sp, onAck: onAck}
+		body = append(body, byte(c.nextMsgID>>8), byte(c.nextMsgID))
+	}
+	body = append(body, payload...)
+	c.stats.PublishesSent++
+	c.conn.Write(encodeFrame(nil, mqttPublish, flags, body))
+	if qos != 1 && onAck != nil {
+		onAck()
+	}
+	return nil
+}
+
+// InFlight returns the number of QoS 1 publishes awaiting PUBACK.
+func (c *Client) InFlight() int { return len(c.pendingPub) }
+
+// frame handles one decoded frame from the broker.
+func (c *Client) frame(typ, flags byte, body []byte) {
+	switch typ {
+	case mqttConnAck:
+		c.connected = true
+		c.connectSpan.Done()
+		if c.onConnack != nil {
+			cb := c.onConnack
+			c.onConnack = nil
+			cb(nil)
+		}
+	case mqttSubAck:
+		if len(c.subAcks) > 0 {
+			ack := c.subAcks[0]
+			c.subAcks = c.subAcks[1:]
+			ack()
+		}
+	case mqttPublish:
+		topic, rest, ok := readString(body)
+		if !ok {
+			return
+		}
+		qos := byte(0)
+		if flags&pubFlagQoS1 != 0 {
+			if len(rest) < 2 {
+				return
+			}
+			qos = 1
+			msgID := binary.BigEndian.Uint16(rest)
+			rest = rest[2:]
+			c.stats.PubAcksSent++
+			c.conn.Write(encodeFrame(nil, mqttPubAck, 0, []byte{byte(msgID >> 8), byte(msgID)}))
+		}
+		c.stats.MessagesReceived++
+		m := Message{
+			Topic:    topic,
+			Payload:  rest,
+			QoS:      qos,
+			Retained: flags&pubFlagRetain != 0,
+			Dup:      flags&pubFlagDup != 0,
+		}
+		for _, sub := range c.subs {
+			if MatchFilter(sub.filter, topic) && sub.handler != nil {
+				sub.handler(m)
+			}
+		}
+	case mqttPubAck:
+		if len(body) < 2 {
+			return
+		}
+		id := binary.BigEndian.Uint16(body)
+		if p, ok := c.pendingPub[id]; ok {
+			delete(c.pendingPub, id)
+			c.stats.PubAcksReceived++
+			p.span.Done()
+			if p.onAck != nil {
+				p.onAck()
+			}
+		}
+	}
+}
+
+// flushPending fails every outstanding QoS 1 publish, in message-ID order
+// so callback order is deterministic.
+func flushPending(pending map[uint16]*clientPending, err error) {
+	if len(pending) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(pending))
+	for id := range pending {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p := pending[uint16(id)]
+		delete(pending, uint16(id))
+		p.span.Fail(err)
+	}
+}

@@ -1,0 +1,99 @@
+package app
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestValidFilter(t *testing.T) {
+	valid := []string{"a", "a/b", "+", "#", "a/+/c", "a/b/#", "+/+", "a//b"}
+	invalid := []string{"", "a/#/b", "a+", "a#", "a/b+", "#/a"}
+	for _, f := range valid {
+		if !ValidFilter(f) {
+			t.Errorf("ValidFilter(%q) = false", f)
+		}
+	}
+	for _, f := range invalid {
+		if ValidFilter(f) {
+			t.Errorf("ValidFilter(%q) = true", f)
+		}
+	}
+	if !ValidTopic("a/b/c") || ValidTopic("") || ValidTopic("a/+") || ValidTopic("a/#") {
+		t.Error("ValidTopic misclassifies")
+	}
+}
+
+func TestMatchFilter(t *testing.T) {
+	cases := []struct {
+		filter, topic string
+		want          bool
+	}{
+		{"a/b", "a/b", true},
+		{"a/b", "a/c", false},
+		{"a/+", "a/b", true},
+		{"a/+", "a/b/c", false},
+		{"a/#", "a/b/c", true},
+		{"a/#", "a", true}, // "#" matches zero remaining levels
+		{"#", "x/y/z", true},
+		{"+/b", "a/b", true},
+		{"a/b", "a/b/c", false},
+		{"a/b/c", "a/b", false},
+	}
+	for _, c := range cases {
+		if got := MatchFilter(c.filter, c.topic); got != c.want {
+			t.Errorf("MatchFilter(%q, %q) = %v, want %v", c.filter, c.topic, got, c.want)
+		}
+	}
+}
+
+func TestTopicTreeMatchOrder(t *testing.T) {
+	var tree TopicTree[string]
+	tree.Subscribe("s/temp", 1, "exact")
+	tree.Subscribe("s/+", 2, "plus")
+	tree.Subscribe("s/#", 3, "hash")
+	tree.Subscribe("other", 4, "other")
+
+	got := tree.Match("s/temp")
+	want := []string{"exact", "plus", "hash"} // trie order: exact, "+", "#"
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Match = %v, want %v", got, want)
+	}
+	if got := tree.Match("s"); !reflect.DeepEqual(got, []string{"hash"}) {
+		t.Fatalf("Match(s) = %v, want [hash] (# matches zero levels)", got)
+	}
+	if got := tree.Match("nomatch"); len(got) != 0 {
+		t.Fatalf("Match(nomatch) = %v", got)
+	}
+}
+
+func TestTopicTreeUnsubscribe(t *testing.T) {
+	var tree TopicTree[int]
+	tree.Subscribe("a/+", 1, 100)
+	tree.Subscribe("a/+", 2, 200)
+	tree.Unsubscribe("a/+", 1)
+	if got := tree.Match("a/x"); !reflect.DeepEqual(got, []int{200}) {
+		t.Fatalf("after unsubscribe: %v", got)
+	}
+	tree.Unsubscribe("never/registered", 9) // no-op on unknown filter
+}
+
+func TestRetained(t *testing.T) {
+	var tree TopicTree[int]
+	tree.SetRetained("s/b/temp", []byte("2"))
+	tree.SetRetained("s/a/temp", []byte("1"))
+	tree.SetRetained("s/a/hum", []byte("h"))
+
+	got := tree.Retained("s/+/temp")
+	if len(got) != 2 || got[0].Topic != "s/a/temp" || got[1].Topic != "s/b/temp" {
+		t.Fatalf("Retained(s/+/temp) = %v", got)
+	}
+	all := tree.Retained("#")
+	if len(all) != 3 || all[0].Topic != "s/a/hum" || all[1].Topic != "s/a/temp" || all[2].Topic != "s/b/temp" {
+		t.Fatalf("Retained(#) not in lexicographic order: %v", all)
+	}
+	// Empty payload clears, per MQTT convention.
+	tree.SetRetained("s/a/temp", nil)
+	if got := tree.Retained("s/a/temp"); len(got) != 0 {
+		t.Fatalf("cleared retained still present: %v", got)
+	}
+}

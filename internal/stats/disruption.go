@@ -110,6 +110,48 @@ func (f *FlowTracker) Baseline() time.Duration {
 	return lat[len(lat)/2]
 }
 
+// Anomalies returns the arrival-side oddities: duplicate arrivals (a
+// sequence number received twice) and unknown arrivals (a sequence number
+// never reported sent). Both must be zero for an exactly-once delivery
+// claim to hold.
+func (f *FlowTracker) Anomalies() (duplicates, unknown int) {
+	return f.duplicate, f.unknown
+}
+
+// Span returns the flow's active interval — first transmission to last
+// arrival. ok is false when nothing was sent or nothing arrived.
+func (f *FlowTracker) Span() (first, last sim.Time, ok bool) {
+	if len(f.packets) == 0 || len(f.arrivals) == 0 {
+		return 0, 0, false
+	}
+	// Arrivals are recorded in simulation order, so the last is the latest.
+	return f.packets[0].sentAt, f.arrivals[len(f.arrivals)-1], true
+}
+
+// ReceivedBetween counts arrivals in [lo, hi] — the delivered volume of a
+// time slice, which divided by the slice length is the flow's goodput there.
+func (f *FlowTracker) ReceivedBetween(lo, hi sim.Time) int {
+	n := 0
+	for _, at := range f.arrivals {
+		if at >= lo && at <= hi {
+			n++
+		}
+	}
+	return n
+}
+
+// LatencySeries returns the one-way latency of every received packet, in
+// send order, as a Series for histogram/percentile reporting.
+func (f *FlowTracker) LatencySeries() *Series {
+	s := NewSeries(f.name + "/latency")
+	for _, p := range f.packets {
+		if p.received {
+			s.Add(p.recvAt.Sub(p.sentAt))
+		}
+	}
+	return s
+}
+
 // Window is one interval to attribute disruption to — in practice a root
 // handoff span's [Start, End].
 type Window struct {

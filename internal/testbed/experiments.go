@@ -110,6 +110,16 @@ func runUntilDone(tb *Testbed, done *bool, maxWait time.Duration) bool {
 	return *done
 }
 
+// runUntil advances the simulation in small steps until cond holds or
+// maxWait elapses, reporting whether cond was met.
+func runUntil(tb *Testbed, maxWait time.Duration, cond func() bool) bool {
+	deadline := tb.Loop.Now().Add(maxWait)
+	for !cond() && tb.Loop.Now() < deadline {
+		tb.Run(20 * time.Millisecond)
+	}
+	return cond()
+}
+
 // disruptionWindow extracts, from the trace, the interval between the old
 // address ceasing to accept packets and the home agent installing the new
 // binding.

@@ -1,0 +1,416 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mosquitonet/internal/app"
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/metrics"
+	"mosquitonet/internal/sim"
+	"mosquitonet/internal/stats"
+	"mosquitonet/internal/trace"
+)
+
+// The loaded-handoff observatory replays the Figure-5 five-move roaming
+// itinerary — the same one RunHandoff measures with a bare UDP probe —
+// under a sustained application mix:
+//
+//   - an MQTT-style broker on the department correspondent, with the
+//     mobile host publishing QoS 1 telemetry on several topics (open-loop,
+//     fixed rate) to a subscriber on the campus correspondent, and the
+//     campus host publishing QoS 1 commands back to the mobile host;
+//   - an HTTP-style server on the department correspondent, with the
+//     mobile host running one open-loop and one closed-loop request flow.
+//
+// Every message carries a sequence number into a stats.FlowTracker, and
+// each root handoff span becomes an attribution window, so the export
+// answers the question the bare probe cannot: what does a handoff cost
+// real, TCP-carried application traffic — per flow, per discipline, per
+// move? Because the transport never gives up and the app layer never
+// retransmits, QoS 1 messages in flight across a handoff arrive exactly
+// once; the run fails loudly if that conformance breaks.
+//
+// The experiment is single-loop: worker counts shard other experiments,
+// never this one, so the export is byte-identical across -workers values.
+
+// Loaded-handoff experiment shape.
+const (
+	loadedBrokerPort = 1883
+	loadedHTTPPort   = 8080
+
+	loadedTelemetryFlows    = 3
+	loadedTelemetryInterval = 100 * time.Millisecond
+	loadedTelemetrySize     = 64
+	loadedCommandInterval   = 200 * time.Millisecond
+	loadedCommandSize       = 32
+	loadedOpenReqInterval   = 200 * time.Millisecond
+	loadedThinkTime         = 100 * time.Millisecond
+	loadedReqSize           = 256
+
+	// loadedDrainWait bounds the post-itinerary drain: the run waits for
+	// every in-flight message to land (TCP recovery after the last move can
+	// take several RTO backoffs) before scoring.
+	loadedDrainWait = 60 * time.Second
+)
+
+// LoadedWindowRow scores one flow against one handoff window: the standard
+// disruption report plus the delivered volume and goodput inside the
+// grace-extended window.
+type LoadedWindowRow struct {
+	stats.DisruptionReport
+	DeliveredInWindow int `json:"delivered_in_window"`
+	// ThroughputBps is the flow's goodput across the grace-extended window
+	// in bits per second of application payload (integer, for byte-stable
+	// JSON).
+	ThroughputBps int64 `json:"throughput_bps"`
+}
+
+// LoadedFlowRow is one flow's full accounting.
+type LoadedFlowRow struct {
+	Flow  string `json:"flow"`
+	Proto string `json:"proto"` // "mqtt-qos1" or "http"
+	Model string `json:"model"` // "open-loop" or "closed-loop"
+
+	PacketsSent     int `json:"packets_sent"`
+	PacketsReceived int `json:"packets_received"`
+	PacketsLost     int `json:"packets_lost"`
+	Reorders        int `json:"reorders"`
+	Duplicates      int `json:"duplicates"`
+
+	BaselineLatencyNS int64 `json:"baseline_latency_ns"`
+	MeanLatencyNS     int64 `json:"mean_latency_ns"`
+	P99LatencyNS      int64 `json:"p99_latency_ns"`
+	MaxLatencyNS      int64 `json:"max_latency_ns"`
+
+	// ThroughputBps is whole-run goodput in payload bits per second.
+	ThroughputBps int64 `json:"throughput_bps"`
+
+	Handoffs []LoadedWindowRow `json:"handoffs"`
+}
+
+// LoadedHandoffRows is the machine-readable result table.
+type LoadedHandoffRows struct {
+	GraceNS         int64 `json:"grace_ns"`
+	QoS1ExactlyOnce bool  `json:"qos1_exactly_once"`
+
+	BrokerStats     app.BrokerStats     `json:"broker"`
+	HTTPServerStats app.HTTPServerStats `json:"http_server"`
+
+	DroppedEvents uint64 `json:"dropped_events"`
+	DroppedSpans  uint64 `json:"dropped_spans"`
+
+	Flows []LoadedFlowRow `json:"flows"`
+}
+
+// LoadedHandoffResult is the full loaded-handoff run.
+type LoadedHandoffResult struct {
+	Rows   LoadedHandoffRows
+	Tracer *trace.Tracer
+	Export *Export
+}
+
+func (r *LoadedHandoffResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LOADEDHANDOFF: roaming under pub/sub + request/response load (%v grace)\n", HandoffGrace)
+	fmt.Fprintf(&b, "QoS 1 exactly-once across handoffs: %v\n", r.Rows.QoS1ExactlyOnce)
+	fmt.Fprintf(&b, "%-18s %-10s %-12s %6s %6s %5s %12s %12s %10s\n",
+		"flow", "proto", "model", "sent", "recv", "lost", "p99-latency", "max-latency", "goodput")
+	for _, f := range r.Rows.Flows {
+		fmt.Fprintf(&b, "%-18s %-10s %-12s %6d %6d %5d %12v %12v %8dbps\n",
+			f.Flow, f.Proto, f.Model, f.PacketsSent, f.PacketsReceived, f.PacketsLost,
+			time.Duration(f.P99LatencyNS).Round(time.Microsecond),
+			time.Duration(f.MaxLatencyNS).Round(time.Microsecond),
+			f.ThroughputBps)
+	}
+	if len(r.Rows.Flows) > 0 {
+		b.WriteString("worst-hit flow per handoff window:\n")
+		b.WriteString(formatWorstWindows(r.Rows.Flows))
+	}
+	return b.String()
+}
+
+// formatWorstWindows renders, for each handoff window, the flow that lost
+// the most (ties to the longest blackout).
+func formatWorstWindows(flows []LoadedFlowRow) string {
+	var b strings.Builder
+	for w := range flows[0].Handoffs {
+		worst := 0
+		for i := 1; i < len(flows); i++ {
+			cand, best := flows[i].Handoffs[w], flows[worst].Handoffs[w]
+			if cand.PacketsLost > best.PacketsLost ||
+				(cand.PacketsLost == best.PacketsLost && cand.BlackoutNS > best.BlackoutNS) {
+				worst = i
+			}
+		}
+		hw := flows[worst].Handoffs[w]
+		fmt.Fprintf(&b, "  %-20s %-18s lost=%d blackout=%v spike=%v delivered=%d\n",
+			hw.Kind, flows[worst].Flow, hw.PacketsLost,
+			time.Duration(hw.BlackoutNS).Round(time.Microsecond),
+			time.Duration(hw.MaxLatencySpikeNS).Round(time.Microsecond),
+			hw.DeliveredInWindow)
+	}
+	return b.String()
+}
+
+// loadedFlow pairs one traffic generator's tracker with its labeling.
+type loadedFlow struct {
+	name  string
+	proto string
+	model string
+	size  int // payload bytes per message, for goodput
+	flow  *stats.FlowTracker
+}
+
+// RunLoadedHandoff performs the roaming itinerary under the application
+// load and returns the per-flow, per-handoff disruption scoring.
+func RunLoadedHandoff(seed int64) (*LoadedHandoffResult, error) {
+	tb := New(seed)
+	defer tb.Close()
+
+	step := func(name string, f func(done func(error))) error {
+		done, fail := false, error(nil)
+		f(func(err error) { fail, done = err, true })
+		if !runUntilDone(tb, &done, 30*time.Second) || fail != nil {
+			return fmt.Errorf("loadedhandoff %s: done=%v err=%v", name, done, fail)
+		}
+		return nil
+	}
+
+	if err := step("attach home", func(done func(error)) {
+		tb.MH.ConnectHome(tb.Eth, RouterHomeAddr, done)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Servers on the department correspondent.
+	broker, err := app.NewBroker(tb.CH, ip.Unspecified, loadedBrokerPort, "broker")
+	if err != nil {
+		return nil, err
+	}
+	web, err := app.NewHTTPServer(tb.CH, ip.Unspecified, loadedHTTPPort, "web", app.EchoHandler)
+	if err != nil {
+		return nil, err
+	}
+
+	// MQTT clients: the mobile host's agent and the campus correspondent's.
+	mh := app.NewClient(tb.MHTS, "mh-agent")
+	campus := app.NewClient(tb.CampusCH, "campus-agent")
+	connected := 0
+	onConnack := func(err error) {
+		if err == nil {
+			connected++
+		}
+	}
+	if err := mh.Connect(CHAddr, loadedBrokerPort, onConnack); err != nil {
+		return nil, err
+	}
+	if err := campus.Connect(CHAddr, loadedBrokerPort, onConnack); err != nil {
+		return nil, err
+	}
+	if !runUntil(tb, 30*time.Second, func() bool { return connected == 2 }) {
+		return nil, fmt.Errorf("loadedhandoff: mqtt clients did not connect (%d/2)", connected)
+	}
+
+	// HTTP clients on the mobile host, one per discipline.
+	webOpen := app.NewHTTPClient(tb.MHTS, "web-open")
+	webClosed := app.NewHTTPClient(tb.MHTS, "web-closed")
+	if err := webOpen.Connect(CHAddr, loadedHTTPPort, nil); err != nil {
+		return nil, err
+	}
+	if err := webClosed.Connect(CHAddr, loadedHTTPPort, nil); err != nil {
+		return nil, err
+	}
+
+	// Flows and their trackers. Telemetry MH -> campus, commands campus ->
+	// MH, both QoS 1; request/response MH -> department server.
+	var flows []loadedFlow
+	var pubFlows []*app.PubFlow
+	subAcks := 0
+	for i := 0; i < loadedTelemetryFlows; i++ {
+		topic := fmt.Sprintf("telemetry/mh/%d", i)
+		ft := stats.NewFlowTracker(topic)
+		if err := campus.Subscribe(topic, 1, app.SinkHandler(tb.Loop, ft), func() { subAcks++ }); err != nil {
+			return nil, err
+		}
+		flows = append(flows, loadedFlow{
+			name: topic, proto: "mqtt-qos1", model: "open-loop", size: loadedTelemetrySize, flow: ft,
+		})
+		pubFlows = append(pubFlows, app.NewPubFlow(mh, ft, topic, loadedTelemetryInterval, 1, loadedTelemetrySize))
+	}
+	cmdTracker := stats.NewFlowTracker("cmd/mh")
+	if err := mh.Subscribe("cmd/mh", 1, app.SinkHandler(tb.Loop, cmdTracker), func() { subAcks++ }); err != nil {
+		return nil, err
+	}
+	flows = append(flows, loadedFlow{
+		name: "cmd/mh", proto: "mqtt-qos1", model: "open-loop", size: loadedCommandSize, flow: cmdTracker,
+	})
+	pubFlows = append(pubFlows, app.NewPubFlow(campus, cmdTracker, "cmd/mh", loadedCommandInterval, 1, loadedCommandSize))
+
+	if !runUntil(tb, 30*time.Second, func() bool { return subAcks == loadedTelemetryFlows+1 }) {
+		return nil, fmt.Errorf("loadedhandoff: subscriptions not acked (%d/%d)", subAcks, loadedTelemetryFlows+1)
+	}
+
+	openTracker := stats.NewFlowTracker("http/open")
+	closedTracker := stats.NewFlowTracker("http/closed")
+	flows = append(flows,
+		loadedFlow{name: "http/open", proto: "http", model: "open-loop", size: loadedReqSize, flow: openTracker},
+		loadedFlow{name: "http/closed", proto: "http", model: "closed-loop", size: loadedReqSize, flow: closedTracker},
+	)
+	reqFlows := []*app.ReqFlow{
+		app.NewReqFlow(webOpen, openTracker, "/open", loadedOpenReqInterval, false, loadedReqSize),
+		app.NewReqFlow(webClosed, closedTracker, "/closed", loadedThinkTime, true, loadedReqSize),
+	}
+
+	for _, f := range pubFlows {
+		f.Start()
+	}
+	for _, f := range reqFlows {
+		f.Start()
+	}
+	tb.Run(handoffSettle)
+
+	// The Figure-5 itinerary, exactly as RunHandoff walks it.
+	moves := []struct {
+		name string
+		f    func(done func(error))
+	}{
+		{"cold to department", func(done func(error)) {
+			tb.MoveEthTo(tb.DeptNet)
+			tb.MH.ColdSwitch(tb.Eth, done)
+		}},
+		{"same-subnet address switch", func(done func(error)) {
+			tb.MH.SwitchAddress(ip.MustParseAddr("36.8.0.200"), done)
+		}},
+		{"cold to radio", func(done func(error)) {
+			tb.MH.ColdSwitch(tb.Strip, done)
+		}},
+		{"hot back to wire", func(done func(error)) {
+			tb.Eth.Iface().Device().BringUp(func() {
+				tb.MH.Prepare(tb.Eth, func(err error) {
+					if err != nil {
+						done(err)
+						return
+					}
+					tb.MH.HotSwitch(tb.Eth, done)
+				})
+			})
+		}},
+		{"cold home", func(done func(error)) {
+			tb.MoveEthTo(tb.HomeNet)
+			tb.MH.ColdSwitchHome(tb.Eth, RouterHomeAddr, done)
+		}},
+	}
+	for _, mv := range moves {
+		if err := step(mv.name, mv.f); err != nil {
+			return nil, err
+		}
+		tb.Run(handoffSettle)
+	}
+
+	// Stop generating, then drain until every flow's sent count has been
+	// received — TCP recovery after the last move may still be replaying.
+	for _, f := range pubFlows {
+		f.Stop()
+	}
+	for _, f := range reqFlows {
+		f.Stop()
+	}
+	drained := runUntil(tb, loadedDrainWait, func() bool {
+		for _, lf := range flows {
+			sent, received, _, _ := lf.flow.Totals()
+			if received < sent {
+				return false
+			}
+		}
+		return true
+	})
+	// A final settle so PUBACKs and spans close too.
+	tb.Run(2 * time.Second)
+
+	// Attribution windows: every closed root handoff span, in start order.
+	var windows []stats.Window
+	for _, sp := range tb.Tracer.Spans() {
+		if sp.Parent == 0 && handoffRootKinds[sp.Kind] && sp.End >= sp.Start {
+			windows = append(windows, stats.Window{Kind: sp.Kind, Start: sp.Start, End: sp.End})
+		}
+	}
+
+	rows := LoadedHandoffRows{
+		GraceNS:         int64(HandoffGrace),
+		QoS1ExactlyOnce: true,
+		BrokerStats:     broker.Stats(),
+		HTTPServerStats: web.Stats(),
+		DroppedEvents:   tb.Tracer.Dropped(),
+		DroppedSpans:    tb.Tracer.DroppedSpans(),
+	}
+	for _, lf := range flows {
+		sent, received, lost, reorders := lf.flow.Totals()
+		dups, _ := lf.flow.Anomalies()
+		if lf.proto == "mqtt-qos1" && (dups != 0 || lost != 0) {
+			rows.QoS1ExactlyOnce = false
+		}
+		lat := lf.flow.LatencySeries()
+		row := LoadedFlowRow{
+			Flow:              lf.name,
+			Proto:             lf.proto,
+			Model:             lf.model,
+			PacketsSent:       sent,
+			PacketsReceived:   received,
+			PacketsLost:       lost,
+			Reorders:          reorders,
+			Duplicates:        dups,
+			BaselineLatencyNS: int64(lf.flow.Baseline()),
+			MeanLatencyNS:     int64(lat.Mean()),
+			P99LatencyNS:      int64(lat.Percentile(99)),
+			MaxLatencyNS:      int64(lat.Max()),
+			ThroughputBps:     goodputBps(received, lf.size, experimentSpan(lf.flow)),
+		}
+		for _, rep := range lf.flow.Analyze(windows, HandoffGrace) {
+			lo := sim.Time(rep.StartNS).Add(-HandoffGrace)
+			hi := sim.Time(rep.EndNS).Add(HandoffGrace)
+			delivered := lf.flow.ReceivedBetween(lo, hi)
+			row.Handoffs = append(row.Handoffs, LoadedWindowRow{
+				DisruptionReport:  rep,
+				DeliveredInWindow: delivered,
+				ThroughputBps:     goodputBps(delivered, lf.size, hi.Sub(lo)),
+			})
+		}
+		rows.Flows = append(rows.Flows, row)
+	}
+	if !drained {
+		// Loss under a transport that never gives up means the drain window
+		// was too short or a connection died; surface it rather than
+		// exporting a silently-degraded table.
+		return nil, fmt.Errorf("loadedhandoff: flows did not drain within %v", loadedDrainWait)
+	}
+
+	res := &LoadedHandoffResult{Rows: rows, Tracer: tb.Tracer}
+	res.Export = &Export{
+		Experiment: "loadedhandoff",
+		Seed:       seed,
+		Snapshots:  []*metrics.Snapshot{tb.SnapshotMetrics("loadedhandoff")},
+		Rows:       res.Rows,
+	}
+	return res, nil
+}
+
+// goodputBps converts delivered messages of size bytes over span to bits
+// per second, in integer arithmetic for byte-stable exports.
+func goodputBps(delivered, size int, span time.Duration) int64 {
+	if span <= 0 {
+		return 0
+	}
+	bits := int64(delivered) * int64(size) * 8
+	return bits * int64(time.Second) / int64(span)
+}
+
+// experimentSpan is the flow's active interval: first send to last arrival.
+func experimentSpan(f *stats.FlowTracker) time.Duration {
+	first, last, ok := f.Span()
+	if !ok {
+		return 0
+	}
+	return last.Sub(first)
+}

@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/link"
+	"mosquitonet/internal/stack"
+)
+
+// Regression tests for the three transport bugs the application-layer
+// workloads surfaced: the zero-window deadlock, the UDP wildcard binding
+// masked by a handler-less exact bind, and the RST refusal field shapes.
+
+// TestZeroWindowProbeRecovers models a stalled reader: the receiver
+// advertises a zero window while the sender has queued data and nothing in
+// flight. Pre-fix, trySend had nothing in flight so armTimer never armed
+// and the connection hung forever — even after the window reopened,
+// because the reopening is only discoverable by probing. The persist timer
+// must probe with backoff and resume transmission once a probe's ACK
+// carries the reopened window.
+func TestZeroWindowProbeRecovers(t *testing.T) {
+	p := newPair(t, link.Ethernet(), 3)
+	c, srv := establish(t, p, 80)
+	var rcvd bytes.Buffer
+	srv.OnData = func(b []byte) { rcvd.Write(b) }
+
+	// Drain one exchange so both sides settle, then the receiver's
+	// application stalls: window zero.
+	c.Write([]byte("warmup"))
+	p.loop.RunFor(time.Second)
+	srv.SetAdvertisedWindow(0)
+	// The ACK for this write reports the zero window; afterwards the
+	// sender has queued data, nothing in flight, and a closed window.
+	data := make([]byte, 5000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	c.Write(data[:100])
+	p.loop.RunFor(2 * time.Second)
+	c.Write(data[100:])
+	if got := c.Unacked(); got != 0 && c.stats.ZeroWndProbes == 0 {
+		// Not fatal — just documents the stall precondition.
+		t.Logf("pre-reopen: unacked=%d probes=%d", got, c.stats.ZeroWndProbes)
+	}
+
+	// Window stays shut long enough for several backed-off probes.
+	p.loop.RunFor(10 * time.Second)
+	if c.stats.ZeroWndProbes == 0 {
+		t.Fatal("no zero-window probes sent while the peer window was closed")
+	}
+	if rcvd.Len() >= 6+len(data) {
+		t.Fatal("data delivered through a zero window?")
+	}
+
+	// The reader wakes up. No window-update segment is sent — the reopen
+	// must be discovered by the sender's next persist probe.
+	srv.SetAdvertisedWindow(recvWindow)
+	p.loop.RunFor(3 * time.Minute) // probes back off toward maxRTO
+	want := append([]byte("warmup"), data...)
+	if !bytes.Equal(rcvd.Bytes(), want) {
+		t.Fatalf("after window reopen: delivered %d of %d bytes", rcvd.Len(), len(want))
+	}
+	if c.Unacked() != 0 {
+		t.Fatalf("unacked bytes remain: %d", c.Unacked())
+	}
+	if c.persistTimer.Active() {
+		t.Fatal("persist timer still armed after the window reopened")
+	}
+}
+
+// TestZeroWindowProbeStopsOnTeardown pins the audit half of the fix: a
+// connection torn down mid-probe must cancel its persist timer alongside
+// the retransmission timer.
+func TestZeroWindowProbeStopsOnTeardown(t *testing.T) {
+	p := newPair(t, link.Ethernet(), 4)
+	c, srv := establish(t, p, 80)
+	srv.OnData = func([]byte) {}
+	c.Write([]byte("w"))
+	p.loop.RunFor(time.Second)
+	srv.SetAdvertisedWindow(0)
+	c.Write([]byte("x"))
+	p.loop.RunFor(time.Second)
+	c.Write(make([]byte, 2000))
+	p.loop.RunFor(5 * time.Second)
+	if !c.persistTimer.Active() {
+		t.Fatal("persist timer not armed against a zero window")
+	}
+	srv.Abort()
+	p.loop.RunFor(time.Second)
+	if c.State() != StateClosed {
+		t.Fatalf("state %v after peer RST", c.State())
+	}
+	if c.persistTimer.Active() || c.rtxTimer.Active() {
+		t.Fatal("timers still armed after teardown")
+	}
+	probes := c.stats.ZeroWndProbes
+	p.loop.RunFor(5 * time.Minute)
+	if c.stats.ZeroWndProbes != probes {
+		t.Fatal("closed connection kept probing")
+	}
+}
+
+// TestTeardownCancelsRetransmit pins that a closed connection never fires
+// a stale retransmission: tear down (via peer RST) while data is
+// outstanding and the RTO timer armed, then verify no further
+// transmissions happen.
+func TestTeardownCancelsRetransmit(t *testing.T) {
+	p := newPair(t, link.Ethernet(), 6)
+	c, srv := establish(t, p, 80)
+	srv.OnData = func([]byte) {}
+
+	// Take the receiver down so writes stay in flight and the RTO arms.
+	dev := p.b.Host().IfaceByName("eth0").Device()
+	dev.BringDown()
+	c.Write(make([]byte, 3000))
+	p.loop.RunFor(100 * time.Millisecond)
+	if !c.rtxTimer.Active() {
+		t.Fatal("RTO timer not armed with data in flight")
+	}
+	c.Abort()
+	if c.rtxTimer.Active() || c.persistTimer.Active() {
+		t.Fatal("timers survived teardown")
+	}
+	retransmits := c.stats.Retransmits
+	p.loop.RunFor(5 * time.Minute)
+	if c.stats.Retransmits != retransmits {
+		t.Fatalf("closed connection retransmitted: %d -> %d", retransmits, c.stats.Retransmits)
+	}
+}
+
+// TestUDPWildcardBehindSendOnlyExactBind pins the demux fix: an exact
+// (addr, port) binding with a nil handler — a send-only socket, exactly
+// what probes and clients create — must not swallow datagrams that a
+// wildcard binding on the same port could deliver.
+func TestUDPWildcardBehindSendOnlyExactBind(t *testing.T) {
+	p := newPair(t, link.Ethernet(), 1)
+	// Send-only exact bind on (bAddr, 99), wildcard receiver on :99.
+	sendOnly, err := p.b.UDP(p.bAddr, 99, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	wild, err := p.b.UDP(ip.Unspecified, 99, func(Datagram) { hits++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, _ := p.a.UDP(ip.Unspecified, 0, nil)
+	cli.SendTo(p.bAddr, 99, []byte("x"))
+	p.loop.RunFor(time.Second)
+	if hits != 1 {
+		t.Fatalf("wildcard handler hits = %d, want 1", hits)
+	}
+	if wild.Received != 1 || sendOnly.Received != 0 {
+		t.Fatalf("counters wild=%d exact=%d", wild.Received, sendOnly.Received)
+	}
+	if n := p.b.StatsSnapshot().UDPNoSocket; n != 0 {
+		t.Fatalf("UDPNoSocket = %d; datagram swallowed by the send-only bind", n)
+	}
+}
+
+// rstCatcher runs a raw TCP-segment sniffer in place of a transport stack
+// so tests can send hand-crafted segments and inspect the peer's replies.
+type rstCatcher struct {
+	host *stack.Host
+	addr ip.Addr
+	got  []ip.TCPHeader
+}
+
+func newRSTCatcher(h *stack.Host, addr ip.Addr) *rstCatcher {
+	rc := &rstCatcher{host: h, addr: addr}
+	h.RegisterHandler(ip.ProtoTCP, func(ifc *stack.Iface, pkt *ip.Packet) {
+		hdr, _, err := ip.UnmarshalTCP(pkt.Src, pkt.Dst, pkt.Payload)
+		if err != nil {
+			return
+		}
+		rc.got = append(rc.got, hdr)
+	})
+	return rc
+}
+
+// inject sends a crafted segment from the catcher's host to dst.
+func (rc *rstCatcher) inject(dst ip.Addr, h ip.TCPHeader, payload []byte) {
+	seg := ip.MarshalTCP(rc.addr, dst, h, payload)
+	rc.host.Output(&ip.Packet{
+		Header:  ip.Header{Protocol: ip.ProtoTCP, Src: rc.addr, Dst: dst},
+		Payload: seg,
+	})
+}
+
+// TestRSTRefusalFieldShapes pins the RFC 793 refusal conventions. The old
+// code stamped Seq: h.Ack and RST|ACK unconditionally, which for an
+// ACK-less segment produced Seq=0 *and* an ACK-flagged RST acknowledging
+// h.Seq+1 regardless of segment length.
+func TestRSTRefusalFieldShapes(t *testing.T) {
+	p := newPair(t, link.Ethernet(), 9)
+	// Replace a's transport TCP handler with the sniffer; a keeps its IP
+	// stack but now sees raw refusals from b.
+	rc := newRSTCatcher(p.a.Host(), p.aAddr)
+
+	check := func(name string, send ip.TCPHeader, payload []byte, want ip.TCPHeader) {
+		t.Helper()
+		rc.got = nil
+		rc.inject(p.bAddr, send, payload)
+		p.loop.RunFor(time.Second)
+		if len(rc.got) != 1 {
+			t.Fatalf("%s: got %d replies, want 1", name, len(rc.got))
+		}
+		g := rc.got[0]
+		if g.Flags != want.Flags || g.Seq != want.Seq || g.Ack != want.Ack {
+			t.Errorf("%s: RST seq=%d ack=%d flags=%s, want seq=%d ack=%d flags=%s",
+				name, g.Seq, g.Ack, g.FlagString(), want.Seq, want.Ack, want.FlagString())
+		}
+	}
+
+	// A bare SYN to a closed port: SEG.LEN=1 (the SYN slot), so the RST
+	// acknowledges seq+1 with Seq=0 and the ACK flag set.
+	check("bare SYN",
+		ip.TCPHeader{SrcPort: 5000, DstPort: 4444, Seq: 1000, Flags: ip.TCPSyn, Window: 100},
+		nil,
+		ip.TCPHeader{Flags: ip.TCPRst | ip.TCPAck, Seq: 0, Ack: 1001})
+
+	// ACK-less data to a closed port: the RST acknowledges seq+len.
+	check("ACK-less data",
+		ip.TCPHeader{SrcPort: 5001, DstPort: 4444, Seq: 2000, Flags: ip.TCPPsh, Window: 100},
+		[]byte("hello"),
+		ip.TCPHeader{Flags: ip.TCPRst | ip.TCPAck, Seq: 0, Ack: 2005})
+
+	// A stray ACK to a closed port: the RST takes its Seq from the
+	// segment's Ack and carries no ACK flag.
+	check("stray ACK",
+		ip.TCPHeader{SrcPort: 5002, DstPort: 4444, Seq: 3000, Ack: 7777, Flags: ip.TCPAck, Window: 100},
+		nil,
+		ip.TCPHeader{Flags: ip.TCPRst, Seq: 7777, Ack: 0})
+
+	// An ACK-less FIN: the FIN slot counts toward SEG.LEN too.
+	check("ACK-less FIN",
+		ip.TCPHeader{SrcPort: 5003, DstPort: 4444, Seq: 4000, Flags: ip.TCPFin, Window: 100},
+		nil,
+		ip.TCPHeader{Flags: ip.TCPRst | ip.TCPAck, Seq: 0, Ack: 4001})
+}

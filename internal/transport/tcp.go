@@ -65,6 +65,7 @@ type ConnStats struct {
 	BytesReceived uint64
 	Retransmits   uint64
 	DupAcksSent   uint64
+	ZeroWndProbes uint64 // persist-timer probes sent against a closed peer window
 }
 
 // Conn is a reliable byte-stream connection. Callbacks fire from the
@@ -108,6 +109,24 @@ type Conn struct {
 	// can lose a whole window; without this, recovery would crawl at one
 	// segment per RTO.
 	recovering bool
+
+	// Persist timer (zero-window probing). When the peer advertises a
+	// zero window with data queued and nothing in flight, the RTO timer
+	// never arms — nothing is outstanding — so without probing the
+	// connection would deadlock forever: the window-update ACK that
+	// reopens the window carries no data and is sent unreliably. The
+	// persist timer sends a one-byte probe below sndUna (front-trimmed by
+	// the receiver as a pure duplicate) to elicit an ACK carrying the
+	// current window, backing off like an RTO but never giving up, per
+	// the classic TCP persist behaviour.
+	persistTimer   sim.LaneTimer
+	persistBackoff time.Duration
+
+	// advWnd is the receive window advertised on outgoing segments. It
+	// defaults to recvWindow; an application throttling its consumption
+	// (or a test modelling a stalled reader) lowers it with
+	// SetAdvertisedWindow, possibly to zero.
+	advWnd uint16
 
 	// Retransmission. The RTO timer lives on a bucketed lane: it is
 	// re-armed on every ACK and almost never fires, so sharing heap
@@ -172,6 +191,7 @@ func (s *Stack) Connect(bound, dst ip.Addr, dport uint16) (*Conn, error) {
 		iss:     s.loop.Rand().Uint32(),
 		rto:     initialRTO,
 		peerWnd: recvWindow,
+		advWnd:  recvWindow,
 	}
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1 // SYN consumes one sequence number
@@ -231,12 +251,16 @@ func (c *Conn) Abort() {
 	c.teardown(nil)
 }
 
+// teardown closes the connection and cancels both timers. Every path out
+// of the connection table funnels through here, so a closed conn can never
+// fire a stale retransmission or persist probe.
 func (c *Conn) teardown(err error) {
 	if c.state == StateClosed {
 		return
 	}
 	c.state = StateClosed
 	c.rtxTimer.Stop()
+	c.persistTimer.Stop()
 	delete(c.stk.conns, c.key)
 	if err != nil && c.OnError != nil {
 		c.OnError(err)
@@ -283,6 +307,53 @@ func (c *Conn) trySend() {
 		c.sndNxt++ // FIN consumes a sequence number
 	}
 	c.armTimer()
+	// Zero-window deadlock guard: data is queued, nothing is in flight (so
+	// the RTO timer stays unarmed), and the peer window is closed. Probe
+	// until an ACK reopens it.
+	if c.peerWnd == 0 && c.sndInUse < len(c.sndBuf) && c.sndNxt == c.sndUna &&
+		!c.persistTimer.Active() {
+		c.armPersist()
+	}
+}
+
+// SetAdvertisedWindow changes the receive window stamped on this side's
+// outgoing segments — the backpressure hook for an application that has
+// stopped consuming. It takes effect on the next segment sent; a peer
+// staring at a zero window rediscovers the reopened window through its
+// persist probes.
+func (c *Conn) SetAdvertisedWindow(w uint16) { c.advWnd = w }
+
+// armPersist starts the persist timer. The first probe waits out the
+// current RTO; subsequent probes back off exponentially to maxRTO and
+// never give up — a zero window is flow control, not failure.
+func (c *Conn) armPersist() {
+	if c.persistBackoff == 0 {
+		c.persistBackoff = c.rto
+		if c.persistBackoff < minRTO {
+			c.persistBackoff = minRTO
+		}
+	}
+	c.persistTimer = c.stk.loop.Lane(rtoLaneGranularity).Schedule(c.persistBackoff, c.zeroWndProbe)
+}
+
+// zeroWndProbe sends one byte just below sndUna. The receiver front-trims
+// it as a pure duplicate and answers with an ACK carrying its current
+// window; segment()'s window-open path then resumes transmission.
+func (c *Conn) zeroWndProbe() {
+	if c.state != StateEstablished && c.state != StateFinSent {
+		return
+	}
+	if c.peerWnd != 0 || c.sndInUse >= len(c.sndBuf) || c.sndNxt != c.sndUna {
+		return
+	}
+	c.stats.ZeroWndProbes++
+	var probe [1]byte
+	c.sendSegment(ip.TCPAck, c.sndUna-1, c.rcvNxt, probe[:])
+	c.persistBackoff *= 2
+	if c.persistBackoff > maxRTO {
+		c.persistBackoff = maxRTO
+	}
+	c.armPersist()
 }
 
 func (c *Conn) sendSegment(flags uint8, seq, ack uint32, payload []byte) {
@@ -292,7 +363,7 @@ func (c *Conn) sendSegment(flags uint8, seq, ack uint32, payload []byte) {
 		Seq:     seq,
 		Ack:     ack,
 		Flags:   flags,
-		Window:  recvWindow,
+		Window:  c.advWnd,
 	}
 	seg := ip.MarshalTCP(c.key.laddr, c.key.raddr, h, payload)
 	pkt := &ip.Packet{
@@ -398,6 +469,7 @@ func (s *Stack) tcpInput(ifc *stack.Iface, pkt *ip.Packet) {
 				iss:     s.loop.Rand().Uint32(),
 				rto:     initialRTO,
 				peerWnd: h.Window,
+				advWnd:  recvWindow,
 				rcvNxt:  h.Seq + 1,
 			}
 			c.sndUna = c.iss
@@ -413,10 +485,29 @@ func (s *Stack) tcpInput(ifc *stack.Iface, pkt *ip.Packet) {
 	}
 	s.stats.TCPNoConn++
 	if h.Flags&ip.TCPRst == 0 {
-		// Refuse with a RST addressed from the targeted address.
-		rst := ip.TCPHeader{
-			SrcPort: h.DstPort, DstPort: h.SrcPort,
-			Seq: h.Ack, Ack: h.Seq + 1, Flags: ip.TCPRst | ip.TCPAck,
+		// Refuse with a RST addressed from the targeted address, shaped
+		// per RFC 793 §3.4: a segment carrying an ACK is refused with
+		// <SEQ=SEG.ACK><CTL=RST> (the peer validates the RST against its
+		// own send sequence, so no ACK rides along); a segment without an
+		// ACK — a bare SYN, or stray data to a closed port — is refused
+		// with <SEQ=0><ACK=SEG.SEQ+SEG.LEN><CTL=RST,ACK>, where SEG.LEN
+		// counts the SYN/FIN sequence slots. The old code stamped
+		// Seq: h.Ack unconditionally, which for ACK-less segments is a
+		// zero Seq on an ACK-flagged RST acknowledging the wrong edge.
+		rst := ip.TCPHeader{SrcPort: h.DstPort, DstPort: h.SrcPort}
+		if h.Flags&ip.TCPAck != 0 {
+			rst.Seq = h.Ack
+			rst.Flags = ip.TCPRst
+		} else {
+			segLen := uint32(len(payload))
+			if h.Flags&ip.TCPSyn != 0 {
+				segLen++
+			}
+			if h.Flags&ip.TCPFin != 0 {
+				segLen++
+			}
+			rst.Ack = h.Seq + segLen
+			rst.Flags = ip.TCPRst | ip.TCPAck
 		}
 		seg := ip.MarshalTCP(pkt.Dst, pkt.Src, rst, nil)
 		s.host.Output(&ip.Packet{
@@ -432,7 +523,20 @@ func (c *Conn) segment(h ip.TCPHeader, payload []byte) {
 		c.teardown(ErrConnReset)
 		return
 	}
+	windowOpened := c.peerWnd == 0 && h.Window != 0
 	c.peerWnd = h.Window
+	if windowOpened {
+		// The peer's window reopened (via a probe's ACK or any other
+		// segment): cancel persist probing and resume at the end of
+		// segment processing, once the ACK and data paths have run.
+		c.persistBackoff = 0
+		c.persistTimer.Stop()
+		defer func() {
+			if c.state == StateEstablished || c.state == StateFinSent {
+				c.trySend()
+			}
+		}()
+	}
 	finSeq := h.Seq + uint32(len(payload)) // where a FIN flag would sit
 
 	switch c.state {

@@ -108,9 +108,16 @@ func (s *Stack) udpInput(ifc *stack.Iface, pkt *ip.Packet) {
 		s.stats.UDPBadChecksum++
 		return
 	}
+	// Exact (addr, port) binding first; a wildcard binding on the same
+	// port is next in line. A handler-less exact binding (a send-only
+	// socket, like a probe's source) must not mask the wildcard: it has
+	// nowhere to deliver, so the datagram falls through rather than being
+	// swallowed as UDPNoSocket.
 	sock := s.udp[bindKey{pkt.Dst, h.DstPort}]
-	if sock == nil {
-		sock = s.udp[bindKey{ip.Unspecified, h.DstPort}]
+	if sock == nil || sock.handler == nil {
+		if w := s.udp[bindKey{ip.Unspecified, h.DstPort}]; w != nil && w.handler != nil {
+			sock = w
+		}
 	}
 	if sock == nil || sock.handler == nil {
 		s.stats.UDPNoSocket++

@@ -23,6 +23,7 @@
 package mosquitonet
 
 import (
+	"mosquitonet/internal/app"
 	"mosquitonet/internal/capture"
 	"mosquitonet/internal/dhcp"
 	"mosquitonet/internal/dns"
@@ -211,6 +212,29 @@ type (
 	FlowProbe = testbed.FlowProbe
 	// HandoffResult is the handoff observatory's full result.
 	HandoffResult = testbed.HandoffResult
+	// LoadedHandoffResult is the loaded-handoff observatory's full result.
+	LoadedHandoffResult = testbed.LoadedHandoffResult
+)
+
+// Application-layer types (workloads over the transport).
+type (
+	// MQTTBroker is the MQTT-style publish/subscribe broker.
+	MQTTBroker = app.Broker
+	// MQTTClient is the MQTT-style client.
+	MQTTClient = app.Client
+	// MQTTMessage is one delivered publication.
+	MQTTMessage = app.Message
+	// HTTPServer serves the HTTP-style request/response protocol.
+	HTTPServer = app.HTTPServer
+	// HTTPClient issues pipelined keep-alive requests.
+	HTTPClient = app.HTTPClient
+	// HTTPRequest and HTTPResponse are one exchange's halves.
+	HTTPRequest  = app.HTTPRequest
+	HTTPResponse = app.HTTPResponse
+	// PubFlow is the open-loop telemetry traffic model; ReqFlow the open-
+	// or closed-loop request/response model.
+	PubFlow = app.PubFlow
+	ReqFlow = app.ReqFlow
 )
 
 // Observability types (the span observatory).
@@ -314,6 +338,21 @@ var (
 	// sequence-numbered measurement flow.
 	RunHandoff   = testbed.RunHandoff
 	NewFlowProbe = testbed.NewFlowProbe
+
+	// RunLoadedHandoff replays the same itinerary under a sustained MQTT
+	// pub/sub fleet and HTTP request/response mix, scoring each flow's
+	// disruption against the root handoff spans.
+	RunLoadedHandoff = testbed.RunLoadedHandoff
+
+	// NewMQTTBroker/NewMQTTClient and NewHTTPServer/NewHTTPClient build
+	// the application-layer workloads; NewPubFlow and NewReqFlow drive
+	// them open- or closed-loop into a FlowTracker.
+	NewMQTTBroker = app.NewBroker
+	NewMQTTClient = app.NewClient
+	NewHTTPServer = app.NewHTTPServer
+	NewHTTPClient = app.NewHTTPClient
+	NewPubFlow    = app.NewPubFlow
+	NewReqFlow    = app.NewReqFlow
 
 	// NewFlightRecorder arms dump-on-anomaly capture over a tracer's
 	// bounded event/span rings.
