@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-exp all|e1|f6|f7|handoff|loadedhandoff|rtt|a1|a2|a3|scale|parallel] [-samples N] [-workers N] [-json dir]
+//	experiments [-seed N] [-exp all|e1|f6|f7|handoff|loadedhandoff|rtt|a1|a2|a3|scale|parallel] [-samples N] [-workers N] [-hosts N] [-json dir]
 package main
 
 import (
@@ -37,7 +37,8 @@ func main() {
 	samples := flag.Int("samples", 20, "samples for RTT/A1 measurements")
 	a2iters := flag.Int("a2-iterations", 5, "handoffs per A2 variant")
 	fleets := flag.String("a3-fleets", "1,8,32,64", "comma-separated fleet sizes for A3")
-	scaleFleets := flag.String("scale-fleets", "10,100,1000", "comma-separated fleet sizes for the scale experiment")
+	scaleFleets := flag.String("scale-fleets", "10,100,1000,10000,100000", "comma-separated fleet sizes for the scale experiment")
+	hosts := flag.Int("hosts", 0, "single fleet size for the scale/parallel experiments, overriding -scale-fleets (e.g. -exp scale -hosts 100000)")
 	workers := flag.Int("workers", 1, "worker goroutines for sharded experiments (results are identical at any count)")
 	jsonDir := flag.String("json", "bench", "directory for BENCH_*.json exports (empty to disable)")
 	flag.Parse()
@@ -133,9 +134,15 @@ func main() {
 		fmt.Println(res)
 		writeExport(*jsonDir, res.Export)
 	}
+	scaleSizes := func() []int {
+		if *hosts > 0 {
+			return []int{*hosts}
+		}
+		return parseFleets(*scaleFleets)
+	}
 	if want("scale") {
 		ran = true
-		res, err := mosquitonet.RunScaleWorkers(*seed, parseFleets(*scaleFleets), *workers)
+		res, err := mosquitonet.RunScaleWorkers(*seed, scaleSizes(), *workers)
 		exitOn(err)
 		fmt.Println(res)
 		writeExport(*jsonDir, res.Export)
@@ -149,7 +156,7 @@ func main() {
 		if w <= 1 {
 			w = 4 // comparing workers=1 against itself would be vacuous
 		}
-		res, err := mosquitonet.RunParallel(*seed, parseFleets(*scaleFleets), w)
+		res, err := mosquitonet.RunParallel(*seed, scaleSizes(), w)
 		exitOn(err)
 		fmt.Println(res)
 		writeExport(*jsonDir, res.Export)

@@ -1,0 +1,75 @@
+// World-scoped state patterns from the per-host memory diet: the address
+// intern table (mutex-guarded map whose values are pure functions of the
+// key) and the arena slab allocator (allocation-only state handing out
+// zeroed memory). Both are intentionally process-wide and carry reasoned
+// allows; the same shapes without a directive are flagged.
+package fixture
+
+import "sync"
+
+// The intern-table pattern, justified: every access is under the mutex
+// and the cached value for a key is immutable, so population order across
+// shards is unobservable.
+//
+//lint:allow nosharedstate guards the process-wide intern table; every access is under this mutex
+var internMu sync.Mutex
+
+//lint:allow nosharedstate cache guarded by internMu; values are pure functions of the key, so cross-shard population order cannot change any observable result
+var interned = map[[4]byte]string{}
+
+func internString(a [4]byte) string {
+	internMu.Lock()
+	s, ok := interned[a]
+	if !ok {
+		s = string(a[:])
+		interned[a] = s
+	}
+	internMu.Unlock()
+	return s
+}
+
+// The same shape without a directive: both the mutex and the map are
+// shared mutable state and must be flagged.
+var bareMu sync.Mutex         // want "package-level var bareMu is mutated through a pointer-receiver method"
+var bareCache = map[int]int{} // want "package-level var bareCache is assigned"
+
+func bareLookup(k int) int {
+	bareMu.Lock()
+	v, ok := bareCache[k]
+	if !ok {
+		v = k * k
+		bareCache[k] = v
+	}
+	bareMu.Unlock()
+	return v
+}
+
+// The arena-slab pattern: a chunk allocator is mutable state (Get advances
+// the cursor), so a package-level slab needs a reasoned allow even though
+// handing out zeroed memory is order-independent.
+type slab struct {
+	mu   sync.Mutex
+	cur  []int
+	next int
+}
+
+func (s *slab) get() *int {
+	s.mu.Lock()
+	if s.next == len(s.cur) {
+		s.cur = make([]int, 64)
+		s.next = 0
+	}
+	p := &s.cur[s.next]
+	s.next++
+	s.mu.Unlock()
+	return p
+}
+
+//lint:allow nosharedstate allocation-only slab (internally mutex-guarded); get returns zeroed memory, so cross-shard allocation order is unobservable
+var intSlab = &slab{}
+
+var rogueSlab = &slab{} // want "package-level var rogueSlab is mutated through a pointer-receiver method"
+
+func alloc() (*int, *int) {
+	return intSlab.get(), rogueSlab.get()
+}

@@ -14,6 +14,7 @@ package arp
 import (
 	"encoding/binary"
 	"errors"
+	"sort"
 	"time"
 
 	"mosquitonet/internal/bufpool"
@@ -122,9 +123,13 @@ type Stats struct {
 }
 
 type entry struct {
+	addr    ip.Addr
 	hw      link.HWAddr
 	expires sim.Time
 }
+
+// staticExpiry marks an entry that never ages out (AddStatic).
+const staticExpiry = sim.Time(1<<62 - 1)
 
 // queued is one packet waiting for address resolution: the marshaled IP
 // payload plus its lifecycle trace ID, so the trace survives the queue.
@@ -155,9 +160,15 @@ type Cache struct {
 	// requests for any of them.
 	localAddrs func() []ip.Addr
 
-	entries   map[ip.Addr]entry
+	// entries is the resolution table packed into a slice sorted by
+	// address and binary-searched: a fleet host's cache holds a handful
+	// of neighbors and a router's a few hundred, and packing them avoids
+	// a map bucket plus per-entry overhead for every neighbor on every
+	// device in the fleet. published is packed the same way; pend is a
+	// lazily allocated map because unresolved addresses are transient.
+	entries   []entry
 	pend      map[ip.Addr]*pending
-	published map[ip.Addr]bool
+	published []ip.Addr
 	stats     Stats
 }
 
@@ -170,42 +181,81 @@ func New(loop *sim.Loop, dev *link.Device, cfg Config, localAddrs func() []ip.Ad
 		dev:        dev,
 		cfg:        cfg.withDefaults(),
 		localAddrs: localAddrs,
-		entries:    make(map[ip.Addr]entry),
-		pend:       make(map[ip.Addr]*pending),
-		published:  make(map[ip.Addr]bool),
 	}
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// addrOrd orders addresses numerically for the packed tables.
+func addrOrd(a ip.Addr) uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// findEntry binary-searches the packed table: the index where a is (or
+// would be inserted), and whether it is present.
+func (c *Cache) findEntry(a ip.Addr) (int, bool) {
+	i := sort.Search(len(c.entries), func(i int) bool { return addrOrd(c.entries[i].addr) >= addrOrd(a) })
+	return i, i < len(c.entries) && c.entries[i].addr == a
+}
+
+// setEntry inserts or updates the packed entry for a.
+func (c *Cache) setEntry(a ip.Addr, hw link.HWAddr, expires sim.Time) {
+	i, ok := c.findEntry(a)
+	if ok {
+		c.entries[i].hw, c.entries[i].expires = hw, expires
+		return
+	}
+	c.entries = append(c.entries, entry{})
+	copy(c.entries[i+1:], c.entries[i:])
+	c.entries[i] = entry{addr: a, hw: hw, expires: expires}
+}
+
 // Lookup returns the cached hardware address for a, if fresh.
 func (c *Cache) Lookup(a ip.Addr) (link.HWAddr, bool) {
-	e, ok := c.entries[a]
-	if !ok || c.loop.Now() > e.expires {
+	i, ok := c.findEntry(a)
+	if !ok || c.loop.Now() > c.entries[i].expires {
 		return link.HWAddr{}, false
 	}
-	return e.hw, true
+	return c.entries[i].hw, true
 }
 
 // AddStatic installs a non-expiring entry. The home agent uses this to
 // keep a mapping for a registered mobile host in its own cache.
 func (c *Cache) AddStatic(a ip.Addr, hw link.HWAddr) {
-	c.entries[a] = entry{hw: hw, expires: sim.Time(1<<62 - 1)}
+	c.setEntry(a, hw, staticExpiry)
 }
 
 // Delete removes any entry for a.
-func (c *Cache) Delete(a ip.Addr) { delete(c.entries, a) }
+func (c *Cache) Delete(a ip.Addr) {
+	if i, ok := c.findEntry(a); ok {
+		c.entries = append(c.entries[:i], c.entries[i+1:]...)
+	}
+}
 
 // Publish makes the cache answer requests for a with this device's own
 // hardware address — proxy ARP, the home agent's interception mechanism.
-func (c *Cache) Publish(a ip.Addr) { c.published[a] = true }
+func (c *Cache) Publish(a ip.Addr) {
+	i := sort.Search(len(c.published), func(i int) bool { return addrOrd(c.published[i]) >= addrOrd(a) })
+	if i < len(c.published) && c.published[i] == a {
+		return
+	}
+	c.published = append(c.published, ip.Addr{})
+	copy(c.published[i+1:], c.published[i:])
+	c.published[i] = a
+}
 
 // Unpublish stops proxying for a.
-func (c *Cache) Unpublish(a ip.Addr) { delete(c.published, a) }
+func (c *Cache) Unpublish(a ip.Addr) {
+	i := sort.Search(len(c.published), func(i int) bool { return addrOrd(c.published[i]) >= addrOrd(a) })
+	if i < len(c.published) && c.published[i] == a {
+		c.published = append(c.published[:i], c.published[i+1:]...)
+	}
+}
 
 // Published reports whether a is currently proxied.
-func (c *Cache) Published(a ip.Addr) bool { return c.published[a] }
+func (c *Cache) Published(a ip.Addr) bool {
+	i := sort.Search(len(c.published), func(i int) bool { return addrOrd(c.published[i]) >= addrOrd(a) })
+	return i < len(c.published) && c.published[i] == a
+}
 
 // SendIP transmits an IPv4 payload to dst, resolving its hardware address
 // first if necessary. Packets to unresolved addresses are queued (up to
@@ -227,6 +277,9 @@ func (c *Cache) SendIP(dst ip.Addr, payload []byte, trace uint64) {
 	p := c.pend[dst]
 	if p == nil {
 		p = &pending{}
+		if c.pend == nil {
+			c.pend = make(map[ip.Addr]*pending)
+		}
 		c.pend[dst] = p
 		c.sendRequest(dst, p)
 	}
@@ -307,7 +360,7 @@ func (c *Cache) HandleFrame(f *link.Frame) {
 	// entries — and create one if the message is addressed to us.
 	isLocal := c.isLocal(m.TargetIP)
 	if !m.SenderIP.IsUnspecified() {
-		if _, have := c.entries[m.SenderIP]; have || isLocal {
+		if _, have := c.findEntry(m.SenderIP); have || isLocal {
 			c.learn(m.SenderIP, m.SenderHW)
 		}
 	}
@@ -329,7 +382,7 @@ func (c *Cache) HandleFrame(f *link.Frame) {
 	case isLocal:
 		c.reply(m)
 		c.stats.RepliesSent++
-	case c.published[m.TargetIP]:
+	case c.Published(m.TargetIP):
 		c.reply(m)
 		c.stats.ProxyReplies++
 	}
@@ -345,12 +398,11 @@ func (c *Cache) isLocal(a ip.Addr) bool {
 }
 
 func (c *Cache) learn(a ip.Addr, hw link.HWAddr) {
-	if e, ok := c.entries[a]; ok && e.expires == sim.Time(1<<62-1) {
-		e.hw = hw // static entries keep their lifetime but track moves
-		c.entries[a] = e
+	if i, ok := c.findEntry(a); ok && c.entries[i].expires == staticExpiry {
+		c.entries[i].hw = hw // static entries keep their lifetime but track moves
 		return
 	}
-	c.entries[a] = entry{hw: hw, expires: c.loop.Now().Add(c.cfg.EntryTTL)}
+	c.setEntry(a, hw, c.loop.Now().Add(c.cfg.EntryTTL))
 }
 
 func (c *Cache) reply(req *Message) {

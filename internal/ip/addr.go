@@ -55,10 +55,10 @@ func ParseAddr(s string) (Addr, error) {
 	return a, nil
 }
 
-// String returns the dotted-quad form.
-func (a Addr) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
-}
+// String returns the dotted-quad form, served from the world-level
+// intern table so the hot diagnostic paths don't re-format (and
+// re-allocate) the same addresses per packet.
+func (a Addr) String() string { return InternString(a) }
 
 // IsUnspecified reports whether a is 0.0.0.0.
 func (a Addr) IsUnspecified() bool { return a == Unspecified }

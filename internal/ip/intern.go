@@ -1,0 +1,40 @@
+package ip
+
+import (
+	"strconv"
+	"sync"
+)
+
+// World-level address intern table. Addr.String sits on the diagnostic
+// path (drop reasons, packet-log detail, trace attributes) and a fleet
+// formats the same few thousand addresses over and over; the table caches
+// the dotted-quad form per address so repeated formatting is a map lookup
+// instead of an allocation. The population is bounded by the number of
+// distinct addresses a simulation ever formats.
+//
+// This is package-level mutable state reachable from shard code, which is
+// normally forbidden (nosharedstate). It is safe here because every
+// access holds internMu and the cached value for a given address is an
+// immutable pure function of the key: whichever shard populates an entry
+// first, every reader observes the same bytes, so no observable result
+// can depend on shard scheduling.
+var (
+	//lint:allow nosharedstate guards the process-wide addr→string intern table; every access is under this mutex
+	internMu sync.Mutex
+	//lint:allow nosharedstate addr→string cache guarded by internMu; values are immutable pure functions of the key, so cross-shard population order cannot change any observable result
+	interned = make(map[Addr]string)
+)
+
+// InternString returns the dotted-quad form of a from the world-level
+// intern table, formatting and caching it on first use.
+func InternString(a Addr) string {
+	internMu.Lock()
+	s, ok := interned[a]
+	if !ok {
+		s = strconv.Itoa(int(a[0])) + "." + strconv.Itoa(int(a[1])) + "." +
+			strconv.Itoa(int(a[2])) + "." + strconv.Itoa(int(a[3]))
+		interned[a] = s
+	}
+	internMu.Unlock()
+	return s
+}

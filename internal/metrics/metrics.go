@@ -225,8 +225,9 @@ func sortLabels(labels []Label) []Label {
 
 // Registry holds a simulation's metrics, keyed to its virtual clock.
 type Registry struct {
-	loop    *sim.Loop
-	entries map[string]*entry
+	loop       *sim.Loop
+	entries    map[string]*entry
+	collectors []func(*Collection)
 }
 
 // New creates a registry on the given clock and registers the loop's own
@@ -308,6 +309,67 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	return h
 }
 
+// Collection gathers the rows of one snapshot while it is being built:
+// the registry's persistent entries plus everything the registered
+// collectors emit. Collector-emitted rows merge with registered handles
+// under the same (name, labels) key exactly as a second registered source
+// would — counters sum, histogram samples pool — so converting a roster
+// of per-object handles to a collector never changes snapshot bytes.
+type Collection struct {
+	entries map[string]*entry
+	keep    func(name string) bool // nil keeps every row
+}
+
+func (c *Collection) add(name string, kind Kind, labels []Label, s source) {
+	if c.keep != nil && !c.keep(name) {
+		return
+	}
+	labels = sortLabels(labels)
+	key := metricKey(name, labels)
+	e, ok := c.entries[key]
+	if !ok {
+		e = &entry{name: name, labels: labels, kind: kind}
+		c.entries[key] = e
+	} else if e.kind != kind {
+		panic(fmt.Sprintf("metrics: %q registered as both %v and %v", key, e.kind, kind))
+	}
+	e.sources = append(e.sources, s)
+}
+
+// Counter emits one counter row with the given value.
+func (c *Collection) Counter(name string, v uint64, labels ...Label) {
+	c.add(name, KindCounter, labels, source{counter: &Counter{v: v}})
+}
+
+// Gauge emits one gauge row with the given value.
+func (c *Collection) Gauge(name string, v int64, labels ...Label) {
+	c.add(name, KindGauge, labels, source{gauge: &Gauge{v: v}})
+}
+
+// Histogram emits one histogram row backed by h's samples (not copied; the
+// snapshot renders them immediately). A zero-valued metrics.Histogram is a
+// valid detached handle, so objects converted to collectors keep observing
+// into their own histogram and emit it here.
+func (c *Collection) Histogram(name string, h *Histogram, labels ...Label) {
+	if h == nil {
+		h = &Histogram{}
+	}
+	c.add(name, KindHistogram, labels, source{hist: h})
+}
+
+// Collect registers fn to run at snapshot time. It is the memory-light
+// alternative to registering a roster of per-object CounterFunc/Histogram
+// handles: an object with dozens of metrics costs one closure in the
+// registry instead of dozens of map entries, and the snapshot output is
+// byte-identical. Collectors run in registration order after the
+// persistent entries are merged. No-op on a nil registry.
+func (r *Registry) Collect(fn func(*Collection)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.collectors = append(r.collectors, fn)
+}
+
 // HistogramSummary is a histogram's rendered state. Durations are in
 // nanoseconds of virtual time.
 type HistogramSummary struct {
@@ -358,17 +420,51 @@ func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return &Snapshot{}
 	}
-	s := &Snapshot{
-		At:      int64(r.loop.Now().Duration()),
-		AtHuman: r.loop.Now().String(),
+	return snapshotAt(r.loop.Now(), nil, r)
+}
+
+// mergeInto folds one registry's rows into the collection: persistent
+// entries first, then whatever its collectors emit. The per-key source
+// order (registration order, collectors after handles) is a function of
+// construction alone, so snapshot bytes never depend on which goroutine
+// ran which shard.
+func (r *Registry) mergeInto(c *Collection) {
+	for k, e := range r.entries {
+		if c.keep != nil && !c.keep(e.name) {
+			continue
+		}
+		m, ok := c.entries[k]
+		if !ok {
+			m = &entry{name: e.name, labels: e.labels, kind: e.kind}
+			c.entries[k] = m
+		} else if m.kind != e.kind {
+			panic(fmt.Sprintf("metrics: %q registered as both %v and %v across merged registries", k, m.kind, e.kind))
+		}
+		m.sources = append(m.sources, e.sources...)
 	}
-	keys := make([]string, 0, len(r.entries))
-	for k := range r.entries {
+	for _, fn := range r.collectors {
+		fn(c)
+	}
+}
+
+// snapshotAt renders one or more registries as a single snapshot, keeping
+// only rows whose name passes keep (nil keeps all).
+func snapshotAt(at sim.Time, keep func(string) bool, regs ...*Registry) *Snapshot {
+	s := &Snapshot{At: int64(at.Duration()), AtHuman: at.String()}
+	c := &Collection{entries: make(map[string]*entry), keep: keep}
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		r.mergeInto(c)
+	}
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		s.Metrics = append(s.Metrics, renderEntry(r.entries[k]))
+		s.Metrics = append(s.Metrics, renderEntry(c.entries[k]))
 	}
 	return s
 }
@@ -430,32 +526,16 @@ func renderEntry(e *entry) MetricSnapshot {
 // Mixing kinds under one key across registries panics, as it would within
 // one registry.
 func MergedSnapshot(at sim.Time, regs ...*Registry) *Snapshot {
-	s := &Snapshot{At: int64(at.Duration()), AtHuman: at.String()}
-	merged := make(map[string]*entry)
-	for _, r := range regs {
-		if r == nil {
-			continue
-		}
-		for k, e := range r.entries {
-			m, ok := merged[k]
-			if !ok {
-				m = &entry{name: e.name, labels: e.labels, kind: e.kind}
-				merged[k] = m
-			} else if m.kind != e.kind {
-				panic(fmt.Sprintf("metrics: %q registered as both %v and %v across merged registries", k, m.kind, e.kind))
-			}
-			m.sources = append(m.sources, e.sources...)
-		}
-	}
-	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		s.Metrics = append(s.Metrics, renderEntry(merged[k]))
-	}
-	return s
+	return snapshotAt(at, nil, regs...)
+}
+
+// MergedSnapshotFiltered is MergedSnapshot with the name filter applied
+// while rows are gathered rather than after: rows whose name fails keep
+// are never materialized. This is what lets a 100k-host fleet export its
+// handful of sim.* aggregates without first building the millions of
+// per-host rows its collectors could emit.
+func MergedSnapshotFiltered(at sim.Time, keep func(name string) bool, regs ...*Registry) *Snapshot {
+	return snapshotAt(at, keep, regs...)
 }
 
 // Get returns the snapshot row matching name and labels, or nil. Intended

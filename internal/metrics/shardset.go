@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"strconv"
+
+	"mosquitonet/internal/sim"
+)
+
+// RegisterShardSet exposes each shard's barrier-level counters in that
+// shard's registry, labeled shard=<index>:
+//
+//	sim.shard.epochs_skipped    — epochs the shard sat out entirely
+//	sim.shard.barrier_waits     — epochs the shard ran and waited at the barrier
+//	sim.shard.events_dispatched — events executed under ShardSet control
+//
+// The counters are read at snapshot time via one collector per shard, so
+// a fleet pays one closure per shard rather than a roster of entries.
+// They are deterministic observables: the skip/wait decisions depend only
+// on event timestamps, never on worker scheduling, so merged snapshots
+// stay byte-identical across worker counts (TestShardStatsDeterministic
+// pins this at the sim layer).
+//
+// regs must parallel ss.Shards(); a nil registry in the slice is skipped.
+func RegisterShardSet(ss *sim.ShardSet, regs []*Registry) {
+	for k := range ss.Shards() {
+		if k >= len(regs) {
+			break
+		}
+		k := k
+		regs[k].Collect(func(c *Collection) {
+			st := ss.ShardStats(k)
+			shard := L("shard", strconv.Itoa(k))
+			c.Counter("sim.shard.epochs_skipped", st.EpochsSkipped, shard)
+			c.Counter("sim.shard.barrier_waits", st.BarrierWaits, shard)
+			c.Counter("sim.shard.events_dispatched", st.EventsDispatched, shard)
+		})
+	}
+}

@@ -121,23 +121,16 @@ func NewHomeAgent(ts *transport.Stack, cfg HomeAgentConfig) (*HomeAgent, error) 
 	}
 	ha.sock = sock
 	ha.host.SetForwarding(true)
-	if reg := metrics.For(ha.host.Loop()); reg != nil {
+	metrics.For(ha.host.Loop()).Collect(func(c *metrics.Collection) {
 		host := metrics.L("host", ha.host.Name())
-		for _, c := range []struct {
-			name string
-			fn   func() uint64
-		}{
-			{"mip.ha.requests", func() uint64 { return ha.stats.Requests }},
-			{"mip.ha.accepted", func() uint64 { return ha.stats.Accepted }},
-			{"mip.ha.denied", func() uint64 { return ha.stats.Denied }},
-			{"mip.ha.deregistrations", func() uint64 { return ha.stats.Deregistrations }},
-			{"mip.ha.expired", func() uint64 { return ha.stats.Expired }},
-			{"mip.ha.duplicated", func() uint64 { return ha.stats.Duplicated }},
-		} {
-			reg.CounterFunc(c.name, c.fn, host)
-		}
-		reg.GaugeFunc("mip.ha.bindings", func() int64 { return int64(len(ha.bindings)) }, host)
-	}
+		c.Counter("mip.ha.requests", ha.stats.Requests, host)
+		c.Counter("mip.ha.accepted", ha.stats.Accepted, host)
+		c.Counter("mip.ha.denied", ha.stats.Denied, host)
+		c.Counter("mip.ha.deregistrations", ha.stats.Deregistrations, host)
+		c.Counter("mip.ha.expired", ha.stats.Expired, host)
+		c.Counter("mip.ha.duplicated", ha.stats.Duplicated, host)
+		c.Gauge("mip.ha.bindings", int64(len(ha.bindings)), host)
+	})
 	return ha, nil
 }
 

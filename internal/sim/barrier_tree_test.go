@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestAdvanceTo(t *testing.T) {
+	l := New(1)
+	l.AdvanceTo(Time(5 * time.Millisecond))
+	if l.Now() != Time(5*time.Millisecond) {
+		t.Fatalf("Now() = %v after AdvanceTo(5ms)", l.Now())
+	}
+	// An event at exactly the target instant may stay pending, matching
+	// RunUntil's treatment of work scheduled at the final barrier time.
+	l.At(Time(8*time.Millisecond), func() {})
+	l.AdvanceTo(Time(8 * time.Millisecond))
+	if l.Len() != 1 {
+		t.Fatalf("event at the target instant was consumed")
+	}
+}
+
+func TestAdvanceToPanicsOnPendingWork(t *testing.T) {
+	l := New(1)
+	l.At(Time(time.Millisecond), func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("AdvanceTo past a pending event did not panic")
+		}
+	}()
+	l.AdvanceTo(Time(2 * time.Millisecond))
+}
+
+func TestAdvanceToPanicsOnPast(t *testing.T) {
+	l := New(1)
+	l.RunUntil(Time(time.Millisecond))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("AdvanceTo into the past did not panic")
+		}
+	}()
+	l.AdvanceTo(0)
+}
+
+// groupedPingPong is pingPong with two extra silent shards and a caller-
+// chosen barrier-tree partition, so grouping can be shown to be pure
+// mechanism: any partition must produce the identical transcript.
+func groupedPingPong(workers int, seed int64, groups [][]int) ([]string, *ShardSet) {
+	const lookahead = 2 * time.Millisecond
+	a := New(ShardSeed(seed, 0))
+	b := New(ShardSeed(seed, 1))
+	c := New(ShardSeed(seed, 2)) // silent: never schedules, never receives
+	d := New(ShardSeed(seed, 3)) // silent
+	ss := NewShardSet([]*Loop{a, b, c, d}, lookahead)
+	ss.SetWorkers(workers)
+	if groups != nil {
+		ss.SetGroups(groups)
+	}
+
+	logs := make([][]string, 2)
+	record := func(shard int, loop *Loop, what string) {
+		logs[shard] = append(logs[shard], fmt.Sprintf("%v shard%d %s rng=%d", loop.Now(), shard, what, loop.Rand().Intn(1000)))
+	}
+	var volley func(k int)
+	volley = func(k int) {
+		record(0, a, fmt.Sprintf("volley%d", k))
+		at := a.Now().Add(lookahead)
+		ss.Post(0, 1, at, func() {
+			record(1, b, fmt.Sprintf("recv%d", k))
+		})
+		if k < 9 {
+			a.Schedule(500*time.Microsecond, func() { volley(k + 1) })
+		}
+	}
+	a.Schedule(0, func() { volley(0) })
+	ss.RunFor(50 * time.Millisecond)
+
+	log := append(append([]string(nil), logs[0]...), logs[1]...)
+	log = append(log, fmt.Sprintf("epochs=%d cross=%d executed=%d now=%v",
+		ss.Epochs(), ss.CrossDelivered(), ss.Executed(), ss.Now()))
+	return log, ss
+}
+
+// TestSetGroupsPureMechanism runs the same workload under every shape of
+// barrier tree (flat default, topology-style grouping, everything in one
+// group) across worker counts and requires identical transcripts and an
+// identical epoch count — grouping may only change how the epoch-end scan
+// is cached, never which epochs run.
+func TestSetGroupsPureMechanism(t *testing.T) {
+	base, _ := groupedPingPong(1, 42, nil)
+	partitions := [][][]int{
+		{{0, 1}, {2, 3}},
+		{{0}, {1}, {2}, {3}},
+		{{0, 1, 2, 3}},
+		{{3, 2}, {1, 0}},
+	}
+	for _, workers := range []int{1, 4} {
+		for pi, groups := range partitions {
+			got, _ := groupedPingPong(workers, 42, groups)
+			if len(got) != len(base) {
+				t.Fatalf("workers=%d partition=%d: %d log lines, want %d", workers, pi, len(got), len(base))
+			}
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("workers=%d partition=%d diverges at line %d:\n  base: %s\n  got:  %s",
+						workers, pi, i, base[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardStatsSilentShards pins the skip accounting: a shard that never
+// has work must skip every epoch, wait at no barrier, and dispatch no
+// events, while the busy shards participate.
+func TestShardStatsSilentShards(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, ss := groupedPingPong(workers, 7, [][]int{{0, 1}, {2, 3}})
+		for _, silent := range []int{2, 3} {
+			st := ss.ShardStats(silent)
+			if st.BarrierWaits != 0 || st.EventsDispatched != 0 {
+				t.Errorf("workers=%d shard %d: BarrierWaits=%d EventsDispatched=%d, want 0/0",
+					workers, silent, st.BarrierWaits, st.EventsDispatched)
+			}
+			if st.EpochsSkipped != ss.Epochs() {
+				t.Errorf("workers=%d shard %d: EpochsSkipped=%d, want every epoch (%d)",
+					workers, silent, st.EpochsSkipped, ss.Epochs())
+			}
+		}
+		busy := ss.ShardStats(0)
+		if busy.BarrierWaits == 0 || busy.EventsDispatched == 0 {
+			t.Errorf("workers=%d shard 0: BarrierWaits=%d EventsDispatched=%d, want both > 0",
+				workers, busy.BarrierWaits, busy.EventsDispatched)
+		}
+		var dispatched uint64
+		for i := range ss.Shards() {
+			dispatched += ss.ShardStats(i).EventsDispatched
+		}
+		if dispatched != ss.Executed() {
+			t.Errorf("workers=%d: sum of EventsDispatched=%d, Executed=%d", workers, dispatched, ss.Executed())
+		}
+	}
+}
+
+// TestShardStatsDeterministic requires the barrier counters themselves to
+// be worker-independent: they are exported as metrics, and metrics rows
+// must stay byte-identical across worker counts.
+func TestShardStatsDeterministic(t *testing.T) {
+	_, base := groupedPingPong(1, 11, [][]int{{0, 1}, {2, 3}})
+	for _, workers := range []int{2, 4, 8} {
+		_, got := groupedPingPong(workers, 11, [][]int{{0, 1}, {2, 3}})
+		for i := range base.Shards() {
+			if b, g := base.ShardStats(i), got.ShardStats(i); b != g {
+				t.Errorf("workers=%d shard %d stats %+v, workers=1 %+v", workers, i, g, b)
+			}
+		}
+		if base.Epochs() != got.Epochs() {
+			t.Errorf("workers=%d epochs=%d, workers=1 epochs=%d", workers, got.Epochs(), base.Epochs())
+		}
+	}
+}
+
+func TestSetGroupsValidation(t *testing.T) {
+	mk := func() *ShardSet {
+		return NewShardSet([]*Loop{New(1), New(2), New(3)}, time.Millisecond)
+	}
+	cases := []struct {
+		name   string
+		groups [][]int
+	}{
+		{"missing shard", [][]int{{0, 1}}},
+		{"duplicate shard", [][]int{{0, 1}, {1, 2}}},
+		{"out of range", [][]int{{0, 1, 2, 3}}},
+		{"negative", [][]int{{-1, 0, 1, 2}}},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetGroups(%s) did not panic", tc.name)
+				}
+			}()
+			mk().SetGroups(tc.groups)
+		}()
+	}
+	// nil resets to the flat partition rather than panicking.
+	ss := mk()
+	ss.SetGroups([][]int{{2, 0}, {1}})
+	ss.SetGroups(nil)
+	ss.RunFor(time.Millisecond)
+}

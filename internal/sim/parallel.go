@@ -37,6 +37,26 @@ import (
 // The number of worker goroutines is pure mechanism: it changes which OS
 // thread runs a shard, never what the shard computes. -workers=N is
 // byte-identical to -workers=1 by construction.
+//
+// Two scale mechanisms sit on top of the epoch scheme (DESIGN.md §13):
+//
+//   - Per-shard skipping. A shard participates in an epoch only if its
+//     next event falls at or before the epoch end; a quiet shard is
+//     skipped — no RunUntil call, no work item, no barrier wait — and its
+//     clock is synchronized once, when RunUntil returns. Skipping cannot
+//     change results: a skipped shard had nothing to execute inside the
+//     epoch, so running it would only have moved its clock.
+//
+//   - A two-level barrier tree. Shards are partitioned into groups
+//     (SetGroups), and the epoch-end computation reads one cached
+//     next-event minimum per group instead of peeking every shard's heap.
+//     A group's cache is invalidated exactly when a member's heap can
+//     change — the member ran in an epoch, received cross-shard work at a
+//     flush, or external code may have scheduled between RunUntil calls —
+//     so the cached minimum is always exact and the epoch sequence is
+//     identical to a flat scan. A quiet region (campus group with no
+//     pending work inside the horizon) costs one cache read per epoch
+//     regardless of how many shards it holds.
 
 // crossRecord is one buffered cross-shard callback.
 type crossRecord struct {
@@ -45,6 +65,20 @@ type crossRecord struct {
 	idx  int // append order within the source shard's epoch buffer
 	dest int
 	fn   func()
+}
+
+// ShardStats counts one shard's barrier-level activity. The counters are
+// observability only; nothing in the scheduler reads them back.
+type ShardStats struct {
+	// EpochsSkipped counts epochs the shard sat out because it had no
+	// event inside the epoch window.
+	EpochsSkipped uint64
+	// BarrierWaits counts epochs the shard participated in — each one is
+	// a dispatch to a worker and a wait at the closing barrier.
+	BarrierWaits uint64
+	// EventsDispatched counts events the shard executed under ShardSet
+	// control (events run outside RunUntil are not credited).
+	EventsDispatched uint64
 }
 
 // ShardSet coordinates several Loops advancing in lockstep epochs. All
@@ -63,6 +97,22 @@ type ShardSet struct {
 	// WaitGroup orders the two.
 	outbox [][]crossRecord
 	merged []crossRecord // reused scratch for the barrier merge
+
+	// Barrier tree: groups partitions the shard indices; groupOf maps a
+	// shard to its group; groupMin/groupHas cache each group's earliest
+	// pending event and are trusted only while groupValid holds.
+	groups     [][]int
+	groupOf    []int
+	groupMin   []Time
+	groupHas   []bool
+	groupValid []bool
+
+	stats    []ShardStats
+	lastExec []uint64 // per-shard Executed() at the last barrier credit
+
+	// workerBusy[w] accumulates wall-clock time worker w spent running
+	// shard epochs; utilization observability for the parallel path only.
+	workerBusy []time.Duration
 
 	epochs    uint64
 	crossSent uint64
@@ -85,13 +135,24 @@ func NewShardSet(shards []*Loop, lookahead time.Duration) *ShardSet {
 			panic("sim: ShardSet shards disagree on the current time")
 		}
 	}
-	return &ShardSet{
+	s := &ShardSet{
 		shards:    shards,
 		lookahead: lookahead,
 		workers:   1,
 		now:       shards[0].Now(),
 		outbox:    make([][]crossRecord, len(shards)),
+		stats:     make([]ShardStats, len(shards)),
+		lastExec:  make([]uint64, len(shards)),
 	}
+	for i, sh := range shards {
+		s.lastExec[i] = sh.Executed()
+	}
+	flat := make([][]int, len(shards))
+	for i := range flat {
+		flat[i] = []int{i}
+	}
+	s.installGroups(flat)
+	return s
 }
 
 // SetWorkers sets the size of the goroutine pool used to run epochs.
@@ -118,6 +179,70 @@ func (s *ShardSet) Epochs() uint64 { return s.epochs }
 
 // CrossDelivered returns the number of cross-shard callbacks merged.
 func (s *ShardSet) CrossDelivered() uint64 { return s.crossSent }
+
+// ShardStats returns shard i's barrier counters.
+func (s *ShardSet) ShardStats(i int) ShardStats { return s.stats[i] }
+
+// WorkerBusy returns, per worker slot, the accumulated wall-clock time
+// that worker spent executing shard epochs. It is empty until the
+// parallel path has run. Wall-clock here is observability (utilization
+// reporting), never simulation input.
+func (s *ShardSet) WorkerBusy() []time.Duration {
+	return append([]time.Duration(nil), s.workerBusy...)
+}
+
+// SetGroups installs the two-level barrier tree: groups must partition
+// the shard indices (every shard in exactly one group). Grouping is pure
+// mechanism — it changes how the epoch-end scan is cached, never which
+// epochs run — so any partition yields byte-identical results; a good one
+// mirrors the topology (one group per campus region, the backbone on its
+// own) so quiet regions cost one cache read per epoch. Passing nil
+// restores the default flat partition (every shard its own group).
+func (s *ShardSet) SetGroups(groups [][]int) {
+	if groups == nil {
+		flat := make([][]int, len(s.shards))
+		for i := range flat {
+			flat[i] = []int{i}
+		}
+		s.installGroups(flat)
+		return
+	}
+	seen := make([]bool, len(s.shards))
+	count := 0
+	for _, g := range groups {
+		for _, i := range g {
+			if i < 0 || i >= len(s.shards) {
+				panic(fmt.Sprintf("sim: SetGroups shard index %d out of range", i))
+			}
+			if seen[i] {
+				panic(fmt.Sprintf("sim: SetGroups shard %d appears in more than one group", i))
+			}
+			seen[i] = true
+			count++
+		}
+	}
+	if count != len(s.shards) {
+		panic(fmt.Sprintf("sim: SetGroups covers %d of %d shards", count, len(s.shards)))
+	}
+	copied := make([][]int, len(groups))
+	for gi, g := range groups {
+		copied[gi] = append([]int(nil), g...)
+	}
+	s.installGroups(copied)
+}
+
+func (s *ShardSet) installGroups(groups [][]int) {
+	s.groups = groups
+	s.groupOf = make([]int, len(s.shards))
+	for gi, g := range groups {
+		for _, i := range g {
+			s.groupOf[i] = gi
+		}
+	}
+	s.groupMin = make([]Time, len(groups))
+	s.groupHas = make([]bool, len(groups))
+	s.groupValid = make([]bool, len(groups))
+}
 
 // Executed returns the total events run across all shards.
 func (s *ShardSet) Executed() uint64 {
@@ -157,10 +282,25 @@ func (s *ShardSet) RunUntil(t Time) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: ShardSet.RunUntil into the past: now=%v t=%v", s.now, t))
 	}
+	// External code may have scheduled on any loop since the last call;
+	// cached group minima cannot be trusted across the boundary.
+	for g := range s.groupValid {
+		s.groupValid[g] = false
+	}
+	for i, sh := range s.shards {
+		s.lastExec[i] = sh.Executed()
+	}
 	if s.workers > 1 && len(s.shards) > 1 {
 		s.runParallel(t)
 	} else {
 		s.runSequential(t)
+	}
+	// Skipped shards' clocks lag behind the final barrier; synchronize
+	// once so every loop agrees with the set on the current time.
+	for _, sh := range s.shards {
+		if sh.Now() < t {
+			sh.AdvanceTo(t)
+		}
 	}
 	s.now = t
 }
@@ -168,15 +308,37 @@ func (s *ShardSet) RunUntil(t Time) {
 // RunFor advances the shard set by d of virtual time.
 func (s *ShardSet) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
 
+// markDirty invalidates the cached minimum of shard i's group.
+func (s *ShardSet) markDirty(i int) { s.groupValid[s.groupOf[i]] = false }
+
+// groupNext returns group g's earliest pending event, serving the cached
+// value when valid and recomputing (and re-caching) it otherwise.
+func (s *ShardSet) groupNext(g int) (Time, bool) {
+	if s.groupValid[g] {
+		return s.groupMin[g], s.groupHas[g]
+	}
+	var min Time
+	has := false
+	for _, i := range s.groups[g] {
+		if at, ok := s.shards[i].NextEventAt(); ok && (!has || at < min) {
+			min, has = at, true
+		}
+	}
+	s.groupMin[g], s.groupHas[g], s.groupValid[g] = min, has, true
+	return min, has
+}
+
 // nextEpochEnd picks the next barrier: the earliest pending event across
 // all shards (idle gaps are skipped wholesale — with empty outboxes every
 // future effect is already in some shard's heap) plus the lookahead,
-// clamped to t. It returns t when no shard has work before t.
+// clamped to t. It returns t when no shard has work before t. The scan
+// reads one cached minimum per group; because invalidation covers every
+// way a heap can change, the result is identical to peeking every shard.
 func (s *ShardSet) nextEpochEnd(t Time) Time {
 	earliest := t
 	found := false
-	for _, sh := range s.shards {
-		if at, ok := sh.NextEventAt(); ok && at < earliest {
+	for g := range s.groups {
+		if at, ok := s.groupNext(g); ok && at < earliest {
 			earliest = at
 			found = true
 		}
@@ -191,13 +353,41 @@ func (s *ShardSet) nextEpochEnd(t Time) Time {
 	return end
 }
 
+// active reports whether shard i must run in an epoch ending at end, and
+// updates its barrier counters: a shard participates exactly when its
+// next event is at or before the epoch end.
+func (s *ShardSet) active(i int, end Time) bool {
+	if at, ok := s.shards[i].NextEventAt(); ok && at <= end {
+		s.stats[i].BarrierWaits++
+		s.markDirty(i)
+		return true
+	}
+	s.stats[i].EpochsSkipped++
+	return false
+}
+
+// credit folds each shard's newly executed events into its stats after a
+// barrier. Only shards that ran can have moved, so skipped shards cost a
+// comparison.
+func (s *ShardSet) credit() {
+	for i, sh := range s.shards {
+		if exec := sh.Executed(); exec != s.lastExec[i] {
+			s.stats[i].EventsDispatched += exec - s.lastExec[i]
+			s.lastExec[i] = exec
+		}
+	}
+}
+
 func (s *ShardSet) runSequential(t Time) {
 	for cur := s.now; cur < t; {
 		end := s.nextEpochEnd(t)
-		for _, sh := range s.shards {
-			sh.RunUntil(end)
+		for i, sh := range s.shards {
+			if s.active(i, end) {
+				sh.RunUntil(end)
+			}
 		}
 		s.flush(end)
+		s.credit()
 		cur = end
 		s.epochs++
 	}
@@ -208,28 +398,40 @@ func (s *ShardSet) runParallel(t Time) {
 	if n > len(s.shards) {
 		n = len(s.shards)
 	}
+	for len(s.workerBusy) < n {
+		s.workerBusy = append(s.workerBusy, 0)
+	}
 	work := make(chan workItem)
 	done := make(chan struct{}, len(s.shards))
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for w := 0; w < n; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for item := range work {
+				//lint:allow nowallclock worker-utilization accounting; wall time is reported, never fed back into the simulation
+				start := time.Now()
 				item.loop.RunUntil(item.end)
+				//lint:allow nowallclock see above
+				s.workerBusy[w] += time.Since(start)
 				done <- struct{}{}
 			}
-		}()
+		}(w)
 	}
 	for cur := s.now; cur < t; {
 		end := s.nextEpochEnd(t)
-		for _, sh := range s.shards {
-			work <- workItem{loop: sh, end: end}
+		dispatched := 0
+		for i, sh := range s.shards {
+			if s.active(i, end) {
+				dispatched++
+				work <- workItem{loop: sh, end: end}
+			}
 		}
-		for range s.shards {
+		for j := 0; j < dispatched; j++ {
 			<-done
 		}
 		s.flush(end)
+		s.credit()
 		cur = end
 		s.epochs++
 	}
@@ -272,6 +474,7 @@ func (s *ShardSet) flush(end Time) {
 				rec.src, rec.dest, rec.at, end))
 		}
 		s.shards[rec.dest].At(rec.at, rec.fn)
+		s.markDirty(rec.dest)
 		rec.fn = nil
 		s.crossSent++
 	}

@@ -264,6 +264,24 @@ func (l *Loop) RunUntil(t Time) {
 // that fall within the window.
 func (l *Loop) RunFor(d time.Duration) { l.RunUntil(l.now.Add(d)) }
 
+// AdvanceTo moves the clock to t without executing anything. It is the
+// barrier-skip fast path for shard-parallel execution: a shard with no
+// event inside an epoch has nothing to run, so the coordinator advances
+// its clock directly instead of paying a RunUntil call. Skipping is only
+// legal when no pending event falls strictly before t — an event at
+// exactly t may stay pending, matching RunUntil's handling of work
+// scheduled at the final barrier instant — so AdvanceTo panics if the
+// queue holds earlier work rather than silently skipping it.
+func (l *Loop) AdvanceTo(t Time) {
+	if t < l.now {
+		panic(fmt.Sprintf("sim: AdvanceTo into the past: now=%v t=%v", l.now, t))
+	}
+	if next, ok := l.peek(); ok && next < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) would skip an event pending at %v", t, next))
+	}
+	l.now = t
+}
+
 // Stop makes the innermost Run/RunUntil/RunFor return after the current
 // event completes. It is intended to be called from an event callback.
 func (l *Loop) Stop() { l.stopped = true }

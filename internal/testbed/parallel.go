@@ -12,24 +12,28 @@ import (
 
 // The parallel experiment measures what the shard-parallel scheduler buys
 // on this machine: it runs the scale fleet once sequentially (workers=1)
-// and once on a worker pool, checks the two runs are byte-identical (rows
-// and metrics snapshots — determinism is a hard invariant, not a best
-// effort), and reports wall-clock time for each.
+// and once per worker count of a sweep, checks every run is byte-identical
+// to the sequential one (rows and metrics snapshots — determinism is a
+// hard invariant, not a best effort), and reports wall-clock time for
+// each.
 //
 // Wall-clock numbers are machine-dependent and excluded from the
 // deterministic portion of the export contract: two runs of this
-// experiment produce identical Rows except for the wall_ms_* fields and
-// speedup. runtime.NumCPU is recorded alongside so a reader can tell
-// whether a speedup was even possible — on a single-core machine the
-// parallel run measures pure coordination overhead.
+// experiment produce identical Rows except for the wall_ms_* fields,
+// speedup, and worker utilization. runtime.NumCPU and GOMAXPROCS are
+// recorded alongside so a reader can tell whether a speedup was even
+// possible — on a single-core machine (num_cpu = 1) the parallel run
+// measures pure coordination overhead and a ~1.0x speedup is the expected
+// reading, not a regression.
 
-// ParallelRow is one fleet size's comparison between sequential and
-// parallel execution of the identical workload.
+// ParallelRow is one (fleet size, worker count) comparison between
+// sequential and parallel execution of the identical workload.
 type ParallelRow struct {
 	Hosts      int     `json:"hosts"`
 	Shards     int     `json:"shards"`
 	Workers    int     `json:"workers"`
 	NumCPU     int     `json:"num_cpu"`
+	GoMaxProcs int     `json:"gomaxprocs"`
 	Events     uint64  `json:"events"`
 	Epochs     uint64  `json:"epochs"`
 	Identical  bool    `json:"identical"`
@@ -37,6 +41,11 @@ type ParallelRow struct {
 	WallMsPar  float64 `json:"wall_ms_workersN"`
 	Speedup    float64 `json:"speedup"`
 	EventsPerS float64 `json:"events_per_wall_second_parallel"`
+	// WorkerUtilization[w] is the fraction of the parallel run's
+	// wall-clock that worker w spent executing shard epochs (as opposed
+	// to waiting at barriers or for work). Machine-dependent provenance,
+	// like the wall_ms fields.
+	WorkerUtilization []float64 `json:"worker_utilization"`
 }
 
 // ParallelResult is the full parallel experiment.
@@ -47,66 +56,94 @@ type ParallelResult struct {
 
 func (r *ParallelResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Parallel: sharded scale fleet, workers=1 vs workers=N (%d CPUs)\n", runtime.NumCPU())
-	fmt.Fprintf(&b, "  %6s  %6s  %7s  %10s  %9s  %10s  %10s  %7s  %s\n",
-		"hosts", "shards", "workers", "events", "identical", "seq-ms", "par-ms", "speedup", "ev/wall-s")
+	fmt.Fprintf(&b, "Parallel: sharded scale fleet, workers=1 vs workers=N (%d CPUs, GOMAXPROCS=%d)\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "  %6s  %6s  %7s  %10s  %9s  %10s  %10s  %7s  %9s  %s\n",
+		"hosts", "shards", "workers", "events", "identical", "seq-ms", "par-ms", "speedup", "ev/wall-s", "util")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "  %6d  %6d  %7d  %10d  %9v  %10.1f  %10.1f  %6.2fx  %.0f\n",
+		var util strings.Builder
+		for w, u := range row.WorkerUtilization {
+			if w > 0 {
+				util.WriteByte(' ')
+			}
+			fmt.Fprintf(&util, "%.0f%%", 100*u)
+		}
+		fmt.Fprintf(&b, "  %6d  %6d  %7d  %10d  %9v  %10.1f  %10.1f  %6.2fx  %9.0f  %s\n",
 			row.Hosts, row.Shards, row.Workers, row.Events, row.Identical,
-			row.WallMsSeq, row.WallMsPar, row.Speedup, row.EventsPerS)
+			row.WallMsSeq, row.WallMsPar, row.Speedup, row.EventsPerS, util.String())
 	}
 	return b.String()
 }
 
+// workerSweep returns the worker counts to measure for a configured
+// maximum: powers of two up to max, always ending at max itself.
+func workerSweep(max int) []int {
+	if max < 2 {
+		return []int{max}
+	}
+	var sweep []int
+	for w := 2; w < max; w *= 2 {
+		sweep = append(sweep, w)
+	}
+	return append(sweep, max)
+}
+
 // RunParallel compares sequential and parallel execution of the scale
-// fleet at each size. The deterministic outputs must match byte-for-byte
-// between the two runs; a mismatch is returned as an error, never papered
-// over.
+// fleet at each size, measuring every worker count in the sweep up to
+// workers. The deterministic outputs must match byte-for-byte between the
+// runs; a mismatch is returned as an error, never papered over.
 func RunParallel(seed int64, fleets []int, workers int) (*ParallelResult, error) {
 	res := &ParallelResult{Export: &Export{Experiment: "parallel", Seed: seed}}
 	for _, n := range fleets {
 		//lint:allow nowallclock measuring the scheduler's wall-clock speedup is this experiment's purpose; simulated behaviour never reads these values
 		t0 := time.Now()
-		rowSeq, snapSeq, err := RunScaleFleetWorkers(seed, n, 1)
+		rowSeq, snapSeq, _, err := runScaleFleetMeasured(seed, n, 1)
 		if err != nil {
 			return nil, err
 		}
 		//lint:allow nowallclock wall-clock measurement of the sequential run
 		seqWall := time.Since(t0)
 
-		//lint:allow nowallclock wall-clock measurement of the parallel run
-		t1 := time.Now()
-		rowPar, snapPar, err := RunScaleFleetWorkers(seed, n, workers)
-		if err != nil {
-			return nil, err
-		}
-		//lint:allow nowallclock wall-clock measurement of the parallel run
-		parWall := time.Since(t1)
+		for _, w := range workerSweep(workers) {
+			//lint:allow nowallclock wall-clock measurement of the parallel run
+			t1 := time.Now()
+			rowPar, snapPar, busy, err := runScaleFleetMeasured(seed, n, w)
+			if err != nil {
+				return nil, err
+			}
+			//lint:allow nowallclock wall-clock measurement of the parallel run
+			parWall := time.Since(t1)
 
-		identical, err := exportsEqual(rowSeq, snapSeq, rowPar, snapPar)
-		if err != nil {
-			return nil, err
-		}
-		if !identical {
-			return nil, fmt.Errorf("parallel: workers=%d diverged from workers=1 at %d hosts", workers, n)
-		}
+			identical, err := exportsEqual(rowSeq, snapSeq, rowPar, snapPar)
+			if err != nil {
+				return nil, err
+			}
+			if !identical {
+				return nil, fmt.Errorf("parallel: workers=%d diverged from workers=1 at %d hosts", w, n)
+			}
 
-		row := ParallelRow{
-			Hosts:      n,
-			Shards:     rowSeq.Shards,
-			Workers:    workers,
-			NumCPU:     runtime.NumCPU(),
-			Events:     rowSeq.Events,
-			Epochs:     rowSeq.Epochs,
-			Identical:  identical,
-			WallMsSeq:  float64(seqWall.Microseconds()) / 1000,
-			WallMsPar:  float64(parWall.Microseconds()) / 1000,
-			EventsPerS: float64(rowSeq.Events) / parWall.Seconds(),
+			row := ParallelRow{
+				Hosts:      n,
+				Shards:     rowSeq.Shards,
+				Workers:    w,
+				NumCPU:     runtime.NumCPU(),
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				Events:     rowSeq.Events,
+				Epochs:     rowSeq.Epochs,
+				Identical:  identical,
+				WallMsSeq:  float64(seqWall.Microseconds()) / 1000,
+				WallMsPar:  float64(parWall.Microseconds()) / 1000,
+				EventsPerS: float64(rowSeq.Events) / parWall.Seconds(),
+			}
+			if parWall > 0 {
+				row.Speedup = seqWall.Seconds() / parWall.Seconds()
+				row.WorkerUtilization = make([]float64, len(busy))
+				for i, d := range busy {
+					row.WorkerUtilization[i] = d.Seconds() / parWall.Seconds()
+				}
+			}
+			res.Rows = append(res.Rows, row)
 		}
-		if parWall > 0 {
-			row.Speedup = seqWall.Seconds() / parWall.Seconds()
-		}
-		res.Rows = append(res.Rows, row)
 		res.Export.Snapshots = append(res.Export.Snapshots, snapSeq)
 	}
 	res.Export.Rows = res.Rows

@@ -53,9 +53,17 @@ const (
 // scaleShardCount maps fleet size to the number of campus shards (the hub
 // shard comes on top). Derived from topology size only — never from the
 // worker count — so shard assignment, per-shard seeds, and results are
-// identical no matter how many goroutines execute the shards.
+// identical no matter how many goroutines execute the shards. The upper
+// tiers keep per-shard fleets in the low thousands: at 100k hosts, 64
+// campus shards of ~1560 hosts each.
 func scaleShardCount(n int) int {
 	switch {
+	case n >= 65536:
+		return 64
+	case n >= 16384:
+		return 32
+	case n >= 1024:
+		return 16
 	case n >= 256:
 		return 8
 	case n >= 64:
@@ -65,6 +73,29 @@ func scaleShardCount(n int) int {
 	default:
 		return 1
 	}
+}
+
+// scaleBarrierGroups partitions the shard indices for the two-level epoch
+// barrier: campus shards in regions of up to scaleGroupSize, the hub on
+// its own. Like the shard count, it is a pure function of the topology,
+// and grouping is pure mechanism besides (sim.SetGroups), so it cannot
+// affect results.
+const scaleGroupSize = 8
+
+func scaleBarrierGroups(numFleet int) [][]int {
+	var groups [][]int
+	for lo := 0; lo < numFleet; lo += scaleGroupSize {
+		hi := lo + scaleGroupSize
+		if hi > numFleet {
+			hi = numFleet
+		}
+		g := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			g = append(g, i)
+		}
+		groups = append(groups, g)
+	}
+	return append(groups, []int{numFleet}) // the hub shard
 }
 
 // ScaleRow is one fleet size's deterministic outcome. Every field derives
@@ -165,13 +196,90 @@ func RunScaleFleet(seed int64, n int) (ScaleRow, *metrics.Snapshot, error) {
 	return RunScaleFleetWorkers(seed, n, 1)
 }
 
+// scaleMH is one mobile host of the fleet with its two managed foreign
+// interfaces and its probe socket.
+type scaleMH struct {
+	m    *mip.MobileHost
+	mis  [2]*mip.ManagedIface
+	sock *transport.UDPSocket
+}
+
+// scaleFleet is a fully constructed (but not yet run) scale topology. The
+// split between construction and execution exists so the footprint
+// benchmark can weigh a resident fleet without running it.
+type scaleFleet struct {
+	n         int
+	numShards int
+	loops     []*sim.Loop
+	regs      []*metrics.Registry
+	ss        *sim.ShardSet
+
+	// Per-shard counters, indexed by shard so each is written only by its
+	// own shard's goroutine during epochs.
+	probesSent   []uint64
+	probesEchoed []uint64
+
+	fleet []*scaleMH
+	has   []*mip.HomeAgent
+	// cacheHosts collects every stack host in deterministic construction
+	// order, for summing route-cache counters at the end.
+	cacheHosts []*stack.Host
+}
+
+// release drops the fleet's loops from the process-global metrics
+// association.
+func (f *scaleFleet) release() {
+	for _, lp := range f.loops {
+		metrics.Release(lp)
+	}
+}
+
 // RunScaleFleetWorkers runs one fleet of n roaming mobile hosts on a
 // sharded topology executed by the given number of worker goroutines, and
 // returns its deterministic row plus a compact metrics snapshot (loop-
 // level metrics only, merged across shards; a full per-host snapshot at
 // 1000 hosts would dwarf the export).
 func RunScaleFleetWorkers(seed int64, n, workers int) (ScaleRow, *metrics.Snapshot, error) {
+	row, snap, _, err := runScaleFleetMeasured(seed, n, workers)
+	return row, snap, err
+}
+
+// runScaleFleetMeasured is RunScaleFleetWorkers plus the per-worker busy
+// wall-clock readings, which the parallel experiment turns into
+// utilization provenance. The busy slice is empty for workers=1.
+func runScaleFleetMeasured(seed int64, n, workers int) (ScaleRow, *metrics.Snapshot, []time.Duration, error) {
+	fl, err := buildScaleFleet(seed, n, workers)
+	if err != nil {
+		return ScaleRow{}, nil, nil, err
+	}
+	defer fl.release()
+
+	fl.ss.RunFor(scaleDuration)
+
+	row := fl.row()
+	snap := fl.snapshot()
+	return row, snap, fl.ss.WorkerBusy(), nil
+}
+
+// buildScaleFleet constructs the sharded scale topology for n mobile
+// hosts without running it: campus shards joined to a hub shard by
+// point-to-point trunks, a roam/probe schedule per host, and per-shard
+// metrics registries.
+func buildScaleFleet(seed int64, n, workers int) (*scaleFleet, error) {
+	return buildScaleFleetSilent(seed, n, workers, 0)
+}
+
+// buildScaleFleetSilent is buildScaleFleet with the last silentCampuses
+// campus shards left without any mobile hosts. A silent campus keeps its
+// full infrastructure (router, home agent, correspondent, trunk) but
+// generates no events, so it exercises the barrier tree's skip path: the
+// shard must sit out every epoch without perturbing the others.
+func buildScaleFleetSilent(seed int64, n, workers, silentCampuses int) (*scaleFleet, error) {
 	numFleet := scaleShardCount(n)
+	if silentCampuses >= numFleet {
+		return nil, fmt.Errorf("testbed: %d silent campuses leaves no shard to host the fleet (%d campus shards)", silentCampuses, numFleet)
+	}
+	numActive := numFleet - silentCampuses
 	numShards := numFleet + 1
 	hub := numFleet // the hub shard's index
 
@@ -181,15 +289,12 @@ func RunScaleFleetWorkers(seed int64, n, workers int) (ScaleRow, *metrics.Snapsh
 		loops[k] = sim.New(sim.ShardSeed(seed+int64(n), k))
 		regs[k] = metrics.Enable(loops[k])
 	}
-	defer func() {
-		for _, lp := range loops {
-			metrics.Release(lp)
-		}
-	}()
 
 	trunk := link.Backbone()
 	ss := sim.NewShardSet(loops, trunk.MinLatency())
 	ss.SetWorkers(workers)
+	ss.SetGroups(scaleBarrierGroups(numFleet))
+	metrics.RegisterShardSet(ss, regs)
 
 	addRouterIface := func(h *stack.Host, net *link.Network, addr ip.Addr, pfx ip.Prefix, opts stack.IfaceOpts) *stack.Iface {
 		d := link.NewDevice(h.Loop(), "r-"+net.Name(), 0, 0)
@@ -200,8 +305,6 @@ func RunScaleFleetWorkers(seed int64, n, workers int) (ScaleRow, *metrics.Snapsh
 		return ifc
 	}
 
-	// cacheHosts collects every stack host in deterministic construction
-	// order, for summing route-cache counters at the end.
 	var cacheHosts []*stack.Host
 
 	// Hub shard: backbone router plus the cross-shard correspondent.
@@ -216,8 +319,6 @@ func RunScaleFleetWorkers(seed int64, n, workers int) (ScaleRow, *metrics.Snapsh
 	hubRouter.SetForwarding(true)
 	cacheHosts = append(cacheHosts, hubRouter)
 
-	// Per-shard counters, indexed by shard so each is written only by its
-	// own shard's goroutine during epochs.
 	probesSent := make([]uint64, numShards)
 	probesEchoed := make([]uint64, numShards)
 
@@ -227,15 +328,10 @@ func RunScaleFleetWorkers(seed int64, n, workers int) (ScaleRow, *metrics.Snapsh
 		bbSrv.SendTo(d.From, d.FromPort, d.Payload)
 	})
 	if err != nil {
-		return ScaleRow{}, nil, err
+		return nil, err
 	}
 	cacheHosts = append(cacheHosts, bbCH.Host())
 
-	type scaleMH struct {
-		m    *mip.MobileHost
-		mis  [2]*mip.ManagedIface
-		sock *transport.UDPSocket
-	}
 	fleet := make([]*scaleMH, 0, n)
 	has := make([]*mip.HomeAgent, 0, numFleet)
 
@@ -273,7 +369,7 @@ func RunScaleFleetWorkers(seed int64, n, workers int) (ScaleRow, *metrics.Snapsh
 			ProcessingDelay: HAProcessing,
 		})
 		if err != nil {
-			return ScaleRow{}, nil, err
+			return nil, err
 		}
 		has = append(has, ha)
 
@@ -304,12 +400,16 @@ func RunScaleFleetWorkers(seed int64, n, workers int) (ScaleRow, *metrics.Snapsh
 			echoSrv.SendTo(d.From, d.FromPort, d.Payload)
 		})
 		if err != nil {
-			return ScaleRow{}, nil, err
+			return nil, err
 		}
 		cacheHosts = append(cacheHosts, ch.Host())
 
 		// This shard's slice of the fleet, contiguous in global host index.
-		lo, hi := k*n/numFleet, (k+1)*n/numFleet
+		// Silent campuses (k >= numActive) take an empty slice.
+		lo, hi := 0, 0
+		if k < numActive {
+			lo, hi = k*n/numActive, (k+1)*n/numActive
+		}
 		for i := lo; i < hi; i++ {
 			j := i - lo
 			h := stack.NewHost(loop, fmt.Sprintf("mh%04d", i), stack.Config{
@@ -337,13 +437,13 @@ func RunScaleFleetWorkers(seed int64, n, workers int) (ScaleRow, *metrics.Snapsh
 					Gateway: gw,
 				})
 				if err != nil {
-					return ScaleRow{}, nil, err
+					return nil, err
 				}
 				sm.mis[d] = mi
 			}
 			sock, err := ts.UDP(ip.Unspecified, 0, func(transport.Datagram) { probesEchoed[k]++ })
 			if err != nil {
-				return ScaleRow{}, nil, err
+				return nil, err
 			}
 			sm.sock = sock
 			fleet = append(fleet, sm)
@@ -352,53 +452,81 @@ func RunScaleFleetWorkers(seed int64, n, workers int) (ScaleRow, *metrics.Snapsh
 			// Roam: each host attaches to the department net, then
 			// alternates between the two foreign subnets on a fixed
 			// cadence. Starts are staggered so registrations are a
-			// stream, not a lockstep burst.
+			// stream, not a lockstep burst. Timers are self-chaining —
+			// each firing schedules the next — so a resident fleet
+			// holds one pending roam and one pending probe event per
+			// host instead of the whole 8-second schedule; at 100k
+			// hosts that is the difference between a few hundred
+			// thousand queued events and several million.
 			stagger := time.Duration(i) * 300 * time.Microsecond
-			for r := 0; time.Duration(r)*scaleSwitchPeriod < scaleDuration; r++ {
-				which := r % 2
-				loop.Schedule(stagger+time.Duration(r)*scaleSwitchPeriod, func() {
-					sm.m.ConnectForeign(sm.mis[which], nil)
-				})
+			roamR := 0
+			var roam func()
+			roam = func() {
+				sm.m.ConnectForeign(sm.mis[roamR%2], nil)
+				roamR++
+				if time.Duration(roamR)*scaleSwitchPeriod < scaleDuration {
+					loop.Schedule(scaleSwitchPeriod, roam)
+				}
 			}
+			loop.Schedule(stagger, roam)
 			// Probes: mostly to the shard-local correspondent; every
 			// scaleCrossEvery-th crosses the backbone trunk to the hub's.
-			for p := 0; scaleProbeStart+time.Duration(p)*scaleProbeInterval < scaleDuration; p++ {
+			probeP := 0
+			var probe func()
+			probe = func() {
 				dst := chLocal
-				if p%scaleCrossEvery == scaleCrossEvery-1 {
+				if probeP%scaleCrossEvery == scaleCrossEvery-1 {
 					dst = scaleBackboneCH
 				}
-				loop.Schedule(stagger+scaleProbeStart+time.Duration(p)*scaleProbeInterval, func() {
-					probesSent[k]++
-					sm.sock.SendTo(dst, 7, []byte("scale-probe"))
-				})
+				probesSent[k]++
+				sm.sock.SendTo(dst, 7, []byte("scale-probe"))
+				probeP++
+				if scaleProbeStart+time.Duration(probeP)*scaleProbeInterval < scaleDuration {
+					loop.Schedule(scaleProbeInterval, probe)
+				}
 			}
+			loop.Schedule(stagger+scaleProbeStart, probe)
 		}
 	}
 
-	ss.RunFor(scaleDuration)
+	return &scaleFleet{
+		n:            n,
+		numShards:    numShards,
+		loops:        loops,
+		regs:         regs,
+		ss:           ss,
+		probesSent:   probesSent,
+		probesEchoed: probesEchoed,
+		fleet:        fleet,
+		has:          has,
+		cacheHosts:   cacheHosts,
+	}, nil
+}
 
+// row collects the fleet's deterministic outcome after the run.
+func (f *scaleFleet) row() ScaleRow {
 	row := ScaleRow{
-		Hosts:            n,
-		Shards:           numShards,
-		Events:           ss.Executed(),
+		Hosts:            f.n,
+		Shards:           f.numShards,
+		Events:           f.ss.Executed(),
 		VirtualSeconds:   scaleDuration.Seconds(),
-		EventsPerVirtSec: float64(ss.Executed()) / scaleDuration.Seconds(),
-		QueueHighWater:   ss.QueueHighWater(),
-		Epochs:           ss.Epochs(),
-		CrossFrames:      ss.CrossDelivered(),
+		EventsPerVirtSec: float64(f.ss.Executed()) / scaleDuration.Seconds(),
+		QueueHighWater:   f.ss.QueueHighWater(),
+		Epochs:           f.ss.Epochs(),
+		CrossFrames:      f.ss.CrossDelivered(),
 	}
-	for k := 0; k < numShards; k++ {
-		row.ProbesSent += probesSent[k]
-		row.ProbesEchoed += probesEchoed[k]
+	for k := 0; k < f.numShards; k++ {
+		row.ProbesSent += f.probesSent[k]
+		row.ProbesEchoed += f.probesEchoed[k]
 	}
-	for _, sm := range fleet {
+	for _, sm := range f.fleet {
 		row.Registrations += sm.m.Stats().Registrations
 		row.Encapsulated += sm.m.Tunnel().Stats().Encapsulated
 	}
-	for _, ha := range has {
+	for _, ha := range f.has {
 		row.Encapsulated += ha.Tunnel().Stats().Encapsulated
 	}
-	for _, h := range cacheHosts {
+	for _, h := range f.cacheHosts {
 		st := h.RouteCacheStats()
 		row.RouteCacheHits += st.Hits
 		row.RouteCacheMisses += st.Misses
@@ -407,20 +535,18 @@ func RunScaleFleetWorkers(seed int64, n, workers int) (ScaleRow, *metrics.Snapsh
 	if total := row.RouteCacheHits + row.RouteCacheMisses; total > 0 {
 		row.RouteCacheHitRate = float64(row.RouteCacheHits) / float64(total)
 	}
-
-	snap := filterSnapshot(metrics.MergedSnapshot(ss.Now(), regs...), "sim.loop.")
-	snap.Name = fmt.Sprintf("scale-%dhosts", n)
-	return row, snap, nil
+	return row
 }
 
-// filterSnapshot keeps only metrics whose name begins with prefix — the
-// loop-level aggregates — so fleet exports stay reviewably small.
-func filterSnapshot(s *metrics.Snapshot, prefix string) *metrics.Snapshot {
-	out := &metrics.Snapshot{At: s.At, AtHuman: s.AtHuman}
-	for _, m := range s.Metrics {
-		if strings.HasPrefix(m.Name, prefix) {
-			out.Metrics = append(out.Metrics, m)
-		}
-	}
-	return out
+// snapshot merges the per-shard registries into the compact export
+// snapshot: loop-level aggregates (sim.loop.*) plus the per-shard barrier
+// counters (sim.shard.*). The name filter runs before rows materialize
+// (MergedSnapshotFiltered), so a 100k-host fleet never builds the
+// hundreds of thousands of per-host rows it is about to throw away.
+func (f *scaleFleet) snapshot() *metrics.Snapshot {
+	snap := metrics.MergedSnapshotFiltered(f.ss.Now(), func(name string) bool {
+		return strings.HasPrefix(name, "sim.")
+	}, f.regs...)
+	snap.Name = fmt.Sprintf("scale-%dhosts", f.n)
+	return snap
 }

@@ -4,13 +4,19 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"mosquitonet/internal/sim"
 )
 
 // TestScaleShardCount pins the fleet-size → shard-count mapping: shard
 // assignment is part of the deterministic output contract, so changing
 // these thresholds is a results-affecting change.
 func TestScaleShardCount(t *testing.T) {
-	cases := map[int]int{1: 1, 10: 1, 15: 1, 16: 2, 63: 2, 64: 4, 255: 4, 256: 8, 1000: 8}
+	cases := map[int]int{
+		1: 1, 10: 1, 15: 1, 16: 2, 63: 2, 64: 4, 255: 4, 256: 8, 1000: 8,
+		1023: 8, 1024: 16, 10000: 16, 16383: 16, 16384: 32, 65535: 32,
+		65536: 64, 100000: 64,
+	}
 	for n, want := range cases {
 		if got := scaleShardCount(n); got != want {
 			t.Errorf("scaleShardCount(%d) = %d, want %d", n, got, want)
@@ -50,6 +56,98 @@ func TestScaleWorkersByteIdentical(t *testing.T) {
 		}
 		if !bytes.Equal(baseSnapJSON.Bytes(), snapJSON.Bytes()) {
 			t.Errorf("workers=%d metrics snapshot differs from workers=1", workers)
+		}
+	}
+}
+
+// runSilentCampusFleet runs a 64-host fleet whose last campus shard has
+// infrastructure but no mobile hosts, and returns the deterministic
+// outputs plus the shard set's barrier stats (read before release).
+func runSilentCampusFleet(t *testing.T, workers int) (ScaleRow, []byte, []sim.ShardStats, uint64) {
+	t.Helper()
+	fl, err := buildScaleFleetSilent(1996, 64, workers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.release()
+	fl.ss.RunFor(scaleDuration)
+	row := fl.row()
+	var snapJSON bytes.Buffer
+	if err := fl.snapshot().WriteJSON(&snapJSON); err != nil {
+		t.Fatal(err)
+	}
+	stats := make([]sim.ShardStats, fl.numShards)
+	for k := range stats {
+		stats[k] = fl.ss.ShardStats(k)
+	}
+	return row, snapJSON.Bytes(), stats, fl.ss.Epochs()
+}
+
+// TestScaleSilentCampus pins the barrier tree's skip path on the real
+// topology: a campus shard with no mobile hosts must never participate in
+// a barrier — zero waits, zero dispatched events, every epoch skipped —
+// and its presence must not disturb byte-identical execution across
+// worker counts.
+func TestScaleSilentCampus(t *testing.T) {
+	baseRow, baseSnap, baseStats, epochs := runSilentCampusFleet(t, 1)
+	if baseRow.ProbesEchoed == 0 || baseRow.CrossFrames == 0 {
+		t.Fatalf("workload did not exercise cross-shard traffic: %+v", baseRow)
+	}
+
+	// The silent campus is the last campus shard (index numFleet-1 = 2 at
+	// 64 hosts: shards 0..3 campuses, 4 hub — silent one is index 3).
+	silent := scaleShardCount(64) - 1
+	st := baseStats[silent]
+	if st.BarrierWaits != 0 || st.EventsDispatched != 0 {
+		t.Errorf("silent campus shard %d participated: %+v", silent, st)
+	}
+	if st.EpochsSkipped != epochs {
+		t.Errorf("silent campus skipped %d of %d epochs", st.EpochsSkipped, epochs)
+	}
+	// The active shards must have carried the whole fleet.
+	for k := 0; k < silent; k++ {
+		if baseStats[k].EventsDispatched == 0 {
+			t.Errorf("active shard %d dispatched no events", k)
+		}
+	}
+
+	for _, workers := range []int{4, 8} {
+		row, snap, stats, _ := runSilentCampusFleet(t, workers)
+		if row != baseRow {
+			t.Errorf("workers=%d row differs from workers=1:\n  %+v\n  %+v", workers, baseRow, row)
+		}
+		if !bytes.Equal(baseSnap, snap) {
+			t.Errorf("workers=%d metrics snapshot differs from workers=1", workers)
+		}
+		for k := range stats {
+			if stats[k] != baseStats[k] {
+				t.Errorf("workers=%d shard %d stats %+v, workers=1 %+v", workers, k, stats[k], baseStats[k])
+			}
+		}
+	}
+}
+
+// TestCrossWorkerDeterminism drives the parallel experiment end to end:
+// every (fleet, workers) row must report identical outputs, and the
+// determinism check inside RunParallel must not trip. It also pins the
+// provenance fields the BENCH_parallel.json contract promises.
+func TestCrossWorkerDeterminism(t *testing.T) {
+	res, err := RunParallel(7, []int{64}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if !row.Identical {
+			t.Errorf("workers=%d row not identical: %+v", row.Workers, row)
+		}
+		if row.NumCPU < 1 || row.GoMaxProcs < 1 {
+			t.Errorf("provenance fields missing: %+v", row)
+		}
+		if len(row.WorkerUtilization) == 0 {
+			t.Errorf("workers=%d row has no utilization readings", row.Workers)
 		}
 	}
 }

@@ -160,6 +160,9 @@ func (s *Stack) Listen(bound ip.Addr, port uint16, onAccept func(*Conn)) (*Liste
 		return nil, ErrPortInUse
 	}
 	l := &Listener{stk: s, key: k, onAccept: onAccept}
+	if s.listeners == nil { // lazy: most fleet hosts never listen
+		s.listeners = make(map[bindKey]*Listener)
+	}
 	s.listeners[k] = l
 	return l, nil
 }
@@ -195,6 +198,9 @@ func (s *Stack) Connect(bound, dst ip.Addr, dport uint16) (*Conn, error) {
 	}
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1 // SYN consumes one sequence number
+	if s.conns == nil {
+		s.conns = make(map[connKey]*Conn)
+	}
 	s.conns[c.key] = c
 	c.sendSegment(ip.TCPSyn, c.iss, 0, nil)
 	c.armTimer()
@@ -474,6 +480,9 @@ func (s *Stack) tcpInput(ifc *stack.Iface, pkt *ip.Packet) {
 			}
 			c.sndUna = c.iss
 			c.sndNxt = c.iss + 1
+			if s.conns == nil {
+				s.conns = make(map[connKey]*Conn)
+			}
 			s.conns[key] = c
 			if l.onAccept != nil {
 				l.onAccept(c)

@@ -69,12 +69,9 @@ var (
 // protocol handlers.
 func NewStack(h *stack.Host) *Stack {
 	s := &Stack{
-		host:      h,
-		loop:      h.Loop(),
-		udp:       make(map[bindKey]*UDPSocket),
-		conns:     make(map[connKey]*Conn),
-		listeners: make(map[bindKey]*Listener),
-		portSeq:   32768,
+		host:    h,
+		loop:    h.Loop(),
+		portSeq: 32768,
 	}
 	h.RegisterHandler(ip.ProtoUDP, s.udpInput)
 	h.RegisterHandler(ip.ProtoTCP, s.tcpInput)

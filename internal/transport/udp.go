@@ -44,6 +44,9 @@ func (s *Stack) UDP(bound ip.Addr, port uint16, handler func(Datagram)) (*UDPSoc
 		return nil, ErrPortInUse
 	}
 	u := &UDPSocket{stk: s, bound: bound, port: port, handler: handler}
+	if s.udp == nil { // lazy: allocated on first bind
+		s.udp = make(map[bindKey]*UDPSocket)
+	}
 	s.udp[k] = u
 	return u, nil
 }

@@ -108,27 +108,26 @@ func New(host *stack.Host, name string, outerSrc func() (ip.Addr, bool), outerDs
 	})
 	e.pktlog = metrics.PacketsFor(host.Loop())
 	e.tracer = trace.For(host.Loop())
-	// A nil registry (telemetry disabled) is valid throughout: Counter hands
-	// back a detached handle and CounterFunc is a no-op, so the endpoint must
-	// never gate its own construction on metrics being enabled.
-	reg := metrics.For(host.Loop())
-	lbls := []metrics.Label{metrics.L("host", host.Name()), metrics.L("vif", name)}
-	e.encapBytes = reg.Counter("tunnel.endpoint.encap_bytes", lbls...)
-	e.decapBytes = reg.Counter("tunnel.endpoint.decap_bytes", lbls...)
-	for _, m := range []struct {
-		name string
-		fn   func() uint64
-	}{
-		{"tunnel.endpoint.encapsulated", func() uint64 { return e.stats.Encapsulated }},
-		{"tunnel.endpoint.decapsulated", func() uint64 { return e.stats.Decapsulated }},
-		{"tunnel.endpoint.drop_no_dst", func() uint64 { return e.stats.DropNoDst }},
-		{"tunnel.endpoint.drop_no_src", func() uint64 { return e.stats.DropNoSrc }},
-		{"tunnel.endpoint.drop_bad_inner", func() uint64 { return e.stats.DropBadInner }},
-		{"tunnel.endpoint.drop_peer", func() uint64 { return e.stats.DropPeer }},
-		{"tunnel.endpoint.drop_output", func() uint64 { return e.stats.DropOutput }},
-	} {
-		reg.CounterFunc(m.name, m.fn, lbls...)
-	}
+	// The byte counters are detached handles the endpoint increments on
+	// the data path; the snapshot-time collector below publishes them
+	// together with the stats-struct counters. One closure per endpoint
+	// replaces a 9-entry registry roster (rows are byte-identical), and a
+	// nil registry (telemetry disabled) stays valid throughout: Collect is
+	// a no-op, so the endpoint never gates construction on metrics.
+	e.encapBytes = &metrics.Counter{}
+	e.decapBytes = &metrics.Counter{}
+	metrics.For(host.Loop()).Collect(func(c *metrics.Collection) {
+		lbls := []metrics.Label{metrics.L("host", host.Name()), metrics.L("vif", name)}
+		c.Counter("tunnel.endpoint.encap_bytes", e.encapBytes.Value(), lbls...)
+		c.Counter("tunnel.endpoint.decap_bytes", e.decapBytes.Value(), lbls...)
+		c.Counter("tunnel.endpoint.encapsulated", e.stats.Encapsulated, lbls...)
+		c.Counter("tunnel.endpoint.decapsulated", e.stats.Decapsulated, lbls...)
+		c.Counter("tunnel.endpoint.drop_no_dst", e.stats.DropNoDst, lbls...)
+		c.Counter("tunnel.endpoint.drop_no_src", e.stats.DropNoSrc, lbls...)
+		c.Counter("tunnel.endpoint.drop_bad_inner", e.stats.DropBadInner, lbls...)
+		c.Counter("tunnel.endpoint.drop_peer", e.stats.DropPeer, lbls...)
+		c.Counter("tunnel.endpoint.drop_output", e.stats.DropOutput, lbls...)
+	})
 	return e
 }
 
