@@ -14,9 +14,14 @@
 // loadable in chrome://tracing or https://ui.perfetto.dev). Exports are
 // byte-identical across runs with the same seed.
 //
+// Experiments are registered in a dispatch table; -list enumerates them
+// with the flags each one consumes. "-exp all" runs every entry marked
+// for the batch; experiments with machine-dependent output (parallel) or
+// ad-hoc inputs (scenario, sweep) run only when named explicitly.
+//
 // Usage:
 //
-//	experiments [-seed N] [-exp all|e1|f6|f7|handoff|loadedhandoff|rtt|a1|a2|a3|scale|parallel] [-samples N] [-workers N] [-hosts N] [-json dir]
+//	experiments [-list] [-seed N] [-exp all|<name>] [per-experiment flags] [-json dir]
 package main
 
 import (
@@ -31,140 +36,357 @@ import (
 	"mosquitonet/internal/testbed"
 )
 
+// opts holds every flag value; per-experiment flags are registered by the
+// table entries that own them, so -list can attribute each flag to its
+// experiment.
+var opts struct {
+	seed    int64
+	jsonDir string
+	workers int
+
+	samples     int
+	a2iters     int
+	a3fleets    string
+	scaleFleets string
+	hosts       int
+	sweepN      int
+	scenario    string
+}
+
+// experiment is one dispatch-table entry.
+type experiment struct {
+	name  string
+	desc  string
+	inAll bool              // runs under -exp all (requires byte-reproducible output)
+	flags func(*flag.FlagSet) string // registers the entry's flags; returns their summary for -list
+	run   func() error
+}
+
+// experiments is the dispatch table, in "all"-batch execution order.
+var experiments = []experiment{
+	{
+		name: "e1", inAll: true,
+		desc: "end-to-end roaming walkthrough (paper §4 narrative)",
+		run: func() error {
+			res, err := mosquitonet.RunE1(opts.seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		name: "f6", inAll: true,
+		desc: "Figure 6: packet loss during handoffs, per switch discipline",
+		run: func() error {
+			res, err := mosquitonet.RunF6(opts.seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		name: "f7", inAll: true,
+		desc: "Figure 7: registration latency, mean (std dev) per path",
+		run: func() error {
+			res, err := mosquitonet.RunF7(opts.seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			writeTimeline(opts.jsonDir, "BENCH_f7_timeline.jsonl", res)
+			return nil
+		},
+	},
+	{
+		name: "handoff", inAll: true,
+		desc: "handoff disruption observatory (spans, flight recorder, per-window scoring)",
+		run: func() error {
+			res, err := mosquitonet.RunHandoff(opts.seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			writeArtifact(opts.jsonDir, "BENCH_handoff_spans.jsonl", res.Tracer.WriteSpansJSONL)
+			writeArtifact(opts.jsonDir, "BENCH_handoff_trace.json", res.Tracer.WriteChromeTrace)
+			return nil
+		},
+	},
+	{
+		name: "loadedhandoff", inAll: true,
+		desc: "roaming itinerary under MQTT + HTTP application load",
+		run: func() error {
+			res, err := mosquitonet.RunLoadedHandoff(opts.seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		name: "rtt", inAll: true,
+		desc: "round-trip latency per topology position",
+		flags: func(fs *flag.FlagSet) string {
+			if fs.Lookup("samples") == nil {
+				fs.IntVar(&opts.samples, "samples", 20, "samples for RTT/A1 measurements")
+			}
+			return "-samples"
+		},
+		run: func() error {
+			res, err := mosquitonet.RunRTT(opts.seed, opts.samples)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		name: "tput", inAll: true,
+		desc: "bulk TCP throughput home vs tunnelled",
+		run: func() error {
+			res, err := mosquitonet.RunThroughput(opts.seed, 50, 1000)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		name: "a1", inAll: true,
+		desc: "ablation: tunnelling cost decomposition",
+		flags: func(fs *flag.FlagSet) string {
+			if fs.Lookup("samples") == nil {
+				fs.IntVar(&opts.samples, "samples", 20, "samples for RTT/A1 measurements")
+			}
+			return "-samples"
+		},
+		run: func() error {
+			res, err := mosquitonet.RunA1(opts.seed, opts.samples)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		name: "a2", inAll: true,
+		desc: "ablation: collocated vs foreign-agent care-of",
+		flags: func(fs *flag.FlagSet) string {
+			if fs.Lookup("a2-iterations") == nil {
+				fs.IntVar(&opts.a2iters, "a2-iterations", 5, "handoffs per A2/A4 variant")
+			}
+			return "-a2-iterations"
+		},
+		run: func() error {
+			res, err := mosquitonet.RunA2(opts.seed, opts.a2iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		name: "a4", inAll: true,
+		desc: "ablation: handoff strategy comparison",
+		flags: func(fs *flag.FlagSet) string {
+			if fs.Lookup("a2-iterations") == nil {
+				fs.IntVar(&opts.a2iters, "a2-iterations", 5, "handoffs per A2/A4 variant")
+			}
+			return "-a2-iterations"
+		},
+		run: func() error {
+			res, err := mosquitonet.RunA4(opts.seed, opts.a2iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		name: "a3", inAll: true,
+		desc: "ablation: home-agent load vs fleet size",
+		flags: func(fs *flag.FlagSet) string {
+			fs.StringVar(&opts.a3fleets, "a3-fleets", "1,8,32,64", "comma-separated fleet sizes for A3")
+			return "-a3-fleets"
+		},
+		run: func() error {
+			res, err := mosquitonet.RunA3(opts.seed, parseFleets(opts.a3fleets))
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		name: "scale", inAll: true,
+		desc: "roaming-fleet scale (sharded; byte-identical at any -workers)",
+		flags: func(fs *flag.FlagSet) string {
+			if fs.Lookup("scale-fleets") == nil {
+				fs.StringVar(&opts.scaleFleets, "scale-fleets", "10,100,1000,10000,100000",
+					"comma-separated fleet sizes for the scale experiment")
+				fs.IntVar(&opts.hosts, "hosts", 0,
+					"single fleet size for the scale/parallel experiments, overriding -scale-fleets (e.g. -exp scale -hosts 100000)")
+			}
+			return "-scale-fleets, -hosts, -workers"
+		},
+		run: func() error {
+			res, err := mosquitonet.RunScaleWorkers(opts.seed, scaleSizes(), opts.workers)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		// The parallel experiment records machine-dependent wall-clock
+		// times, so it runs only when explicitly requested — never under
+		// "all", which must stay byte-reproducible.
+		name: "parallel", inAll: false,
+		desc: "sharded-scheduler speedup measurement (wall-clock; explicit only)",
+		flags: func(fs *flag.FlagSet) string {
+			if fs.Lookup("scale-fleets") == nil {
+				fs.StringVar(&opts.scaleFleets, "scale-fleets", "10,100,1000,10000,100000",
+					"comma-separated fleet sizes for the scale experiment")
+				fs.IntVar(&opts.hosts, "hosts", 0,
+					"single fleet size for the scale/parallel experiments, overriding -scale-fleets (e.g. -exp scale -hosts 100000)")
+			}
+			return "-scale-fleets, -hosts, -workers"
+		},
+		run: func() error {
+			w := opts.workers
+			if w <= 1 {
+				w = 4 // comparing workers=1 against itself would be vacuous
+			}
+			res, err := mosquitonet.RunParallel(opts.seed, scaleSizes(), w)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		// Inputs are ad-hoc (any catalog scenario), so not part of "all".
+		name: "scenario", inAll: false,
+		desc: "run one catalog scenario through the generic probe runner",
+		flags: func(fs *flag.FlagSet) string {
+			fs.StringVar(&opts.scenario, "scenario", "faultdemo", "catalog scenario name for -exp scenario")
+			return "-scenario"
+		},
+		run: func() error {
+			spec, err := testbed.Scenario(opts.scenario)
+			if err != nil {
+				return err
+			}
+			res, err := mosquitonet.RunScenarioProbe(opts.seed, spec)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+	{
+		// Deterministic but sized by -n, so not part of "all"; CI pins its
+		// artifact against bench/BENCH_sweep.json explicitly.
+		name: "sweep", inAll: false,
+		desc: "seeded randomized-scenario sweep over the sweep-base template",
+		flags: func(fs *flag.FlagSet) string {
+			fs.IntVar(&opts.sweepN, "n", 8, "number of generated sweep scenarios (min 8 for the pinned artifact)")
+			return "-n"
+		},
+		run: func() error {
+			res, err := mosquitonet.RunSweep(opts.seed, opts.sweepN)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			writeExport(opts.jsonDir, res.Export)
+			return nil
+		},
+	},
+}
+
 func main() {
-	seed := flag.Int64("seed", 1996, "simulation seed (results are deterministic per seed)")
-	exp := flag.String("exp", "all", "experiment to run: all, e1, f6, f7, handoff, loadedhandoff, rtt, tput, a1, a2, a3, a4, scale, parallel")
-	samples := flag.Int("samples", 20, "samples for RTT/A1 measurements")
-	a2iters := flag.Int("a2-iterations", 5, "handoffs per A2 variant")
-	fleets := flag.String("a3-fleets", "1,8,32,64", "comma-separated fleet sizes for A3")
-	scaleFleets := flag.String("scale-fleets", "10,100,1000,10000,100000", "comma-separated fleet sizes for the scale experiment")
-	hosts := flag.Int("hosts", 0, "single fleet size for the scale/parallel experiments, overriding -scale-fleets (e.g. -exp scale -hosts 100000)")
-	workers := flag.Int("workers", 1, "worker goroutines for sharded experiments (results are identical at any count)")
-	jsonDir := flag.String("json", "bench", "directory for BENCH_*.json exports (empty to disable)")
+	list := flag.Bool("list", false, "list the registered experiments and their flags")
+	exp := flag.String("exp", "all", "experiment to run: all, or one of the -list entries")
+	flag.Int64Var(&opts.seed, "seed", 1996, "simulation seed (results are deterministic per seed)")
+	flag.IntVar(&opts.workers, "workers", 1, "worker goroutines for sharded experiments (results are identical at any count)")
+	flag.StringVar(&opts.jsonDir, "json", "bench", "directory for BENCH_*.json exports (empty to disable)")
+
+	flagsOf := map[string]string{}
+	for _, e := range experiments {
+		if e.flags != nil {
+			flagsOf[e.name] = e.flags(flag.CommandLine)
+		}
+	}
 	flag.Parse()
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	ran := false
-
-	if want("e1") {
-		ran = true
-		res, err := mosquitonet.RunE1(*seed)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
-	}
-	if want("f6") {
-		ran = true
-		res, err := mosquitonet.RunF6(*seed)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
-	}
-	if want("f7") {
-		ran = true
-		res, err := mosquitonet.RunF7(*seed)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
-		writeTimeline(*jsonDir, "BENCH_f7_timeline.jsonl", res)
-	}
-	if want("handoff") {
-		ran = true
-		res, err := mosquitonet.RunHandoff(*seed)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
-		writeArtifact(*jsonDir, "BENCH_handoff_spans.jsonl", res.Tracer.WriteSpansJSONL)
-		writeArtifact(*jsonDir, "BENCH_handoff_trace.json", res.Tracer.WriteChromeTrace)
-	}
-	if want("loadedhandoff") {
-		ran = true
-		res, err := mosquitonet.RunLoadedHandoff(*seed)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
-	}
-	if want("rtt") {
-		ran = true
-		res, err := mosquitonet.RunRTT(*seed, *samples)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
-	}
-	if want("tput") {
-		ran = true
-		res, err := mosquitonet.RunThroughput(*seed, 50, 1000)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
-	}
-	if want("a1") {
-		ran = true
-		res, err := mosquitonet.RunA1(*seed, *samples)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
-	}
-	if want("a2") {
-		ran = true
-		res, err := mosquitonet.RunA2(*seed, *a2iters)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
-	}
-	if want("a4") {
-		ran = true
-		res, err := mosquitonet.RunA4(*seed, *a2iters)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
-	}
-	if want("a3") {
-		ran = true
-		var sizes []int
-		for _, f := range strings.Split(*fleets, ",") {
-			var n int
-			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
-				exitOn(fmt.Errorf("bad fleet size %q", f))
+	if *list {
+		fmt.Println("experiments (* runs under -exp all):")
+		for _, e := range experiments {
+			batch := " "
+			if e.inAll {
+				batch = "*"
 			}
-			sizes = append(sizes, n)
+			fmt.Printf("  %s %-14s %s", batch, e.name, e.desc)
+			if f := flagsOf[e.name]; f != "" {
+				fmt.Printf(" [%s]", f)
+			}
+			fmt.Println()
 		}
-		res, err := mosquitonet.RunA3(*seed, sizes)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
+		return
 	}
-	scaleSizes := func() []int {
-		if *hosts > 0 {
-			return []int{*hosts}
+
+	ran := false
+	for _, e := range experiments {
+		if *exp == e.name || (*exp == "all" && e.inAll) {
+			ran = true
+			exitOn(e.run())
 		}
-		return parseFleets(*scaleFleets)
-	}
-	if want("scale") {
-		ran = true
-		res, err := mosquitonet.RunScaleWorkers(*seed, scaleSizes(), *workers)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
-	}
-	// The parallel experiment records machine-dependent wall-clock times,
-	// so it runs only when explicitly requested — never as part of "all",
-	// which must stay byte-reproducible.
-	if *exp == "parallel" {
-		ran = true
-		w := *workers
-		if w <= 1 {
-			w = 4 // comparing workers=1 against itself would be vacuous
-		}
-		res, err := mosquitonet.RunParallel(*seed, scaleSizes(), w)
-		exitOn(err)
-		fmt.Println(res)
-		writeExport(*jsonDir, res.Export)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f6, f7, handoff, loadedhandoff, rtt, a1, a2, a3, a4, scale, parallel)\n", *exp)
+		names := make([]string, 0, len(experiments))
+		for _, e := range experiments {
+			names = append(names, e.name)
+		}
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, %s)\n", *exp, strings.Join(names, ", "))
 		os.Exit(2)
 	}
+}
+
+// scaleSizes resolves the scale/parallel fleet list: -hosts overrides
+// -scale-fleets.
+func scaleSizes() []int {
+	if opts.hosts > 0 {
+		return []int{opts.hosts}
+	}
+	return parseFleets(opts.scaleFleets)
 }
 
 // parseFleets splits a comma-separated fleet-size list.

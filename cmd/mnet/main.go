@@ -8,12 +8,18 @@
 //
 // Usage:
 //
-//	mnet [-seed N] [-trace] [-interval 250ms] [-metrics 5s] [-chains] [-spans] [-dump-json file]
+//	mnet [-seed N] [-trace] [-interval 250ms] [-metrics 5s] [-chains] [-spans] [-dump-json file] [-admin script]
+//
+// The -admin flag loads a console script (or stdin with '-') against the
+// compiled world before the itinerary starts: immediate commands inspect
+// or mutate state at t=0, and "at <offset> <command>" schedules
+// mutations — fault injection, route edits, hook removal — mid-run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,6 +27,7 @@ import (
 	"mosquitonet/internal/capture"
 	"mosquitonet/internal/link"
 	"mosquitonet/internal/pipeline"
+	"mosquitonet/internal/scenario"
 	"mosquitonet/internal/stack"
 	"mosquitonet/internal/testbed"
 	"mosquitonet/internal/trace"
@@ -35,9 +42,27 @@ func main() {
 	chains := flag.Bool("chains", false, "print each host's pipeline hook chains (iptables -L style) once the scenario is wired up")
 	spans := flag.Bool("spans", false, "record per-chain traversal spans on the MH and HA and print the span tree and kind counts at the end")
 	dumpJSON := flag.String("dump-json", "", "write a JSONL capture of every frame on every network to this file")
+	adminScript := flag.String("admin", "", "admin console script file ('-' for stdin): inspect/mutate routes, bindings, hooks, and faults; 'at <offset> <cmd>' schedules mid-run (see the 'help' command)")
 	flag.Parse()
 
 	tb := testbed.New(*seed)
+	if *adminScript != "" {
+		console := scenario.NewConsole(tb.World, os.Stdout)
+		r := io.Reader(os.Stdin)
+		if *adminScript != "-" {
+			f, err := os.Open(*adminScript)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mnet: admin:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			r = f
+		}
+		if err := console.Load(r); err != nil {
+			fmt.Fprintln(os.Stderr, "mnet: admin:", err)
+			os.Exit(1)
+		}
+	}
 	if *metricsEvery > 0 {
 		var tick func()
 		tick = func() {

@@ -11,6 +11,7 @@ import (
 	"mosquitonet/internal/analysis/hookorder"
 	"mosquitonet/internal/analysis/nosharedstate"
 	"mosquitonet/internal/analysis/nowallclock"
+	"mosquitonet/internal/analysis/scenariogolden"
 	"mosquitonet/internal/analysis/seededrand"
 	"mosquitonet/internal/analysis/sortedrange"
 	"mosquitonet/internal/analysis/tracekinds"
@@ -31,5 +32,6 @@ func All() []*framework.Analyzer {
 		tracekinds.Analyzer,
 		bufownership.Analyzer,
 		verdictflow.Analyzer,
+		scenariogolden.Analyzer,
 	}
 }

@@ -1,0 +1,98 @@
+// Package scenariogolden keeps the checked-in scenario catalog loadable.
+//
+// The experiment drivers compile their worlds from the JSON specs under a
+// package's testdata/scenarios/ directory (internal/testbed embeds them),
+// so a spec that no longer parses under the current schema is a build
+// break that the compiler cannot see: it surfaces only when the embedding
+// package's tests run the affected experiment. The analyzer closes that
+// gap at lint time — for every package that carries a testdata/scenarios
+// directory it requires each *.json file to Parse (strict decode plus
+// Validate), requires base references to resolve against sibling specs in
+// the same directory, and requires spec names to be unique, since the
+// catalog indexes by name.
+//
+// Diagnostics are reported on the package clause of the package's first
+// source file — the catalog is package-level data, not tied to any one
+// declaration — in sorted file order so runs are deterministic.
+package scenariogolden
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mosquitonet/internal/analysis/framework"
+	"mosquitonet/internal/scenario"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "scenariogolden",
+	Doc:  "every testdata/scenarios/*.json must parse and validate under the current scenario schema",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if len(pass.Files) == 0 {
+		return nil
+	}
+	// The catalog is package-level data: anchor all diagnostics on the
+	// package clause of the lexically first source file.
+	first := pass.Files[0]
+	firstName := pass.Fset.Position(first.Pos()).Filename
+	for _, f := range pass.Files[1:] {
+		if name := pass.Fset.Position(f.Pos()).Filename; name < firstName {
+			first, firstName = f, name
+		}
+	}
+	dir := filepath.Join(filepath.Dir(firstName), "testdata", "scenarios")
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return nil
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+
+	specs := map[string]*scenario.Spec{} // by spec name, for base resolution
+	byName := map[string]string{}        // spec name -> file, for duplicate reports
+	var withBase []string
+	for _, file := range files {
+		rel := filepath.Join("testdata", "scenarios", filepath.Base(file))
+		data, err := os.ReadFile(file)
+		if err != nil {
+			pass.Reportf(first.Name.Pos(), "%s: %v", rel, err)
+			continue
+		}
+		spec, err := scenario.Parse(data)
+		if err != nil {
+			pass.Reportf(first.Name.Pos(), "%s: %v", rel, err)
+			continue
+		}
+		if prev, dup := byName[spec.Name]; dup {
+			pass.Reportf(first.Name.Pos(), "%s: duplicate scenario name %q (also in %s)", rel, spec.Name, prev)
+			continue
+		}
+		byName[spec.Name] = rel
+		specs[spec.Name] = spec
+		if spec.Base != "" {
+			withBase = append(withBase, spec.Name)
+		}
+	}
+	for _, name := range withBase {
+		spec := specs[name]
+		_, err := scenario.ResolveBase(spec, func(base string) (*scenario.Spec, error) {
+			b, ok := specs[base]
+			if !ok {
+				return nil, fmt.Errorf("no scenario %q in the catalog", base)
+			}
+			return b, nil
+		})
+		if err != nil {
+			pass.Reportf(first.Name.Pos(), "%s: %v", byName[name], err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package scenariogolden_test
+
+import (
+	"testing"
+
+	"mosquitonet/internal/analysis/framework/analysistest"
+	"mosquitonet/internal/analysis/scenariogolden"
+)
+
+func TestScenariogolden(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/scenariogolden", scenariogolden.Analyzer)
+}
+
+func TestScenariogoldenBase(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/scenariogoldenbase", scenariogolden.Analyzer)
+}

@@ -1,0 +1,5 @@
+// Fixture for the scenariogolden analyzer. The package carries a
+// testdata/scenarios/ catalog with one valid spec (good.json — silent)
+// and one that fails the strict decode (bad.json — unknown field plus a
+// fault on an unknown device). Diagnostics land on the package clause.
+package fixture // want "bad.json"

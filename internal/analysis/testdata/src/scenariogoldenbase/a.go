@@ -1,0 +1,5 @@
+// Fixture for the scenariogolden analyzer's base-resolution check: the
+// catalog holds a valid base (base.json), a child that resolves against
+// it (child.json — silent), and a child whose base names no sibling spec
+// (orphan.json).
+package fixture // want "orphan.json"

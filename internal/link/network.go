@@ -213,6 +213,18 @@ func (n *Network) Name() string { return n.name }
 // Medium returns the network's medium description.
 func (n *Network) Medium() Medium { return n.medium }
 
+// SetLossProb changes the medium's loss probability at runtime — the
+// fault-injection seam for loss bursts. The loss model reads the
+// probability per frame, so the change applies to the next transmission;
+// frames already in flight keep the draw they were given. Returns the
+// previous probability so the injector can restore it when the burst
+// heals.
+func (n *Network) SetLossProb(p float64) (prev float64) {
+	prev = n.medium.LossProb
+	n.medium.LossProb = p
+	return prev
+}
+
 // Stats returns a snapshot of the network counters.
 func (n *Network) Stats() NetworkStats { return n.stats }
 

@@ -45,6 +45,8 @@ type HomeAgentStats struct {
 	Expired         uint64
 	Duplicated      uint64 // packet copies emitted for simultaneous bindings
 	DropMalformed   uint64 // control datagrams that failed to parse
+	DropWhileDown   uint64 // control datagrams dropped while crashed
+	Crashes         uint64 // injected crash/restart cycles
 }
 
 // Binding is one mobility binding: a mobile host's current location.
@@ -89,6 +91,12 @@ type HomeAgent struct {
 	// defers full authentication; this is the protocol-level half.)
 	lastID map[ip.Addr]uint64
 	stats  HomeAgentStats
+
+	// down marks a crashed agent: registration traffic is dropped (and
+	// counted) until Restart. A crash loses the soft mobility state — the
+	// binding table — exactly like the daemon dying on the real router; it
+	// keeps lastID, as replay protection persists across restarts.
+	down bool
 }
 
 // ErrNotOnHomeSubnet is returned when the configured interface has no
@@ -198,7 +206,47 @@ func (ha *HomeAgent) tunnelDst(inner *ip.Packet) (ip.Addr, bool) {
 	return b.CareOf, true
 }
 
+// Crash simulates the agent daemon dying: every binding is torn down (in
+// home-address order, so the teardown is deterministic) and registration
+// requests are dropped until Restart. Proxy ARP entries and tunnel routes
+// go with the bindings, so traffic for away mobile hosts blacks out until
+// they re-register with the restarted agent.
+func (ha *HomeAgent) Crash() {
+	if ha.down {
+		return
+	}
+	ha.down = true
+	ha.stats.Crashes++
+	for _, b := range ha.Bindings() {
+		ha.remove(b.HomeAddr)
+	}
+}
+
+// Restart brings a crashed agent back with an empty binding table. Mobile
+// hosts recover on their next registration (typically the renewal at 3/4
+// lifetime).
+func (ha *HomeAgent) Restart() { ha.down = false }
+
+// Down reports whether the agent is crashed.
+func (ha *HomeAgent) Down() bool { return ha.down }
+
+// ProcessingDelay returns the agent's per-request software cost.
+func (ha *HomeAgent) ProcessingDelay() time.Duration { return ha.cfg.ProcessingDelay }
+
+// SetProcessingDelay changes the per-request software cost at runtime —
+// the fault-injection seam for an overloaded agent. Returns the previous
+// delay so the injector can restore it.
+func (ha *HomeAgent) SetProcessingDelay(d time.Duration) (prev time.Duration) {
+	prev = ha.cfg.ProcessingDelay
+	ha.cfg.ProcessingDelay = d
+	return prev
+}
+
 func (ha *HomeAgent) input(d transport.Datagram) {
+	if ha.down {
+		ha.stats.DropWhileDown++
+		return
+	}
 	typ, err := MessageType(d.Payload)
 	if err != nil || typ != TypeRegRequest {
 		ha.stats.DropMalformed++

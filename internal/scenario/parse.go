@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Parse decodes and validates one scenario spec. The decode is strict:
+// unknown fields are rejected (catching schema drift and typos at load
+// time instead of silently ignoring them), and trailing data after the
+// spec object is an error. The returned spec has passed Validate, except
+// that a spec with Base set still needs ResolveBase before it can be
+// compiled.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := checkTrailing(dec); err != nil {
+		return nil, err
+	}
+	if err := Validate(&spec); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// checkTrailing rejects any non-whitespace content after the spec object.
+func checkTrailing(dec *json.Decoder) error {
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("scenario: trailing data after spec")
+	}
+	return nil
+}
+
+// Marshal renders a spec in the canonical on-disk form: two-space
+// indented JSON with a trailing newline. Marshal(Parse(x)) parses back to
+// a spec equal to Parse(x) — the FuzzScenarioParse target pins this.
+func Marshal(spec *Spec) ([]byte, error) {
+	out, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ResolveBase fills in a Base-inheriting spec's topology from its base
+// scenario, found via lookup (typically the scenario catalog directory).
+// Specs without a base are returned unchanged. The returned spec is fully
+// validated.
+func ResolveBase(spec *Spec, lookup func(name string) (*Spec, error)) (*Spec, error) {
+	if spec.Base == "" {
+		return spec, nil
+	}
+	base, err := lookup(spec.Base)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: base %q: %w", spec.Name, spec.Base, err)
+	}
+	if base.Base != "" {
+		return nil, fmt.Errorf("scenario %q: base %q must not itself have a base", spec.Name, spec.Base)
+	}
+	resolved := *spec
+	resolved.Base = ""
+	resolved.Topology = base.Topology
+	if err := Validate(&resolved); err != nil {
+		return nil, err
+	}
+	return &resolved, nil
+}

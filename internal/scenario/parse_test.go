@@ -1,0 +1,267 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// catalogDir is the checked-in scenario catalog (embedded by the testbed
+// package; read from disk here to avoid an import cycle).
+var catalogDir = filepath.Join("..", "testbed", "testdata", "scenarios")
+
+func catalogFiles(t testing.TB) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(catalogDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no scenario files in %s", catalogDir)
+	}
+	return files
+}
+
+// minimalSpec is the smallest spec that passes Validate.
+const minimalSpec = `{
+  "version": 1,
+  "name": "minimal",
+  "topology": {
+    "subnets": [
+      {"name": "home", "prefix": "36.135.0.0/16", "medium": {"kind": "ethernet"}}
+    ]
+  }
+}`
+
+func TestParseCatalog(t *testing.T) {
+	for _, f := range catalogFiles(t) {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := Parse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Canonical form round-trips to an identical spec and
+			// identical bytes.
+			out, err := Marshal(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec2, err := Parse(out)
+			if err != nil {
+				t.Fatalf("re-parse of marshaled form: %v", err)
+			}
+			if !reflect.DeepEqual(spec, spec2) {
+				t.Error("spec changed across a marshal/parse round trip")
+			}
+			out2, err := Marshal(spec2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(out) != string(out2) {
+				t.Error("marshaled form is not a fixed point")
+			}
+		})
+	}
+}
+
+func TestParseStrictness(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown field", `{"version": 1, "name": "x", "topolgy": {}}`, "topolgy"},
+		{"trailing data", minimalSpec + `{"again": true}`, "trailing data"},
+		{"bad version", `{"version": 2, "name": "x", "topology": {}}`, "version 2 not supported"},
+		{"missing name", `{"version": 1, "topology": {}}`, "missing name"},
+		{"duration not string", `{"version": 1, "name": "x", "topology": {"fleet": {"duration": 5}}}`, "duration must be a string"},
+		{"not json", `nope`, "invalid character"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.in))
+			if err == nil {
+				t.Fatal("parse accepted an invalid spec")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// mutate parses minimalSpec, applies f, and returns Validate's error.
+func validateMutated(t *testing.T, f func(*Spec)) error {
+	t.Helper()
+	spec, err := Parse([]byte(minimalSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f(spec)
+	return Validate(spec)
+}
+
+func TestValidateReferences(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		{"empty topology", func(s *Spec) { s.Topology = Topology{} }, "empty topology"},
+		{"duplicate subnet", func(s *Spec) {
+			s.Topology.Subnets = append(s.Topology.Subnets, s.Topology.Subnets[0])
+		}, "duplicate name"},
+		{"bad medium", func(s *Spec) { s.Topology.Subnets[0].Medium.Kind = "carrier-pigeon" }, "unknown medium kind"},
+		{"medium params without custom", func(s *Spec) { s.Topology.Subnets[0].Medium.MTU = 1500 },
+			`only valid with kind "custom"`},
+		{"host outside subnet", func(s *Spec) {
+			s.Topology.Hosts = []EndHost{{Name: "h", Subnet: "home", Addr: "10.0.0.1", Gateway: "36.135.0.1"}}
+		}, "not in subnet"},
+		{"host on unknown subnet", func(s *Spec) {
+			s.Topology.Hosts = []EndHost{{Name: "h", Subnet: "dept", Addr: "36.8.0.2", Gateway: "36.8.0.1"}}
+		}, `unknown subnet "dept"`},
+		{"mobile without home agent", func(s *Spec) {
+			s.Topology.Mobiles = []Mobile{{
+				Name: "mh", HomeAddr: "36.135.0.7", HomeSubnet: "home", HomeAgent: "36.135.0.1",
+				Ifaces: []MobileIface{{Name: "eth0", Device: "mh-eth", Attach: "home"}},
+			}}
+		}, "no home agent at 36.135.0.1"},
+		{"probe on unknown host", func(s *Spec) {
+			s.Traffic = &Traffic{Probes: []Probe{{
+				Name: "p", From: "nobody", To: "nobody", Dst: "36.135.0.7", Port: 9, Interval: Duration(time.Second),
+			}}}
+		}, `unknown host "nobody"`},
+		{"step with unknown op", func(s *Spec) {
+			s.Itinerary = []Step{{Op: "teleport"}}
+		}, `unknown op "teleport"`},
+		{"fault with unknown kind", func(s *Spec) {
+			s.Faults = []Fault{{Kind: "meteor", For: Duration(time.Second)}}
+		}, `unknown kind "meteor"`},
+		{"fault on unknown device", func(s *Spec) {
+			s.Faults = []Fault{{Kind: "link-flap", For: Duration(time.Second), Device: "r-net-none"}}
+		}, `unknown device "r-net-none"`},
+		{"base with topology", func(s *Spec) { s.Base = "figure5" }, "topology is not empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateMutated(t, tc.mutate)
+			if err == nil {
+				t.Fatal("validate accepted an invalid spec")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Validation errors must be deterministic: same spec, same first-failing
+// field, same text.
+func TestValidateDeterministicErrors(t *testing.T) {
+	bad := strings.Replace(minimalSpec, `"kind": "ethernet"`, `"kind": "x"`, 1)
+	_, err1 := Parse([]byte(bad))
+	_, err2 := Parse([]byte(bad))
+	if err1 == nil || err2 == nil {
+		t.Fatal("expected errors")
+	}
+	if err1.Error() != err2.Error() {
+		t.Errorf("error text diverged:\n  %v\n  %v", err1, err2)
+	}
+}
+
+func TestResolveBase(t *testing.T) {
+	base, err := Parse([]byte(minimalSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := Parse([]byte(`{"version": 1, "name": "child", "base": "minimal"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(name string) (*Spec, error) {
+		if name != "minimal" {
+			t.Fatalf("lookup of %q", name)
+		}
+		return base, nil
+	}
+	resolved, err := ResolveBase(child, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Base != "" || !reflect.DeepEqual(resolved.Topology, base.Topology) {
+		t.Error("resolved spec did not inherit the base topology")
+	}
+	if resolved.Name != "child" {
+		t.Errorf("resolved name = %q, want child", resolved.Name)
+	}
+	// A base must itself be base-free.
+	child2 := *child
+	basey := *base
+	basey.Base = "deeper"
+	if _, err := ResolveBase(&child2, func(string) (*Spec, error) { return &basey, nil }); err == nil {
+		t.Error("ResolveBase accepted a base that itself has a base")
+	}
+	// A base-free spec passes through untouched.
+	same, err := ResolveBase(base, nil)
+	if err != nil || same != base {
+		t.Error("base-free spec was not returned unchanged")
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	for _, d := range []time.Duration{0, 50 * time.Millisecond, 1210 * time.Microsecond, 3 * time.Second} {
+		b, err := json.Marshal(Duration(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Duration
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.D() != d {
+			t.Errorf("%v round-tripped to %v via %s", d, got, b)
+		}
+	}
+	var d Duration
+	if err := json.Unmarshal([]byte(`250`), &d); err == nil {
+		t.Error("numeric duration accepted")
+	}
+	if err := json.Unmarshal([]byte(`"fast"`), &d); err == nil {
+		t.Error("non-duration string accepted")
+	}
+}
+
+// Compiling a parsed catalog scenario produces a world whose hosts match
+// the spec's topology.
+func TestCompileFaultdemo(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join(catalogDir, "faultdemo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Compile(1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, name := range []string{"router", "ch", "mh"} {
+		if _, ok := w.Host(name); !ok {
+			t.Errorf("compiled world has no host %q (have %v)", name, w.HostNames())
+		}
+	}
+	if _, ok := w.HAs["router"]; !ok {
+		t.Error("compiled world has no home agent on router")
+	}
+	if err := w.Faults.Schedule(Fault{Kind: "ha-crash", For: Duration(time.Second), Router: "ghost"}); err == nil {
+		t.Error("injector accepted a fault on an unknown router")
+	}
+}

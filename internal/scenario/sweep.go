@@ -1,0 +1,180 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// The sweep generator derives randomized-but-valid scenario variants from
+// a resolved template: same topology, perturbed probe cadence, a random
+// legal roaming walk, and a random fault schedule. All randomness comes
+// from one seeded rand.Rand consumed in a fixed order, so a (base, seed,
+// n) triple always yields the same variants — the sweep is an experiment,
+// not a fuzzer, and its BENCH artifact is byte-stable.
+
+// Sweep perturbation bounds.
+var (
+	sweepProbeIntervals = []time.Duration{
+		25 * time.Millisecond, 50 * time.Millisecond, 75 * time.Millisecond, 100 * time.Millisecond,
+	}
+	sweepMinMoves    = 2
+	sweepMaxMoves    = 4
+	sweepBaseSettle  = 3 * time.Second
+	sweepSettleStep  = 500 * time.Millisecond
+	sweepSettleSteps = 7 // settle in [3s, 6s], 500ms quanta
+)
+
+// GenerateSweep derives n variants of base (which must be resolved and
+// carry at least one mobile, one router, and one probe). Variant i is
+// named "<base>-NNN"; every variant passes Validate before it is
+// returned.
+func GenerateSweep(base *Spec, seed int64, n int) ([]*Spec, error) {
+	if base.Base != "" {
+		return nil, fmt.Errorf("sweep: base %q unresolved (call ResolveBase)", base.Name)
+	}
+	if err := Validate(base); err != nil {
+		return nil, fmt.Errorf("sweep: base %q: %w", base.Name, err)
+	}
+	if len(base.Topology.Mobiles) == 0 || len(base.Topology.Routers) == 0 {
+		return nil, fmt.Errorf("sweep: base %q needs a mobile and a router", base.Name)
+	}
+	if base.Traffic == nil || len(base.Traffic.Probes) == 0 {
+		return nil, fmt.Errorf("sweep: base %q needs a probe to score", base.Name)
+	}
+	if base.Topology.Routers[0].DHCP == nil {
+		return nil, fmt.Errorf("sweep: base %q: router %q has no DHCP subnet to roam to", base.Name, base.Topology.Routers[0].Name)
+	}
+
+	//lint:allow seededrand generation-time stream seeded by the caller's explicit sweep seed; no sim.Loop exists yet
+	rng := rand.New(rand.NewSource(seed))
+	variants := make([]*Spec, 0, n)
+	for i := 0; i < n; i++ {
+		// Deep-copy through the wire format so the variants share nothing
+		// with the base or each other.
+		data, err := Marshal(base)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		sp, err := Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: re-parse: %w", err)
+		}
+		sp.Name = fmt.Sprintf("%s-%03d", base.Name, i)
+		sp.Description = fmt.Sprintf("sweep variant %d of %s (seed %d)", i, base.Name, seed)
+
+		for p := range sp.Traffic.Probes {
+			sp.Traffic.Probes[p].Interval = Duration(sweepProbeIntervals[rng.Intn(len(sweepProbeIntervals))])
+		}
+		totalSettle := perturbItinerary(sp, rng)
+		scheduleFaults(sp, rng, totalSettle)
+
+		if err := Validate(sp); err != nil {
+			return nil, fmt.Errorf("sweep: generated %s invalid: %w", sp.Name, err)
+		}
+		variants = append(variants, sp)
+	}
+	return variants, nil
+}
+
+// perturbItinerary appends a random legal roaming walk to the template's
+// itinerary (which must end with the mobile attached at home) and returns
+// the walk's total settle time, for fault placement. The walk is a state
+// machine over the Figure-5 locations: home moves to the department;
+// the department offers a same-subnet address switch, a cold switch to
+// the radio, or a cold switch home; the radio hot-switches back to the
+// department wire.
+func perturbItinerary(sp *Spec, rng *rand.Rand) time.Duration {
+	m := &sp.Topology.Mobiles[0]
+	wired := m.Ifaces[0].Name
+	deptSubnet := sp.Topology.Routers[0].DHCP.Subnet
+
+	settle := func() Step {
+		d := sweepBaseSettle + time.Duration(rng.Intn(sweepSettleSteps))*sweepSettleStep
+		return Step{Op: "settle", For: Duration(d)}
+	}
+
+	var total time.Duration
+	add := func(steps ...Step) {
+		sp.Itinerary = append(sp.Itinerary, steps...)
+		for _, st := range steps {
+			total += st.For.D()
+		}
+	}
+
+	loc := "home"
+	moves := sweepMinMoves + rng.Intn(sweepMaxMoves-sweepMinMoves+1)
+	for mv := 0; mv < moves; mv++ {
+		switch loc {
+		case "home":
+			add(Step{Op: "move", Iface: wired, To: deptSubnet}, Step{Op: "cold-switch", Iface: wired}, settle())
+			loc = "dept"
+		case "dept":
+			switch rng.Intn(3) {
+			case 0:
+				addr := fmt.Sprintf("36.8.0.%d", 200+rng.Intn(20))
+				add(Step{Op: "switch-address", Addr: addr}, settle())
+			case 1:
+				if len(m.Ifaces) > 1 {
+					add(Step{Op: "cold-switch", Iface: m.Ifaces[1].Name}, settle())
+					loc = "radio"
+				} else {
+					add(settle())
+				}
+			case 2:
+				add(Step{Op: "move", Iface: wired, To: m.HomeSubnet}, Step{Op: "cold-switch-home", Iface: wired}, settle())
+				loc = "home"
+			}
+		case "radio":
+			add(Step{Op: "hot-switch", Iface: wired}, settle())
+			loc = "dept"
+		}
+	}
+	return total
+}
+
+// scheduleFaults arms 0-2 random faults inside the walk (strike no
+// earlier than 2s in, heal at least a settle before the itinerary's
+// settle budget runs out), sorted by strike time.
+func scheduleFaults(sp *Spec, rng *rand.Rand, totalSettle time.Duration) {
+	r := &sp.Topology.Routers[0]
+	deptSubnet := r.DHCP.Subnet
+	var flapDevice string
+	for i := range sp.Topology.Subnets {
+		if sp.Topology.Subnets[i].Name == deptSubnet {
+			flapDevice = routerDeviceName(&sp.Topology.Subnets[i])
+		}
+	}
+
+	lo, hi := 2*time.Second, totalSettle-4*time.Second
+	if hi <= lo {
+		return
+	}
+	at := func() Duration {
+		return Duration(lo + time.Duration(rng.Int63n(int64(hi-lo))).Round(time.Millisecond))
+	}
+
+	var faults []Fault
+	for i, count := 0, rng.Intn(3); i < count; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			faults = append(faults, Fault{
+				At: at(), Kind: "loss-burst", For: Duration(time.Second + time.Duration(rng.Intn(3))*500*time.Millisecond),
+				Subnet: deptSubnet, Prob: 0.1 + 0.1*float64(rng.Intn(4)),
+			})
+		case 1:
+			faults = append(faults, Fault{
+				At: at(), Kind: "link-flap", For: Duration(500*time.Millisecond + time.Duration(rng.Intn(3))*500*time.Millisecond),
+				Device: flapDevice,
+			})
+		case 2:
+			faults = append(faults, Fault{
+				At: at(), Kind: "agent-delay", For: Duration(2*time.Second + time.Duration(rng.Intn(4))*time.Second),
+				Router: r.Name, Delay: Duration(2*time.Millisecond + time.Duration(rng.Intn(9))*time.Millisecond),
+			})
+		}
+	}
+	sort.SliceStable(faults, func(a, b int) bool { return faults[a].At < faults[b].At })
+	sp.Faults = append(sp.Faults, faults...)
+}

@@ -8,6 +8,7 @@ import (
 
 	"mosquitonet/internal/ip"
 	"mosquitonet/internal/metrics"
+	"mosquitonet/internal/scenario"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stats"
 	"mosquitonet/internal/trace"
@@ -137,6 +138,19 @@ var handoffRootKinds = map[string]bool{
 	"handoff.addrswitch": true,
 }
 
+// observationWindows turns every closed root span that bounds a handoff
+// or an injected fault into one attribution window, in span start order
+// (spans are retained in start order).
+func observationWindows(tr *trace.Tracer) []stats.Window {
+	var windows []stats.Window
+	for _, sp := range tr.Spans() {
+		if sp.Parent == 0 && (handoffRootKinds[sp.Kind] || scenario.FaultRootKinds(sp.Kind)) && sp.End >= sp.Start {
+			windows = append(windows, stats.Window{Kind: sp.Kind, Start: sp.Start, End: sp.End})
+		}
+	}
+	return windows
+}
+
 // HandoffRows is the machine-readable result table of the handoff
 // experiment: flow-wide totals plus one disruption report per handoff
 // window. Struct-typed so the JSON field order is fixed.
@@ -183,92 +197,52 @@ func (r *HandoffResult) String() string {
 }
 
 // RunHandoff performs the roaming itinerary under the observatory and
-// returns the per-handoff disruption reports.
+// returns the per-handoff disruption reports. The itinerary, the probe,
+// and the drain all come from the handoff scenario spec: the first
+// itinerary step attaches the mobile host, the probe starts, and the
+// remaining steps walk the five moves.
 func RunHandoff(seed int64) (*HandoffResult, error) {
-	tb := New(seed)
+	spec, err := Scenario("handoff")
+	if err != nil {
+		return nil, err
+	}
+	tb, err := NewFromSpec(seed, spec)
+	if err != nil {
+		return nil, err
+	}
 	defer tb.Close()
 
 	fr := trace.NewFlightRecorder(tb.Tracer, handoffFlightCapacity, handoffFlightDumps)
 	fr.TriggerOn("reg.timeout")
 	fr.TriggerOnBurst("drop.noroute", handoffDropBurstCount, handoffDropBurstWindow)
 
-	step := func(name string, f func(done func(error))) error {
-		done, fail := false, error(nil)
-		f(func(err error) { fail, done = err, true })
-		if !runUntilDone(tb, &done, 30*time.Second) || fail != nil {
-			return fmt.Errorf("handoff %s: done=%v err=%v", name, done, fail)
-		}
-		return nil
+	if err := tb.World.Step(spec.Itinerary[0]); err != nil {
+		return nil, fmt.Errorf("handoff: %w", err)
 	}
 
-	if err := step("attach home", func(done func(error)) {
-		tb.MH.ConnectHome(tb.Eth, RouterHomeAddr, done)
-	}); err != nil {
-		return nil, err
-	}
-
-	probe, err := NewFlowProbe(tb.Loop, tb.CH, tb.MHTS, MHHomeAddr, 9, HandoffProbeInterval)
+	p := spec.Traffic.Probes[0]
+	probe, err := NewFlowProbe(tb.Loop, tb.World.Stacks[p.From], tb.World.Stacks[p.To],
+		ip.MustParseAddr(p.Dst), uint16(p.Port), p.Interval.D())
 	if err != nil {
 		return nil, err
 	}
 	probe.Start()
-	tb.Run(handoffSettle)
 
-	moves := []struct {
-		name string
-		f    func(done func(error))
-	}{
-		{"cold to department", func(done func(error)) {
-			tb.MoveEthTo(tb.DeptNet)
-			tb.MH.ColdSwitch(tb.Eth, done)
-		}},
-		{"same-subnet address switch", func(done func(error)) {
-			tb.MH.SwitchAddress(ip.MustParseAddr("36.8.0.200"), done)
-		}},
-		{"cold to radio", func(done func(error)) {
-			tb.MH.ColdSwitch(tb.Strip, done)
-		}},
-		{"hot back to wire", func(done func(error)) {
-			tb.Eth.Iface().Device().BringUp(func() {
-				tb.MH.Prepare(tb.Eth, func(err error) {
-					if err != nil {
-						done(err)
-						return
-					}
-					tb.MH.HotSwitch(tb.Eth, done)
-				})
-			})
-		}},
-		{"cold home", func(done func(error)) {
-			tb.MoveEthTo(tb.HomeNet)
-			tb.MH.ColdSwitchHome(tb.Eth, RouterHomeAddr, done)
-		}},
-	}
-	for _, mv := range moves {
-		if err := step(mv.name, mv.f); err != nil {
-			return nil, err
-		}
-		tb.Run(handoffSettle)
+	if err := tb.World.RunItinerary(spec.Itinerary[1:]); err != nil {
+		return nil, fmt.Errorf("handoff: %w", err)
 	}
 
 	// Drain: stop sending, let stragglers arrive.
 	probe.Pause()
-	tb.Run(2 * time.Second)
+	tb.Run(spec.Traffic.Drain.D())
 
-	// Every closed root handoff span is one attribution window, in start
-	// order (spans are retained in start order).
-	var windows []stats.Window
-	for _, sp := range tb.Tracer.Spans() {
-		if sp.Parent == 0 && handoffRootKinds[sp.Kind] && sp.End >= sp.Start {
-			windows = append(windows, stats.Window{Kind: sp.Kind, Start: sp.Start, End: sp.End})
-		}
-	}
+	windows := observationWindows(tb.Tracer)
 
 	flow := probe.Flow()
 	sent, received, lost, reorders := flow.Totals()
 	res := &HandoffResult{
 		Rows: HandoffRows{
-			ProbeIntervalNS:   int64(HandoffProbeInterval),
+			ProbeIntervalNS:   int64(p.Interval.D()),
 			GraceNS:           int64(HandoffGrace),
 			BaselineLatencyNS: int64(flow.Baseline()),
 			PacketsSent:       sent,

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"mosquitonet/internal/app"
-	"mosquitonet/internal/ip"
 	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stats"
@@ -35,25 +34,9 @@ import (
 // The experiment is single-loop: worker counts shard other experiments,
 // never this one, so the export is byte-identical across -workers values.
 
-// Loaded-handoff experiment shape.
-const (
-	loadedBrokerPort = 1883
-	loadedHTTPPort   = 8080
-
-	loadedTelemetryFlows    = 3
-	loadedTelemetryInterval = 100 * time.Millisecond
-	loadedTelemetrySize     = 64
-	loadedCommandInterval   = 200 * time.Millisecond
-	loadedCommandSize       = 32
-	loadedOpenReqInterval   = 200 * time.Millisecond
-	loadedThinkTime         = 100 * time.Millisecond
-	loadedReqSize           = 256
-
-	// loadedDrainWait bounds the post-itinerary drain: the run waits for
-	// every in-flight message to land (TCP recovery after the last move can
-	// take several RTO backoffs) before scoring.
-	loadedDrainWait = 60 * time.Second
-)
+// The experiment shape — broker and server ports, flow counts, rates,
+// payload sizes, and the drain bound — lives in the loadedhandoff
+// scenario spec (testdata/scenarios/loadedhandoff.json).
 
 // LoadedWindowRow scores one flow against one handoff window: the standard
 // disruption report plus the delivered volume and goodput inside the
@@ -154,198 +137,55 @@ func formatWorstWindows(flows []LoadedFlowRow) string {
 	return b.String()
 }
 
-// loadedFlow pairs one traffic generator's tracker with its labeling.
-type loadedFlow struct {
-	name  string
-	proto string
-	model string
-	size  int // payload bytes per message, for goodput
-	flow  *stats.FlowTracker
-}
-
 // RunLoadedHandoff performs the roaming itinerary under the application
-// load and returns the per-flow, per-handoff disruption scoring.
+// load and returns the per-flow, per-handoff disruption scoring. The
+// topology, the traffic mix, and the itinerary all come from the
+// loadedhandoff scenario spec: the first itinerary step attaches the
+// mobile host, the traffic builder lowers the mix onto the app layer,
+// and the remaining steps walk the five moves.
 func RunLoadedHandoff(seed int64) (*LoadedHandoffResult, error) {
-	tb := New(seed)
+	spec, err := Scenario("loadedhandoff")
+	if err != nil {
+		return nil, err
+	}
+	tb, err := NewFromSpec(seed, spec)
+	if err != nil {
+		return nil, err
+	}
 	defer tb.Close()
 
-	step := func(name string, f func(done func(error))) error {
-		done, fail := false, error(nil)
-		f(func(err error) { fail, done = err, true })
-		if !runUntilDone(tb, &done, 30*time.Second) || fail != nil {
-			return fmt.Errorf("loadedhandoff %s: done=%v err=%v", name, done, fail)
-		}
-		return nil
+	if err := tb.World.Step(spec.Itinerary[0]); err != nil {
+		return nil, fmt.Errorf("loadedhandoff: %w", err)
 	}
 
-	if err := step("attach home", func(done func(error)) {
-		tb.MH.ConnectHome(tb.Eth, RouterHomeAddr, done)
-	}); err != nil {
-		return nil, err
-	}
-
-	// Servers on the department correspondent.
-	broker, err := app.NewBroker(tb.CH, ip.Unspecified, loadedBrokerPort, "broker")
+	lt, err := buildLoadedTraffic(tb, spec.Traffic)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("loadedhandoff: %w", err)
 	}
-	web, err := app.NewHTTPServer(tb.CH, ip.Unspecified, loadedHTTPPort, "web", app.EchoHandler)
-	if err != nil {
-		return nil, err
-	}
+	lt.start()
 
-	// MQTT clients: the mobile host's agent and the campus correspondent's.
-	mh := app.NewClient(tb.MHTS, "mh-agent")
-	campus := app.NewClient(tb.CampusCH, "campus-agent")
-	connected := 0
-	onConnack := func(err error) {
-		if err == nil {
-			connected++
-		}
-	}
-	if err := mh.Connect(CHAddr, loadedBrokerPort, onConnack); err != nil {
-		return nil, err
-	}
-	if err := campus.Connect(CHAddr, loadedBrokerPort, onConnack); err != nil {
-		return nil, err
-	}
-	if !runUntil(tb, 30*time.Second, func() bool { return connected == 2 }) {
-		return nil, fmt.Errorf("loadedhandoff: mqtt clients did not connect (%d/2)", connected)
-	}
-
-	// HTTP clients on the mobile host, one per discipline.
-	webOpen := app.NewHTTPClient(tb.MHTS, "web-open")
-	webClosed := app.NewHTTPClient(tb.MHTS, "web-closed")
-	if err := webOpen.Connect(CHAddr, loadedHTTPPort, nil); err != nil {
-		return nil, err
-	}
-	if err := webClosed.Connect(CHAddr, loadedHTTPPort, nil); err != nil {
-		return nil, err
-	}
-
-	// Flows and their trackers. Telemetry MH -> campus, commands campus ->
-	// MH, both QoS 1; request/response MH -> department server.
-	var flows []loadedFlow
-	var pubFlows []*app.PubFlow
-	subAcks := 0
-	for i := 0; i < loadedTelemetryFlows; i++ {
-		topic := fmt.Sprintf("telemetry/mh/%d", i)
-		ft := stats.NewFlowTracker(topic)
-		if err := campus.Subscribe(topic, 1, app.SinkHandler(tb.Loop, ft), func() { subAcks++ }); err != nil {
-			return nil, err
-		}
-		flows = append(flows, loadedFlow{
-			name: topic, proto: "mqtt-qos1", model: "open-loop", size: loadedTelemetrySize, flow: ft,
-		})
-		pubFlows = append(pubFlows, app.NewPubFlow(mh, ft, topic, loadedTelemetryInterval, 1, loadedTelemetrySize))
-	}
-	cmdTracker := stats.NewFlowTracker("cmd/mh")
-	if err := mh.Subscribe("cmd/mh", 1, app.SinkHandler(tb.Loop, cmdTracker), func() { subAcks++ }); err != nil {
-		return nil, err
-	}
-	flows = append(flows, loadedFlow{
-		name: "cmd/mh", proto: "mqtt-qos1", model: "open-loop", size: loadedCommandSize, flow: cmdTracker,
-	})
-	pubFlows = append(pubFlows, app.NewPubFlow(campus, cmdTracker, "cmd/mh", loadedCommandInterval, 1, loadedCommandSize))
-
-	if !runUntil(tb, 30*time.Second, func() bool { return subAcks == loadedTelemetryFlows+1 }) {
-		return nil, fmt.Errorf("loadedhandoff: subscriptions not acked (%d/%d)", subAcks, loadedTelemetryFlows+1)
-	}
-
-	openTracker := stats.NewFlowTracker("http/open")
-	closedTracker := stats.NewFlowTracker("http/closed")
-	flows = append(flows,
-		loadedFlow{name: "http/open", proto: "http", model: "open-loop", size: loadedReqSize, flow: openTracker},
-		loadedFlow{name: "http/closed", proto: "http", model: "closed-loop", size: loadedReqSize, flow: closedTracker},
-	)
-	reqFlows := []*app.ReqFlow{
-		app.NewReqFlow(webOpen, openTracker, "/open", loadedOpenReqInterval, false, loadedReqSize),
-		app.NewReqFlow(webClosed, closedTracker, "/closed", loadedThinkTime, true, loadedReqSize),
-	}
-
-	for _, f := range pubFlows {
-		f.Start()
-	}
-	for _, f := range reqFlows {
-		f.Start()
-	}
-	tb.Run(handoffSettle)
-
-	// The Figure-5 itinerary, exactly as RunHandoff walks it.
-	moves := []struct {
-		name string
-		f    func(done func(error))
-	}{
-		{"cold to department", func(done func(error)) {
-			tb.MoveEthTo(tb.DeptNet)
-			tb.MH.ColdSwitch(tb.Eth, done)
-		}},
-		{"same-subnet address switch", func(done func(error)) {
-			tb.MH.SwitchAddress(ip.MustParseAddr("36.8.0.200"), done)
-		}},
-		{"cold to radio", func(done func(error)) {
-			tb.MH.ColdSwitch(tb.Strip, done)
-		}},
-		{"hot back to wire", func(done func(error)) {
-			tb.Eth.Iface().Device().BringUp(func() {
-				tb.MH.Prepare(tb.Eth, func(err error) {
-					if err != nil {
-						done(err)
-						return
-					}
-					tb.MH.HotSwitch(tb.Eth, done)
-				})
-			})
-		}},
-		{"cold home", func(done func(error)) {
-			tb.MoveEthTo(tb.HomeNet)
-			tb.MH.ColdSwitchHome(tb.Eth, RouterHomeAddr, done)
-		}},
-	}
-	for _, mv := range moves {
-		if err := step(mv.name, mv.f); err != nil {
-			return nil, err
-		}
-		tb.Run(handoffSettle)
+	if err := tb.World.RunItinerary(spec.Itinerary[1:]); err != nil {
+		return nil, fmt.Errorf("loadedhandoff: %w", err)
 	}
 
 	// Stop generating, then drain until every flow's sent count has been
 	// received — TCP recovery after the last move may still be replaying.
-	for _, f := range pubFlows {
-		f.Stop()
-	}
-	for _, f := range reqFlows {
-		f.Stop()
-	}
-	drained := runUntil(tb, loadedDrainWait, func() bool {
-		for _, lf := range flows {
-			sent, received, _, _ := lf.flow.Totals()
-			if received < sent {
-				return false
-			}
-		}
-		return true
-	})
+	lt.stop()
+	drained := runUntil(tb, spec.Traffic.Drain.D(), lt.drained)
 	// A final settle so PUBACKs and spans close too.
 	tb.Run(2 * time.Second)
 
-	// Attribution windows: every closed root handoff span, in start order.
-	var windows []stats.Window
-	for _, sp := range tb.Tracer.Spans() {
-		if sp.Parent == 0 && handoffRootKinds[sp.Kind] && sp.End >= sp.Start {
-			windows = append(windows, stats.Window{Kind: sp.Kind, Start: sp.Start, End: sp.End})
-		}
-	}
+	windows := observationWindows(tb.Tracer)
 
 	rows := LoadedHandoffRows{
 		GraceNS:         int64(HandoffGrace),
 		QoS1ExactlyOnce: true,
-		BrokerStats:     broker.Stats(),
-		HTTPServerStats: web.Stats(),
+		BrokerStats:     lt.broker.Stats(),
+		HTTPServerStats: lt.web.Stats(),
 		DroppedEvents:   tb.Tracer.Dropped(),
 		DroppedSpans:    tb.Tracer.DroppedSpans(),
 	}
-	for _, lf := range flows {
+	for _, lf := range lt.flows {
 		sent, received, lost, reorders := lf.flow.Totals()
 		dups, _ := lf.flow.Anomalies()
 		if lf.proto == "mqtt-qos1" && (dups != 0 || lost != 0) {
@@ -383,7 +223,7 @@ func RunLoadedHandoff(seed int64) (*LoadedHandoffResult, error) {
 		// Loss under a transport that never gives up means the drain window
 		// was too short or a connection died; surface it rather than
 		// exporting a silently-degraded table.
-		return nil, fmt.Errorf("loadedhandoff: flows did not drain within %v", loadedDrainWait)
+		return nil, fmt.Errorf("loadedhandoff: flows did not drain within %v", spec.Traffic.Drain.D())
 	}
 
 	res := &LoadedHandoffResult{Rows: rows, Tracer: tb.Tracer}

@@ -38,9 +38,12 @@ func TestLoadedHandoffScoring(t *testing.T) {
 	}
 	rows := res.Rows
 
-	// Three telemetry flows, the command flow, and two HTTP flows.
-	if len(rows.Flows) != loadedTelemetryFlows+3 {
-		t.Fatalf("flows = %d, want %d", len(rows.Flows), loadedTelemetryFlows+3)
+	// Every publication and HTTP flow in the spec: three telemetry flows,
+	// the command flow, and two HTTP flows.
+	spec := MustScenario("loadedhandoff")
+	wantFlows := len(spec.Traffic.MQTT.Pubs) + len(spec.Traffic.HTTP.Flows)
+	if len(rows.Flows) != wantFlows {
+		t.Fatalf("flows = %d, want %d", len(rows.Flows), wantFlows)
 	}
 
 	// The same six root windows as the bare handoff observatory, scored
@@ -123,15 +126,16 @@ func TestQoS1ExactlyOnceAcrossHandoff(t *testing.T) {
 	defer tb.Close()
 	tb.MustConnectHome()
 
-	if _, err := app.NewBroker(tb.CH, ip.Unspecified, loadedBrokerPort, "broker"); err != nil {
+	const brokerPort = 1883
+	if _, err := app.NewBroker(tb.CH, ip.Unspecified, brokerPort, "broker"); err != nil {
 		t.Fatal(err)
 	}
 	pub := app.NewClient(tb.MHTS, "mh-pub")
 	sub := app.NewClient(tb.CampusCH, "campus-sub")
-	if err := pub.Connect(CHAddr, loadedBrokerPort, nil); err != nil {
+	if err := pub.Connect(CHAddr, brokerPort, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(CHAddr, loadedBrokerPort, nil); err != nil {
+	if err := sub.Connect(CHAddr, brokerPort, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !runUntil(tb, 10*time.Second, func() bool { return pub.Connected() && sub.Connected() }) {

@@ -39,15 +39,22 @@ import (
 // and running without a packet log also exercises every layer's
 // disabled-telemetry path.
 
-// Scale experiment shape. Kept modest so one fleet fits a CI smoke run;
-// the event count still reaches the millions at 1000 hosts because every
-// frame on a shared Ethernet segment fans out to all attached devices.
-const (
-	scaleDuration      = 8 * time.Second        // virtual runtime per fleet
-	scaleSwitchPeriod  = 4 * time.Second        // roam cadence per host
-	scaleProbeInterval = 250 * time.Millisecond // echo probe cadence per host
-	scaleProbeStart    = 500 * time.Millisecond
-	scaleCrossEvery    = 4 // every 4th probe targets the backbone correspondent
+// Scale experiment shape, read from the scale scenario spec
+// (testdata/scenarios/scale.json). Kept modest so one fleet fits a CI
+// smoke run; the event count still reaches the millions at 1000 hosts
+// because every frame on a shared Ethernet segment fans out to all
+// attached devices. The spec's delay fields mirror the calibration
+// constants in calib.go, so the fleet runs the same per-packet costs as
+// the Figure 5 testbed.
+var scaleFleetSpec = MustScenario("scale").Topology.Fleet
+
+var (
+	scaleDuration      = scaleFleetSpec.Duration.D()      // virtual runtime per fleet
+	scaleSwitchPeriod  = scaleFleetSpec.SwitchPeriod.D()  // roam cadence per host
+	scaleProbeInterval = scaleFleetSpec.ProbeInterval.D() // echo probe cadence per host
+	scaleProbeStart    = scaleFleetSpec.ProbeStart.D()
+	scaleCrossEvery    = scaleFleetSpec.CrossEvery // every Nth probe targets the backbone correspondent
+	scaleStagger       = scaleFleetSpec.Stagger.D()
 )
 
 // scaleShardCount maps fleet size to the number of campus shards (the hub
@@ -80,7 +87,7 @@ func scaleShardCount(n int) int {
 // its own. Like the shard count, it is a pure function of the topology,
 // and grouping is pure mechanism besides (sim.SetGroups), so it cannot
 // affect results.
-const scaleGroupSize = 8
+var scaleGroupSize = scaleFleetSpec.BarrierGroupSize
 
 func scaleBarrierGroups(numFleet int) [][]int {
 	var groups [][]int
@@ -311,9 +318,9 @@ func buildScaleFleetSilent(seed int64, n, workers, silentCampuses int) (*scaleFl
 	hubLoop := loops[hub]
 	backboneNet := link.NewNetwork(hubLoop, "scale-backbone", link.Ethernet())
 	hubRouter := stack.NewHost(hubLoop, "hub", stack.Config{
-		InputDelay:   HAInputDelay,
-		OutputDelay:  HAOutputDelay,
-		ForwardDelay: RouterForwardDelay,
+		InputDelay:   scaleFleetSpec.RouterDelays.Input.D(),
+		OutputDelay:  scaleFleetSpec.RouterDelays.Output.D(),
+		ForwardDelay: scaleFleetSpec.RouterDelays.Forward.D(),
 	})
 	addRouterIface(hubRouter, backboneNet, scaleHubAddr, scaleBackbonePfx, stack.IfaceOpts{})
 	hubRouter.SetForwarding(true)
@@ -322,7 +329,7 @@ func buildScaleFleetSilent(seed int64, n, workers, silentCampuses int) (*scaleFl
 	probesSent := make([]uint64, numShards)
 	probesEchoed := make([]uint64, numShards)
 
-	bbCH := newEndHost(hubLoop, backboneNet, "bb-ch", scaleBackboneCH, scaleBackbonePfx, scaleHubAddr)
+	bbCH := newEndHost(hubLoop, backboneNet, "bb-ch", scaleBackboneCH, scaleBackbonePfx, scaleHubAddr, scaleFleetSpec.HostDelay.D())
 	var bbSrv *transport.UDPSocket
 	bbSrv, err := bbCH.UDP(ip.Unspecified, 7, func(d transport.Datagram) {
 		bbSrv.SendTo(d.From, d.FromPort, d.Payload)
@@ -354,9 +361,9 @@ func buildScaleFleetSilent(seed int64, n, workers, silentCampuses int) (*scaleFl
 		// Shard router with the home agent collocated, as in the Figure 5
 		// testbed.
 		router := stack.NewHost(loop, fmt.Sprintf("router%d", k), stack.Config{
-			InputDelay:   HAInputDelay,
-			OutputDelay:  HAOutputDelay,
-			ForwardDelay: RouterForwardDelay,
+			InputDelay:   scaleFleetSpec.RouterDelays.Input.D(),
+			OutputDelay:  scaleFleetSpec.RouterDelays.Output.D(),
+			ForwardDelay: scaleFleetSpec.RouterDelays.Forward.D(),
 		})
 		homeIfc := addRouterIface(router, homeNet, routerHome, homePfx, stack.IfaceOpts{})
 		addRouterIface(router, deptNet, routerDept, deptPfx, stack.IfaceOpts{})
@@ -366,7 +373,7 @@ func buildScaleFleetSilent(seed int64, n, workers, silentCampuses int) (*scaleFl
 		ha, err := mip.NewHomeAgent(transport.NewStack(router), mip.HomeAgentConfig{
 			HomeIface:       homeIfc,
 			HomePrefix:      homePfx,
-			ProcessingDelay: HAProcessing,
+			ProcessingDelay: scaleFleetSpec.HAProcessing.D(),
 		})
 		if err != nil {
 			return nil, err
@@ -394,7 +401,7 @@ func buildScaleFleetSilent(seed int64, n, workers, silentCampuses int) (*scaleFl
 		}
 
 		// Local correspondent: a UDP echo service on the department subnet.
-		ch := newEndHost(loop, deptNet, fmt.Sprintf("ch%d", k), chLocal, deptPfx, routerDept)
+		ch := newEndHost(loop, deptNet, fmt.Sprintf("ch%d", k), chLocal, deptPfx, routerDept, scaleFleetSpec.HostDelay.D())
 		var echoSrv *transport.UDPSocket
 		echoSrv, err = ch.UDP(ip.Unspecified, 7, func(d transport.Datagram) {
 			echoSrv.SendTo(d.From, d.FromPort, d.Payload)
@@ -413,15 +420,15 @@ func buildScaleFleetSilent(seed int64, n, workers, silentCampuses int) (*scaleFl
 		for i := lo; i < hi; i++ {
 			j := i - lo
 			h := stack.NewHost(loop, fmt.Sprintf("mh%04d", i), stack.Config{
-				InputDelay:  MHProcDelay,
-				OutputDelay: MHProcDelay,
+				InputDelay:  scaleFleetSpec.MobileDelay.D(),
+				OutputDelay: scaleFleetSpec.MobileDelay.D(),
 			})
 			ts := transport.NewStack(h)
 			m := mip.NewMobileHost(ts, mip.MobileHostConfig{
 				HomeAddr:   scaleAddr(homePfx, j),
 				HomePrefix: homePfx,
 				HomeAgent:  routerHome,
-				Lifetime:   RegLifetime,
+				Lifetime:   scaleFleetSpec.RegLifetime.D(),
 			})
 			sm := &scaleMH{m: m}
 			for d, net := range []*link.Network{deptNet, campusNet} {
@@ -458,7 +465,7 @@ func buildScaleFleetSilent(seed int64, n, workers, silentCampuses int) (*scaleFl
 			// host instead of the whole 8-second schedule; at 100k
 			// hosts that is the difference between a few hundred
 			// thousand queued events and several million.
-			stagger := time.Duration(i) * 300 * time.Microsecond
+			stagger := time.Duration(i) * scaleStagger
 			roamR := 0
 			var roam func()
 			roam = func() {

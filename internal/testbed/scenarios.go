@@ -1,0 +1,94 @@
+package testbed
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+
+	"mosquitonet/internal/scenario"
+)
+
+// The scenario catalog: every experiment topology and itinerary this
+// package drives lives as a declarative spec under testdata/scenarios/,
+// embedded into the binary so experiment drivers, the mnet narrator, and
+// the sweep generator all compile the same specs the repository pins.
+//
+//go:embed testdata/scenarios/*.json
+var scenarioFS embed.FS
+
+// loadScenarios parses every embedded spec and indexes it by its name
+// field (not its filename). Each call re-parses, so callers own their
+// specs and may mutate them freely.
+func loadScenarios() (map[string]*scenario.Spec, error) {
+	entries, err := scenarioFS.ReadDir("testdata/scenarios")
+	if err != nil {
+		return nil, fmt.Errorf("testbed: scenario catalog: %w", err)
+	}
+	specs := make(map[string]*scenario.Spec, len(entries))
+	for _, e := range entries {
+		data, err := fs.ReadFile(scenarioFS, "testdata/scenarios/"+e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("testbed: scenario %s: %w", e.Name(), err)
+		}
+		sp, err := scenario.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: scenario %s: %w", e.Name(), err)
+		}
+		if _, dup := specs[sp.Name]; dup {
+			return nil, fmt.Errorf("testbed: scenario %s: duplicate name %q", e.Name(), sp.Name)
+		}
+		specs[sp.Name] = sp
+	}
+	return specs, nil
+}
+
+// Scenario loads one catalog scenario by name, with its base (if any)
+// resolved against the catalog. The returned spec is validated, private
+// to the caller, and ready for scenario.Compile.
+func Scenario(name string) (*scenario.Spec, error) {
+	specs, err := loadScenarios()
+	if err != nil {
+		return nil, err
+	}
+	sp, ok := specs[name]
+	if !ok {
+		return nil, fmt.Errorf("testbed: unknown scenario %q (have %s)", name, strings.Join(scenarioKeys(specs), ", "))
+	}
+	return scenario.ResolveBase(sp, func(base string) (*scenario.Spec, error) {
+		b, ok := specs[base]
+		if !ok {
+			return nil, fmt.Errorf("not in catalog (have %s)", strings.Join(scenarioKeys(specs), ", "))
+		}
+		return b, nil
+	})
+}
+
+// MustScenario is Scenario for the checked-in catalog, where a load
+// failure is a build defect, not an input error.
+func MustScenario(name string) *scenario.Spec {
+	sp, err := Scenario(name)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// ScenarioNames lists the catalog, sorted.
+func ScenarioNames() ([]string, error) {
+	specs, err := loadScenarios()
+	if err != nil {
+		return nil, err
+	}
+	return scenarioKeys(specs), nil
+}
+
+func scenarioKeys(specs map[string]*scenario.Spec) []string {
+	names := make([]string, 0, len(specs))
+	for n := range specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

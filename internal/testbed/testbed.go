@@ -9,13 +9,17 @@ import (
 	"mosquitonet/internal/link"
 	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/mip"
+	"mosquitonet/internal/scenario"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
 	"mosquitonet/internal/trace"
 	"mosquitonet/internal/transport"
 )
 
-// Well-known testbed addresses (Figure 5).
+// Well-known testbed addresses (Figure 5). These mirror the figure5
+// scenario spec (testdata/scenarios/figure5.json) so experiment code can
+// reference the topology without re-parsing it; TestFigure5SpecMatches
+// pins the two against each other.
 var (
 	HomePrefix   = ip.MustParsePrefix("36.135.0.0/16") // MosquitoNet home subnet
 	DeptPrefix   = ip.MustParsePrefix("36.8.0.0/16")   // CS department subnet
@@ -42,8 +46,16 @@ var (
 	CampusCHAddr = ip.MustParseAddr("36.22.0.99") // correspondent elsewhere on campus
 )
 
-// Testbed is the assembled Figure 5 environment.
+// Testbed is the assembled Figure 5 environment: a compiled scenario
+// world plus named role bindings for the entities every experiment
+// touches. The roles are bound by the conventional figure5 names (subnet
+// "home", host "ch", mobile "mh" with ifaces "eth0"/"strip0"); scenarios
+// that omit a role leave its field nil.
 type Testbed struct {
+	// World is the compiled scenario: the full entity index, the
+	// itinerary runner, and the fault injector.
+	World *scenario.World
+
 	Loop   *sim.Loop
 	Tracer *trace.Tracer
 
@@ -72,131 +84,60 @@ type Testbed struct {
 	Strip *mip.ManagedIface // Metricom radio on 36.134
 }
 
-// New assembles the testbed. All devices start down except the
-// infrastructure's; drive the mobile host with ConnectHome / ColdSwitch /
-// etc. on tb.MH.
+// New assembles the testbed by compiling the figure5 scenario spec. All
+// devices start down except the infrastructure's; drive the mobile host
+// with ConnectHome / ColdSwitch / etc. on tb.MH.
 func New(seed int64) *Testbed {
-	loop := sim.New(seed)
-	tb := &Testbed{
-		Loop:      loop,
-		Tracer:    trace.New(loop),
-		Metrics:   metrics.Enable(loop),
-		Packets:   metrics.TracePackets(loop, 0),
-		HomeNet:   link.NewNetwork(loop, "net-36.135", link.Ethernet()),
-		DeptNet:   link.NewNetwork(loop, "net-36.8", link.Ethernet()),
-		RadioNet:  link.NewNetwork(loop, "net-36.134", link.Radio()),
-		CampusNet: link.NewNetwork(loop, "net-36.22", link.Ethernet()),
-		SlowNet:   link.NewNetwork(loop, "net-36.40", slowWired()),
-	}
-
-	// Router (Pentium 90) with an interface per subnet.
-	tb.Router = stack.NewHost(loop, "router", stack.Config{
-		InputDelay:   HAInputDelay,
-		OutputDelay:  HAOutputDelay,
-		ForwardDelay: RouterForwardDelay,
-	})
-	addRouterIface := func(n *link.Network, addr ip.Addr, pfx ip.Prefix, p2p bool) *stack.Iface {
-		d := link.NewDevice(loop, "r-"+n.Name(), 0, 0)
-		d.Attach(n)
-		d.BringUp(nil)
-		ifc := tb.Router.AddIface("r-"+n.Name(), d, addr, pfx, stack.IfaceOpts{PointToPoint: p2p})
-		tb.Router.ConnectRoute(ifc)
-		return ifc
-	}
-	homeIfc := addRouterIface(tb.HomeNet, RouterHomeAddr, HomePrefix, false)
-	addRouterIface(tb.DeptNet, RouterDeptAddr, DeptPrefix, false)
-	addRouterIface(tb.RadioNet, RouterRadioAddr, RadioPrefix, true)
-	addRouterIface(tb.CampusNet, RouterCampusAddr, CampusPrefix, false)
-	addRouterIface(tb.SlowNet, RouterSlowAddr, SlowPrefix, false)
-	tb.Router.SetForwarding(true)
-	tb.RouterTS = transport.NewStack(tb.Router)
-
-	// Home agent, collocated on the router.
-	ha, err := mip.NewHomeAgent(tb.RouterTS, mip.HomeAgentConfig{
-		HomeIface:       homeIfc,
-		HomePrefix:      HomePrefix,
-		ProcessingDelay: HAProcessing,
-		Tracer:          tb.Tracer,
-	})
+	tb, err := NewFromSpec(seed, MustScenario("figure5"))
 	if err != nil {
-		panic(fmt.Sprintf("testbed: home agent: %v", err))
+		panic(fmt.Sprintf("testbed: %v", err))
 	}
-	tb.HA = ha
-
-	// DHCP service for visitors to the department subnet.
-	srv, err := dhcp.NewServer(tb.RouterTS, dhcp.ServerConfig{
-		Pool:            DeptPrefix,
-		FirstHost:       100,
-		LastHost:        150,
-		Gateway:         RouterDeptAddr,
-		ProcessingDelay: DHCPProcessing,
-	})
-	if err != nil {
-		panic(fmt.Sprintf("testbed: dhcp: %v", err))
-	}
-	tb.DHCP = srv
-
-	// Correspondent hosts.
-	tb.CH = newEndHost(loop, tb.DeptNet, "ch", CHAddr, DeptPrefix, RouterDeptAddr)
-	tb.CampusCH = newEndHost(loop, tb.CampusNet, "campus-ch", CampusCHAddr, CampusPrefix, RouterCampusAddr)
-
-	// The mobile host: a Gateway Handbook 486.
-	mhHost := stack.NewHost(loop, "mh", stack.Config{
-		InputDelay:  MHProcDelay,
-		OutputDelay: MHProcDelay,
-	})
-	tb.MHTS = transport.NewStack(mhHost)
-	tb.MH = mip.NewMobileHost(tb.MHTS, mip.MobileHostConfig{
-		HomeAddr:         MHHomeAddr,
-		HomePrefix:       HomePrefix,
-		HomeAgent:        RouterHomeAddr,
-		Lifetime:         RegLifetime,
-		ConfigureDelay:   ConfigureDelay,
-		RouteChangeDelay: RouteChangeDelay,
-		Tracer:           tb.Tracer,
-	})
-
-	// The PCMCIA Ethernet card uses the home configuration when attached
-	// at home (ConnectHome) and DHCP when visiting net 36.8.
-	ethDev := link.NewDevice(loop, "mh-eth", EthBringUp, EthBringUpJitter)
-	ethDev.Attach(tb.HomeNet)
-	eth, err := tb.MH.AddInterface("eth0", ethDev, false, nil)
-	if err != nil {
-		panic(err)
-	}
-	tb.Eth = eth
-
-	stripDev := link.NewDevice(loop, "mh-strip", RadioBringUp, RadioBringUpJitter)
-	stripDev.Attach(tb.RadioNet)
-	strip, err := tb.MH.AddInterface("strip0", stripDev, true, &mip.StaticConfig{
-		Addr:    MHRadioAddr,
-		Prefix:  RadioPrefix,
-		Gateway: RouterRadioAddr,
-	})
-	if err != nil {
-		panic(err)
-	}
-	tb.Strip = strip
-
-	loop.RunFor(0)
 	return tb
 }
 
-// slowWired models the remote subnet's slow wired infrastructure: an
-// ARP-capable broadcast medium with high latency and modest bandwidth.
-func slowWired() link.Medium {
-	return link.Medium{
-		Name:          "slow-wired",
-		Latency:       80 * time.Millisecond,
-		LatencyJitter: 5 * time.Millisecond,
-		BitRate:       512_000,
-		MTU:           1500,
+// NewFromSpec compiles any resolved scenario spec and binds the Figure-5
+// role fields by their conventional names. Experiment drivers use it to
+// assemble variant scenarios (handoff, loadedhandoff, sweep offspring)
+// that share the figure5 base topology.
+func NewFromSpec(seed int64, spec *scenario.Spec) (*Testbed, error) {
+	w, err := scenario.Compile(seed, spec)
+	if err != nil {
+		return nil, err
 	}
+	tb := &Testbed{
+		World:     w,
+		Loop:      w.Loop,
+		Tracer:    w.Tracer,
+		Metrics:   w.Metrics,
+		Packets:   w.Packets,
+		HomeNet:   w.Networks["home"],
+		DeptNet:   w.Networks["dept"],
+		RadioNet:  w.Networks["radio"],
+		CampusNet: w.Networks["campus"],
+		SlowNet:   w.Networks["slow"],
+		CH:        w.Stacks["ch"],
+		CampusCH:  w.Stacks["campus-ch"],
+	}
+	if rs := spec.Topology.Routers; len(rs) == 1 {
+		name := rs[0].Name
+		tb.Router = w.Routers[name]
+		tb.RouterTS = w.RouterTS[name]
+		tb.HA = w.HAs[name]
+		tb.DHCP = w.DHCPs[name]
+	}
+	if ms := spec.Topology.Mobiles; len(ms) == 1 {
+		name := ms[0].Name
+		tb.MH = w.Mobiles[name]
+		tb.MHTS = w.Stacks[name]
+		tb.Eth = w.MIfaces[name+"/eth0"]
+		tb.Strip = w.MIfaces[name+"/strip0"]
+	}
+	return tb, nil
 }
 
 // newEndHost builds an ordinary (non-mobile) host.
-func newEndHost(loop *sim.Loop, n *link.Network, name string, addr ip.Addr, pfx ip.Prefix, gw ip.Addr) *transport.Stack {
-	h := stack.NewHost(loop, name, stack.Config{InputDelay: CHProcDelay, OutputDelay: CHProcDelay})
+func newEndHost(loop *sim.Loop, n *link.Network, name string, addr ip.Addr, pfx ip.Prefix, gw ip.Addr, delay time.Duration) *transport.Stack {
+	h := stack.NewHost(loop, name, stack.Config{InputDelay: delay, OutputDelay: delay})
 	d := link.NewDevice(loop, name+"-eth", 0, 0)
 	d.Attach(n)
 	d.BringUp(nil)

@@ -1,0 +1,215 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"mosquitonet/internal/app"
+	"mosquitonet/internal/ip"
+	"mosquitonet/internal/scenario"
+	"mosquitonet/internal/stats"
+	"mosquitonet/internal/transport"
+)
+
+// loadedFlow pairs one traffic generator's tracker with its labeling.
+type loadedFlow struct {
+	name  string
+	proto string
+	model string
+	size  int // payload bytes per message, for goodput
+	flow  *stats.FlowTracker
+}
+
+// loadedTraffic is a scenario traffic section compiled onto the app
+// layer: the servers, the per-flow trackers, and the generators, ready to
+// Start once the topology has settled.
+type loadedTraffic struct {
+	broker *app.Broker
+	web    *app.HTTPServer
+
+	flows    []loadedFlow
+	pubFlows []*app.PubFlow
+	reqFlows []*app.ReqFlow
+}
+
+// trafficStack resolves a host name from the traffic section to its
+// transport stack.
+func trafficStack(tb *Testbed, host string) (*transport.Stack, error) {
+	ts, ok := tb.World.Stacks[host]
+	if !ok {
+		return nil, fmt.Errorf("traffic: unknown host %q", host)
+	}
+	return ts, nil
+}
+
+// trafficAddr resolves a host name to the address its servers listen on:
+// an end host's configured address, or a mobile host's home address.
+func trafficAddr(tb *Testbed, host string) (ip.Addr, error) {
+	top := &tb.World.Spec.Topology
+	for i := range top.Hosts {
+		if top.Hosts[i].Name == host {
+			return ip.MustParseAddr(top.Hosts[i].Addr), nil
+		}
+	}
+	for i := range top.Mobiles {
+		if top.Mobiles[i].Name == host {
+			return ip.MustParseAddr(top.Mobiles[i].HomeAddr), nil
+		}
+	}
+	return ip.Addr{}, fmt.Errorf("traffic: unknown host %q", host)
+}
+
+// buildLoadedTraffic lowers a scenario's MQTT and HTTP traffic onto the
+// running testbed: servers first, then client sessions (waiting for
+// CONNACKs), then subscriptions and per-flow trackers (waiting for
+// SUBACKs). The construction order follows the spec's declaration order
+// exactly — construction order is event order and therefore behavior.
+func buildLoadedTraffic(tb *Testbed, t *scenario.Traffic) (*loadedTraffic, error) {
+	lt := &loadedTraffic{}
+
+	mqttClients := map[string]*app.Client{}
+	if t.MQTT != nil {
+		ts, err := trafficStack(tb, t.MQTT.Broker.Host)
+		if err != nil {
+			return nil, err
+		}
+		lt.broker, err = app.NewBroker(ts, ip.Unspecified, uint16(t.MQTT.Broker.Port), "broker")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if t.HTTP != nil {
+		ts, err := trafficStack(tb, t.HTTP.Server.Host)
+		if err != nil {
+			return nil, err
+		}
+		lt.web, err = app.NewHTTPServer(ts, ip.Unspecified, uint16(t.HTTP.Server.Port), "web", app.EchoHandler)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if t.MQTT != nil {
+		brokerAddr, err := trafficAddr(tb, t.MQTT.Broker.Host)
+		if err != nil {
+			return nil, err
+		}
+		for i := range t.MQTT.Clients {
+			c := &t.MQTT.Clients[i]
+			ts, err := trafficStack(tb, c.Host)
+			if err != nil {
+				return nil, err
+			}
+			mqttClients[c.Name] = app.NewClient(ts, c.Name)
+		}
+		connected := 0
+		onConnack := func(err error) {
+			if err == nil {
+				connected++
+			}
+		}
+		for i := range t.MQTT.Clients {
+			if err := mqttClients[t.MQTT.Clients[i].Name].Connect(brokerAddr, uint16(t.MQTT.Broker.Port), onConnack); err != nil {
+				return nil, err
+			}
+		}
+		if !runUntil(tb, 30*time.Second, func() bool { return connected == len(t.MQTT.Clients) }) {
+			return nil, fmt.Errorf("traffic: mqtt clients did not connect (%d/%d)", connected, len(t.MQTT.Clients))
+		}
+	}
+
+	httpClients := map[string]*app.HTTPClient{}
+	if t.HTTP != nil {
+		serverAddr, err := trafficAddr(tb, t.HTTP.Server.Host)
+		if err != nil {
+			return nil, err
+		}
+		for i := range t.HTTP.Flows {
+			f := &t.HTTP.Flows[i]
+			ts, err := trafficStack(tb, f.Host)
+			if err != nil {
+				return nil, err
+			}
+			httpClients[f.Client] = app.NewHTTPClient(ts, f.Client)
+		}
+		for i := range t.HTTP.Flows {
+			if err := httpClients[t.HTTP.Flows[i].Client].Connect(serverAddr, uint16(t.HTTP.Server.Port), nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if t.MQTT != nil {
+		subAcks := 0
+		for i := range t.MQTT.Pubs {
+			pub := &t.MQTT.Pubs[i]
+			from, to := mqttClients[pub.From], mqttClients[pub.To]
+			if from == nil || to == nil {
+				return nil, fmt.Errorf("traffic: publication %q references unknown client", pub.Topic)
+			}
+			ft := stats.NewFlowTracker(pub.Topic)
+			if err := to.Subscribe(pub.Topic, byte(pub.QoS), app.SinkHandler(tb.Loop, ft), func() { subAcks++ }); err != nil {
+				return nil, err
+			}
+			lt.flows = append(lt.flows, loadedFlow{
+				name: pub.Topic, proto: "mqtt-qos1", model: "open-loop", size: pub.Size, flow: ft,
+			})
+			lt.pubFlows = append(lt.pubFlows, app.NewPubFlow(from, ft, pub.Topic, pub.Interval.D(), byte(pub.QoS), pub.Size))
+		}
+		if !runUntil(tb, 30*time.Second, func() bool { return subAcks == len(t.MQTT.Pubs) }) {
+			return nil, fmt.Errorf("traffic: subscriptions not acked (%d/%d)", subAcks, len(t.MQTT.Pubs))
+		}
+	}
+
+	if t.HTTP != nil {
+		trackers := make([]*stats.FlowTracker, len(t.HTTP.Flows))
+		for i := range t.HTTP.Flows {
+			f := &t.HTTP.Flows[i]
+			trackers[i] = stats.NewFlowTracker(f.Name)
+			model := "open-loop"
+			if f.Closed {
+				model = "closed-loop"
+			}
+			lt.flows = append(lt.flows, loadedFlow{
+				name: f.Name, proto: "http", model: model, size: f.Size, flow: trackers[i],
+			})
+		}
+		for i := range t.HTTP.Flows {
+			f := &t.HTTP.Flows[i]
+			lt.reqFlows = append(lt.reqFlows,
+				app.NewReqFlow(httpClients[f.Client], trackers[i], f.Path, f.Interval.D(), f.Closed, f.Size))
+		}
+	}
+	return lt, nil
+}
+
+// start begins every generator, publications first, in declaration order.
+func (lt *loadedTraffic) start() {
+	for _, f := range lt.pubFlows {
+		f.Start()
+	}
+	for _, f := range lt.reqFlows {
+		f.Start()
+	}
+}
+
+// stop halts every generator; in-flight messages still count on arrival.
+func (lt *loadedTraffic) stop() {
+	for _, f := range lt.pubFlows {
+		f.Stop()
+	}
+	for _, f := range lt.reqFlows {
+		f.Stop()
+	}
+}
+
+// drained reports whether every flow has received everything it sent.
+func (lt *loadedTraffic) drained() bool {
+	for _, lf := range lt.flows {
+		sent, received, _, _ := lf.flow.Totals()
+		if received < sent {
+			return false
+		}
+	}
+	return true
+}

@@ -31,6 +31,7 @@ import (
 	"mosquitonet/internal/link"
 	"mosquitonet/internal/metrics"
 	"mosquitonet/internal/mip"
+	"mosquitonet/internal/scenario"
 	"mosquitonet/internal/sim"
 	"mosquitonet/internal/stack"
 	"mosquitonet/internal/stats"
@@ -214,6 +215,25 @@ type (
 	HandoffResult = testbed.HandoffResult
 	// LoadedHandoffResult is the loaded-handoff observatory's full result.
 	LoadedHandoffResult = testbed.LoadedHandoffResult
+	// ScenarioResult is one compiled-and-run scenario's full result.
+	ScenarioResult = testbed.ScenarioResult
+	// SweepResult is the randomized-scenario sweep's full result.
+	SweepResult = testbed.SweepResult
+)
+
+// Scenario types (the declarative experiment schema, DESIGN.md §14).
+type (
+	// ScenarioSpec is the versioned declarative scenario document:
+	// topology, traffic mix, mobility itinerary, and fault schedule.
+	ScenarioSpec = scenario.Spec
+	// ScenarioWorld is a compiled scenario: the simulation loop plus every
+	// named entity, the itinerary runner, and the fault injector.
+	ScenarioWorld = scenario.World
+	// ScenarioFault is one scheduled fault-injection event.
+	ScenarioFault = scenario.Fault
+	// AdminConsole is the line-oriented inspect/mutate interface over a
+	// compiled scenario world (cmd/mnet -admin).
+	AdminConsole = scenario.Console
 )
 
 // Application-layer types (workloads over the transport).
@@ -365,6 +385,20 @@ var (
 	// wall-clock on multi-core machines.
 	RunScaleWorkers = testbed.RunScaleWorkers
 	RunParallel     = testbed.RunParallel
+
+	// ParseScenario and CompileScenario lower a declarative spec onto the
+	// simulator; Scenario and ScenarioNames read the embedded catalog;
+	// RunScenarioProbe runs any spec with an itinerary and probes;
+	// GenerateSweep and RunSweep derive and run randomized variants.
+	ParseScenario    = scenario.Parse
+	ValidateScenario = scenario.Validate
+	CompileScenario  = scenario.Compile
+	Scenario         = testbed.Scenario
+	ScenarioNames    = testbed.ScenarioNames
+	RunScenarioProbe = testbed.RunScenarioProbe
+	GenerateSweep    = scenario.GenerateSweep
+	RunSweep         = testbed.RunSweep
+	NewAdminConsole  = scenario.NewConsole
 
 	// NewCapture builds the packet-capture facility (the simulator's
 	// tcpdump); FormatFrame and FormatPacket decode individual frames.
